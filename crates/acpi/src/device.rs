@@ -1,0 +1,184 @@
+//! Suspendable devices and their power-management callbacks.
+//!
+//! §3.1: "We identify the set of devices which should be kept up during
+//! the Sz state (e.g., Infiniband card and its associated PCIe devices).
+//! The `pm_suspend()` call for these devices has been modified in order to
+//! prevent them from transitioning to the sleep state."
+
+use core::fmt;
+
+use crate::state::SleepState;
+
+/// Classes of devices on the platform, as the modified OSPM sees them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DeviceClass {
+    /// CPU cores / package.
+    Cpu,
+    /// The integrated memory controller.
+    MemoryController,
+    /// The Infiniband HCA (MLNX_OFED-driven in the prototype).
+    InfinibandHca,
+    /// A PCIe bridge or root port.
+    PcieBridge,
+    /// Block storage.
+    Storage,
+    /// Anything else (USB, GPU, audio...).
+    Other,
+}
+
+/// Runtime PM state of a device.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DevicePmState {
+    /// Operating normally.
+    Active,
+    /// Powered but quiesced, serving only autonomous functions (DMA to
+    /// memory for the HCA, refresh for the memory controller).
+    ActiveIdle,
+    /// Suspended per the target S-state.
+    Suspended,
+}
+
+/// What `pm_suspend` decided for a device.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SuspendAction {
+    /// Transitioned to the device sleep state.
+    Suspended,
+    /// Kept awake (Sz keep-up set), demoted only to active idle.
+    KeptAwake,
+}
+
+/// A device instance with its driver's PM behaviour.
+#[derive(Clone, Debug)]
+pub struct Device {
+    name: &'static str,
+    class: DeviceClass,
+    /// Whether this PCIe bridge is on the HCA's path to memory (only
+    /// meaningful for `PcieBridge`).
+    on_hca_path: bool,
+    state: DevicePmState,
+}
+
+impl Device {
+    /// Creates a device in the active state.
+    pub fn new(name: &'static str, class: DeviceClass) -> Self {
+        Device {
+            name,
+            class,
+            on_hca_path: false,
+            state: DevicePmState::Active,
+        }
+    }
+
+    /// Marks a PCIe bridge as being on the HCA-to-memory path.
+    pub fn on_hca_path(mut self) -> Self {
+        self.on_hca_path = true;
+        self
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Device class.
+    pub fn class(&self) -> DeviceClass {
+        self.class
+    }
+
+    /// Current PM state.
+    pub fn pm_state(&self) -> DevicePmState {
+        self.state
+    }
+
+    /// Whether the Sz keep-up set includes this device: the Infiniband
+    /// card, its PCIe path, and the memory controller.
+    pub fn keep_awake_in_sz(&self) -> bool {
+        match self.class {
+            DeviceClass::InfinibandHca | DeviceClass::MemoryController => true,
+            DeviceClass::PcieBridge => self.on_hca_path,
+            _ => false,
+        }
+    }
+
+    /// The (modified) `pm_suspend` callback: transitions the device for
+    /// the given target state and reports what happened.
+    pub fn pm_suspend(&mut self, target: SleepState) -> SuspendAction {
+        debug_assert!(target.is_sleeping(), "pm_suspend needs a sleep target");
+        if target == SleepState::Sz && self.keep_awake_in_sz() {
+            self.state = DevicePmState::ActiveIdle;
+            SuspendAction::KeptAwake
+        } else {
+            self.state = DevicePmState::Suspended;
+            SuspendAction::Suspended
+        }
+    }
+
+    /// The `pm_resume` callback.
+    pub fn pm_resume(&mut self) {
+        self.state = DevicePmState::Active;
+    }
+}
+
+/// The standard loadout of the paper's testbed servers (HP Elite 8300 with
+/// a ConnectX-3): one of each interesting device plus a generic bridge.
+pub fn standard_devices() -> Vec<Device> {
+    vec![
+        Device::new("cpu0", DeviceClass::Cpu),
+        Device::new("imc0", DeviceClass::MemoryController),
+        Device::new("mlx4_0", DeviceClass::InfinibandHca),
+        Device::new("pcie-rp0", DeviceClass::PcieBridge).on_hca_path(),
+        Device::new("pcie-rp1", DeviceClass::PcieBridge),
+        Device::new("sda", DeviceClass::Storage),
+        Device::new("usb0", DeviceClass::Other),
+    ]
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({:?}, {:?})", self.name, self.class, self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sz_keeps_ib_and_its_path_awake() {
+        let mut devs = standard_devices();
+        for d in &mut devs {
+            d.pm_suspend(SleepState::Sz);
+        }
+        let kept: Vec<&str> = devs
+            .iter()
+            .filter(|d| d.pm_state() == DevicePmState::ActiveIdle)
+            .map(|d| d.name())
+            .collect();
+        assert_eq!(kept, ["imc0", "mlx4_0", "pcie-rp0"]);
+    }
+
+    #[test]
+    fn s3_suspends_everything() {
+        let mut devs = standard_devices();
+        for d in &mut devs {
+            assert_eq!(d.pm_suspend(SleepState::S3), SuspendAction::Suspended);
+            assert_eq!(d.pm_state(), DevicePmState::Suspended);
+        }
+    }
+
+    #[test]
+    fn off_path_bridge_is_not_kept() {
+        let b = Device::new("x", DeviceClass::PcieBridge);
+        assert!(!b.keep_awake_in_sz());
+        let b = b.on_hca_path();
+        assert!(b.keep_awake_in_sz());
+    }
+
+    #[test]
+    fn resume_reactivates() {
+        let mut d = Device::new("mlx4_0", DeviceClass::InfinibandHca);
+        d.pm_suspend(SleepState::Sz);
+        d.pm_resume();
+        assert_eq!(d.pm_state(), DevicePmState::Active);
+    }
+}

@@ -1,0 +1,259 @@
+//! Firmware involvement in S-state transitions.
+//!
+//! §3.1: "Firmware is involved in S-state transitions during boot up and
+//! during each Sz enter and exit. During boot up the firmware initialises
+//! Sz chipset configurations. During Sz enter and exit the firmware
+//! transitions individual devices to their corresponding S-states. [...]
+//! During Sz exit, once the chipset state is reinitialised, the firmware
+//! passes the control back to the OS."
+
+use core::fmt;
+
+use zombieland_simcore::SimDuration;
+
+use crate::rail::{rail_levels, Rail, RailLevel};
+use crate::state::SleepState;
+
+/// Errors from the firmware layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FirmwareError {
+    /// Sz was requested on a platform whose boot firmware never
+    /// initialised the zombie chipset configuration (i.e. non-Sz-capable
+    /// hardware — the situation of every board on the market today).
+    SzNotProvisioned,
+    /// A transition was requested from a state whose exit the firmware
+    /// does not handle this way (e.g. waking from S0).
+    InvalidTransition {
+        /// The state the platform is in.
+        from: SleepState,
+        /// The state that was requested.
+        to: SleepState,
+    },
+}
+
+impl fmt::Display for FirmwareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FirmwareError::SzNotProvisioned => {
+                write!(f, "board firmware lacks Sz chipset provisioning")
+            }
+            FirmwareError::InvalidTransition { from, to } => {
+                write!(f, "firmware cannot transition {from} -> {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FirmwareError {}
+
+/// A rail switch the firmware performed, for transition audits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RailSwitch {
+    /// Which rail.
+    pub rail: Rail,
+    /// Level before.
+    pub from: RailLevel,
+    /// Level after.
+    pub to: RailLevel,
+}
+
+/// Outcome of one firmware-sequenced transition.
+#[derive(Clone, Debug)]
+pub struct Transition {
+    /// The state entered.
+    pub to: SleepState,
+    /// Rail switches performed, in sequencing order.
+    pub switches: Vec<RailSwitch>,
+    /// How long the firmware + hardware took.
+    pub latency: SimDuration,
+}
+
+/// The platform firmware (BIOS/UEFI + EC).
+#[derive(Clone, Debug)]
+pub struct Firmware {
+    sz_capable: bool,
+    sz_provisioned: bool,
+}
+
+impl Firmware {
+    /// Firmware of an Sz-capable board (separate CPU/memory power
+    /// domains).
+    pub fn sz_capable() -> Self {
+        Firmware {
+            sz_capable: true,
+            sz_provisioned: false,
+        }
+    }
+
+    /// Firmware of a stock board (no Sz support) — what every
+    /// commodity server ships today.
+    pub fn stock() -> Self {
+        Firmware {
+            sz_capable: false,
+            sz_provisioned: false,
+        }
+    }
+
+    /// Boot-time initialisation: on Sz-capable boards this sets up the
+    /// zombie chipset configuration.
+    pub fn boot(&mut self) {
+        self.sz_provisioned = self.sz_capable;
+    }
+
+    /// Whether Sz can be entered.
+    pub fn sz_ready(&self) -> bool {
+        self.sz_provisioned
+    }
+
+    /// The `ZMBI` capability table this firmware publishes to the OS
+    /// (see [`crate::spec`]).
+    pub fn sz_table(&self) -> crate::spec::SzTable {
+        if self.sz_capable {
+            crate::spec::SzTable::sz_capable()
+        } else {
+            crate::spec::SzTable::stock()
+        }
+    }
+
+    /// Latency to *enter* a sleeping state from S0 (device quiesce + rail
+    /// sequencing). Sz costs the same as S3 plus a small constant for the
+    /// extra switch signaling — the paper: "the additional work required
+    /// for the actual steps is minimal for Sz as most of the board is
+    /// still transitioned to S3".
+    pub fn enter_latency(&self, to: SleepState) -> SimDuration {
+        match to {
+            SleepState::S0 => SimDuration::ZERO,
+            SleepState::S3 => SimDuration::from_millis(2_800),
+            SleepState::Sz => SimDuration::from_millis(2_800) + SimDuration::from_millis(150),
+            SleepState::S4 => SimDuration::from_secs(14),
+            SleepState::S5 => SimDuration::from_secs(8),
+        }
+    }
+
+    /// Latency to *exit* a sleeping state back to S0 (wake, chipset
+    /// reinit, control handed back to the OS).
+    pub fn exit_latency(&self, from: SleepState) -> SimDuration {
+        match from {
+            SleepState::S0 => SimDuration::ZERO,
+            SleepState::S3 => SimDuration::from_millis(3_600),
+            SleepState::Sz => SimDuration::from_millis(3_600) + SimDuration::from_millis(200),
+            SleepState::S4 => SimDuration::from_secs(25),
+            SleepState::S5 => SimDuration::from_secs(60),
+        }
+    }
+
+    /// Sequences the rails for a transition latched in PM1 and returns the
+    /// audit record.
+    pub fn execute(&self, from: SleepState, to: SleepState) -> Result<Transition, FirmwareError> {
+        if to == SleepState::Sz && !self.sz_provisioned {
+            return Err(FirmwareError::SzNotProvisioned);
+        }
+        // Enter: only from S0. Exit: only to S0.
+        let entering = from == SleepState::S0 && to.is_sleeping();
+        let exiting = from.is_sleeping() && to == SleepState::S0;
+        if !(entering || exiting) {
+            return Err(FirmwareError::InvalidTransition { from, to });
+        }
+        let before = rail_levels(from);
+        let after = rail_levels(to);
+        let switches = before
+            .iter()
+            .zip(after.iter())
+            .filter(|((_, b), (_, a))| b != a)
+            .map(|(&(rail, b), &(_, a))| RailSwitch {
+                rail,
+                from: b,
+                to: a,
+            })
+            .collect();
+        let latency = if entering {
+            self.enter_latency(to)
+        } else {
+            self.exit_latency(from)
+        };
+        Ok(Transition {
+            to,
+            switches,
+            latency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_firmware_rejects_sz() {
+        let mut fw = Firmware::stock();
+        fw.boot();
+        assert_eq!(
+            fw.execute(SleepState::S0, SleepState::Sz).unwrap_err(),
+            FirmwareError::SzNotProvisioned
+        );
+        // But S3 still works.
+        assert!(fw.execute(SleepState::S0, SleepState::S3).is_ok());
+    }
+
+    #[test]
+    fn sz_needs_boot_provisioning() {
+        let mut fw = Firmware::sz_capable();
+        assert!(!fw.sz_ready());
+        assert!(fw.execute(SleepState::S0, SleepState::Sz).is_err());
+        fw.boot();
+        assert!(fw.execute(SleepState::S0, SleepState::Sz).is_ok());
+    }
+
+    #[test]
+    fn sz_enter_switches_cpu_off_but_not_memory() {
+        let mut fw = Firmware::sz_capable();
+        fw.boot();
+        let t = fw.execute(SleepState::S0, SleepState::Sz).unwrap();
+        let cpu = t.switches.iter().find(|s| s.rail == Rail::Cpu).unwrap();
+        assert_eq!(cpu.to, RailLevel::Off);
+        let mem = t.switches.iter().find(|s| s.rail == Rail::Memory).unwrap();
+        assert_eq!(mem.to, RailLevel::ActiveIdle);
+    }
+
+    #[test]
+    fn sz_latency_close_to_s3() {
+        let fw = Firmware::sz_capable();
+        let s3 = fw.enter_latency(SleepState::S3);
+        let sz = fw.enter_latency(SleepState::Sz);
+        // "Similar to S3 in latency": within 10%.
+        assert!(sz > s3);
+        assert!(sz.as_nanos() as f64 / (s3.as_nanos() as f64) < 1.1);
+    }
+
+    #[test]
+    fn lateral_transitions_rejected() {
+        let mut fw = Firmware::sz_capable();
+        fw.boot();
+        assert!(matches!(
+            fw.execute(SleepState::S3, SleepState::Sz),
+            Err(FirmwareError::InvalidTransition { .. })
+        ));
+        assert!(matches!(
+            fw.execute(SleepState::S0, SleepState::S0),
+            Err(FirmwareError::InvalidTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn wake_restores_all_rails() {
+        let mut fw = Firmware::sz_capable();
+        fw.boot();
+        let t = fw.execute(SleepState::Sz, SleepState::S0).unwrap();
+        for s in &t.switches {
+            assert_eq!(s.to, RailLevel::On, "{:?}", s.rail);
+        }
+        assert!(t.latency > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn deeper_states_wake_slower() {
+        let fw = Firmware::sz_capable();
+        assert!(fw.exit_latency(SleepState::S3) < fw.exit_latency(SleepState::S4));
+        assert!(fw.exit_latency(SleepState::S4) < fw.exit_latency(SleepState::S5));
+    }
+}

@@ -1,0 +1,40 @@
+//! ACPI platform power model with the paper's new zombie (Sz) sleep state.
+//!
+//! §3 of the paper specifies Sz as "similar to S3 [...] with one key
+//! difference: it keeps the memory banks of the platform active and
+//! remotely accessible even when the server is suspended". Implementing it
+//! requires separate power-supply domains for CPU and memory — that is the
+//! hardware substitution this crate simulates:
+//!
+//! - [`rail`] — per-component power rails with the extra switches and
+//!   control signaling Sz needs (§3.1 "power lines for these components
+//!   require additional switches and control signaling for Sz enter/exit").
+//! - [`regs`] — the PM1A/PM1B sleep-control registers. S3 writes the usual
+//!   `SLP_TYP|SLP_EN`; Sz uses one of the unused `SLP_TYP` encodings, as
+//!   the paper proposes.
+//! - [`device`] — suspendable devices with the Linux-style `pm_suspend`
+//!   callback; the Infiniband HCA and its PCIe root port are flagged
+//!   *keep-awake* for Sz.
+//! - [`ospm`] — the kernel's suspend entry path, mirroring the Fig. 6 call
+//!   chain from `echo zom > /sys/power/state` down to
+//!   `acpi_hw_legacy_sleep`.
+//! - [`firmware`] — boot-time Sz chipset initialisation and the rail
+//!   sequencing executed on each transition, including wake latencies.
+//! - [`spec`] — the `ZMBI` ACPI table through which Sz-capable firmware
+//!   advertises the new state (encoding, independent power domains,
+//!   latencies) to the OS, with the standard checksum discipline.
+//! - [`platform`] — ties everything into a [`platform::Platform`] whose
+//!   observable state answers the one question the rest of the stack asks:
+//!   *is this server's memory remotely accessible right now?*
+
+pub mod device;
+pub mod firmware;
+pub mod ospm;
+pub mod platform;
+pub mod rail;
+pub mod regs;
+pub mod spec;
+pub mod state;
+
+pub use platform::Platform;
+pub use state::SleepState;

@@ -1,0 +1,259 @@
+//! The OS power-management suspend path (Linux OSPM), patched for Sz.
+//!
+//! Fig. 6 of the paper lists the exact call chain from
+//! `echo zom > /sys/power/state` down to the hardware sleep trigger, with
+//! three modifications relative to the stock S3 path: the new `zom`
+//! keyword, the keep-awake device filtering inside the device suspend
+//! phase, and the new PM1 encodings written by
+//! `x86_acpi_enter_sleep_state`/`acpi_hw_legacy_sleep`. This module
+//! executes that chain step by step and records it, so the Fig. 6 trace is
+//! reproducible output rather than documentation.
+
+use core::fmt;
+
+use crate::device::{Device, SuspendAction};
+use crate::regs::Pm1Block;
+use crate::state::SleepState;
+
+/// The Fig. 6 call chain, in order. The starred entries are the ones the
+/// paper modifies (lines 1, 10 and 12 in the figure, plus `tboot_sleep`).
+pub const SUSPEND_PATH: [&str; 12] = [
+    "pm_suspend",
+    "enter_state",
+    "suspend_prepare",
+    "suspend_devices_and_enter",
+    "suspend_enter",
+    "acpi_suspend_enter",
+    "x86_acpi_suspend_lowlevel",
+    "do_suspend_lowlevel",
+    "x86_acpi_enter_sleep_state",
+    "acpi_hw_legacy_sleep",
+    "acpi_os_prepare_sleep",
+    "tboot_sleep",
+];
+
+/// The wake/resume call chain (the reverse of Fig. 6): firmware hands
+/// control back after chipset reinit and the kernel unwinds its suspend
+/// stack, resuming devices last-suspended-first.
+pub const RESUME_PATH: [&str; 6] = [
+    "acpi_hw_legacy_wake",
+    "x86_acpi_resume_lowlevel",
+    "acpi_suspend_exit",
+    "resume_devices",
+    "thaw_processes",
+    "pm_resume_end",
+];
+
+/// Errors from the suspend entry point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OspmError {
+    /// The string written to `/sys/power/state` is not a known keyword.
+    UnknownKeyword(String),
+    /// The system is not in S0 (you cannot suspend a suspended system).
+    NotRunning(SleepState),
+}
+
+impl fmt::Display for OspmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OspmError::UnknownKeyword(kw) => write!(f, "invalid /sys/power/state value {kw:?}"),
+            OspmError::NotRunning(s) => write!(f, "cannot suspend from {s}"),
+        }
+    }
+}
+
+impl std::error::Error for OspmError {}
+
+/// Everything one suspend attempt did, up to (and including) latching the
+/// PM1 registers. The firmware takes over from there.
+#[derive(Clone, Debug)]
+pub struct SuspendReport {
+    /// The state that was requested.
+    pub target: SleepState,
+    /// The kernel functions traversed, in order (compare with Fig. 6).
+    pub call_trace: Vec<&'static str>,
+    /// Per-device outcome of the (modified) `pm_suspend` calls.
+    pub device_actions: Vec<(&'static str, SuspendAction)>,
+}
+
+impl SuspendReport {
+    /// Devices that stayed awake (must be exactly the Infiniband path for
+    /// Sz, empty otherwise).
+    pub fn kept_awake(&self) -> Vec<&'static str> {
+        self.device_actions
+            .iter()
+            .filter(|(_, a)| *a == SuspendAction::KeptAwake)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+}
+
+/// The OSPM kernel component.
+#[derive(Debug)]
+pub struct Ospm {
+    devices: Vec<Device>,
+    state: SleepState,
+}
+
+impl Ospm {
+    /// Boots an OSPM instance managing the given devices, in S0.
+    pub fn new(devices: Vec<Device>) -> Self {
+        Ospm {
+            devices,
+            state: SleepState::S0,
+        }
+    }
+
+    /// The system state as OSPM believes it.
+    pub fn state(&self) -> SleepState {
+        self.state
+    }
+
+    /// Read access to the managed devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Handles a write to `/sys/power/state` — the entry point of Fig. 6.
+    ///
+    /// Returns the suspend report and the latched PM1 block; the caller
+    /// (the platform) hands the PM1 request to the firmware.
+    pub fn write_sys_power_state(
+        &mut self,
+        keyword: &str,
+    ) -> Result<(SuspendReport, Pm1Block), OspmError> {
+        let target = SleepState::from_sysfs_keyword(keyword)
+            .ok_or_else(|| OspmError::UnknownKeyword(keyword.to_string()))?;
+        if self.state != SleepState::S0 {
+            return Err(OspmError::NotRunning(self.state));
+        }
+
+        let mut call_trace = Vec::with_capacity(SUSPEND_PATH.len());
+        let mut device_actions = Vec::new();
+        let mut pm1 = Pm1Block::default();
+
+        for step in SUSPEND_PATH {
+            call_trace.push(step);
+            match step {
+                // The device phase: every driver's (modified) pm_suspend.
+                "suspend_devices_and_enter" => {
+                    for dev in &mut self.devices {
+                        let action = dev.pm_suspend(target);
+                        device_actions.push((dev.name(), action));
+                    }
+                }
+                // The register phase: program SLP_TYP/SLP_EN (with the new
+                // encoding when the target is Sz).
+                "x86_acpi_enter_sleep_state" => {
+                    pm1.request(target);
+                }
+                _ => {}
+            }
+        }
+
+        self.state = target;
+        Ok((
+            SuspendReport {
+                target,
+                call_trace,
+                device_actions,
+            },
+            pm1,
+        ))
+    }
+
+    /// Resume: firmware reinitialised the chipset and passed control back;
+    /// OSPM resumes every device.
+    pub fn resume(&mut self) {
+        self.resume_traced();
+    }
+
+    /// Resume with the traversed call chain recorded (the reverse of the
+    /// Fig. 6 trace). Devices resume in reverse suspension order.
+    pub fn resume_traced(&mut self) -> Vec<&'static str> {
+        let mut call_trace = Vec::with_capacity(RESUME_PATH.len());
+        for step in RESUME_PATH {
+            call_trace.push(step);
+            if step == "resume_devices" {
+                for dev in self.devices.iter_mut().rev() {
+                    dev.pm_resume();
+                }
+            }
+        }
+        self.state = SleepState::S0;
+        call_trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::standard_devices;
+
+    #[test]
+    fn zom_keyword_follows_fig6_path() {
+        let mut ospm = Ospm::new(standard_devices());
+        let (report, pm1) = ospm.write_sys_power_state("zom").unwrap();
+        assert_eq!(report.target, SleepState::Sz);
+        assert_eq!(report.call_trace, SUSPEND_PATH);
+        assert_eq!(pm1.pending(), Some(SleepState::Sz));
+        assert_eq!(ospm.state(), SleepState::Sz);
+    }
+
+    #[test]
+    fn sz_keeps_only_the_ib_path_awake() {
+        let mut ospm = Ospm::new(standard_devices());
+        let (report, _) = ospm.write_sys_power_state("zom").unwrap();
+        assert_eq!(report.kept_awake(), ["imc0", "mlx4_0", "pcie-rp0"]);
+    }
+
+    #[test]
+    fn s3_keeps_nothing_awake() {
+        let mut ospm = Ospm::new(standard_devices());
+        let (report, pm1) = ospm.write_sys_power_state("mem").unwrap();
+        assert_eq!(report.target, SleepState::S3);
+        assert!(report.kept_awake().is_empty());
+        assert_eq!(pm1.pending(), Some(SleepState::S3));
+    }
+
+    #[test]
+    fn bad_keyword_rejected() {
+        let mut ospm = Ospm::new(standard_devices());
+        assert_eq!(
+            ospm.write_sys_power_state("zombie").unwrap_err(),
+            OspmError::UnknownKeyword("zombie".into())
+        );
+        assert_eq!(ospm.state(), SleepState::S0);
+    }
+
+    #[test]
+    fn cannot_suspend_twice() {
+        let mut ospm = Ospm::new(standard_devices());
+        ospm.write_sys_power_state("zom").unwrap();
+        assert_eq!(
+            ospm.write_sys_power_state("mem").unwrap_err(),
+            OspmError::NotRunning(SleepState::Sz)
+        );
+    }
+
+    #[test]
+    fn resume_follows_the_reverse_path() {
+        let mut ospm = Ospm::new(standard_devices());
+        ospm.write_sys_power_state("zom").unwrap();
+        let trace = ospm.resume_traced();
+        assert_eq!(trace, RESUME_PATH);
+        assert_eq!(ospm.state(), SleepState::S0);
+    }
+
+    #[test]
+    fn resume_restores_s0_and_devices() {
+        let mut ospm = Ospm::new(standard_devices());
+        ospm.write_sys_power_state("zom").unwrap();
+        ospm.resume();
+        assert_eq!(ospm.state(), SleepState::S0);
+        assert!(ospm
+            .devices()
+            .iter()
+            .all(|d| d.pm_state() == crate::device::DevicePmState::Active));
+    }
+}

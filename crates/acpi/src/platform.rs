@@ -1,0 +1,231 @@
+//! The whole platform: OSPM + PM1 registers + firmware + rails.
+
+use core::fmt;
+
+use zombieland_simcore::SimDuration;
+
+use crate::device::standard_devices;
+use crate::firmware::{Firmware, FirmwareError, Transition};
+use crate::ospm::{Ospm, OspmError, SuspendReport};
+use crate::state::SleepState;
+
+/// Errors from full-platform transitions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlatformError {
+    /// The OS rejected the request.
+    Ospm(OspmError),
+    /// The firmware rejected the request.
+    Firmware(FirmwareError),
+    /// Wake was requested but the platform is already running.
+    AlreadyRunning,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Ospm(e) => write!(f, "ospm: {e}"),
+            PlatformError::Firmware(e) => write!(f, "firmware: {e}"),
+            PlatformError::AlreadyRunning => write!(f, "platform already in S0"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<OspmError> for PlatformError {
+    fn from(e: OspmError) -> Self {
+        PlatformError::Ospm(e)
+    }
+}
+
+impl From<FirmwareError> for PlatformError {
+    fn from(e: FirmwareError) -> Self {
+        PlatformError::Firmware(e)
+    }
+}
+
+/// Outcome of a completed suspend: OS trace + firmware audit + latency.
+#[derive(Clone, Debug)]
+pub struct SuspendOutcome {
+    /// What the kernel did (Fig. 6 trace, device actions).
+    pub report: SuspendReport,
+    /// What the firmware did (rail switches).
+    pub transition: Transition,
+    /// Total enter latency.
+    pub latency: SimDuration,
+}
+
+/// A server platform with power management.
+///
+/// # Examples
+///
+/// ```
+/// use zombieland_acpi::{Platform, SleepState};
+///
+/// let mut p = Platform::sz_capable();
+/// let outcome = p.suspend("zom").unwrap();
+/// assert_eq!(p.state(), SleepState::Sz);
+/// assert!(p.memory_remotely_accessible());
+/// assert_eq!(outcome.report.kept_awake(), ["imc0", "mlx4_0", "pcie-rp0"]);
+///
+/// p.wake().unwrap();
+/// assert_eq!(p.state(), SleepState::S0);
+/// ```
+#[derive(Debug)]
+pub struct Platform {
+    ospm: Ospm,
+    firmware: Firmware,
+    state: SleepState,
+    suspend_count: u64,
+    wake_count: u64,
+}
+
+impl Platform {
+    /// Builds and boots a platform with Sz-capable firmware and the
+    /// standard testbed device loadout.
+    pub fn sz_capable() -> Self {
+        Self::with_firmware(Firmware::sz_capable())
+    }
+
+    /// Builds and boots a stock (non-Sz) platform.
+    pub fn stock() -> Self {
+        Self::with_firmware(Firmware::stock())
+    }
+
+    /// Builds and boots a platform with specific firmware.
+    pub fn with_firmware(mut firmware: Firmware) -> Self {
+        firmware.boot();
+        Platform {
+            ospm: Ospm::new(standard_devices()),
+            firmware,
+            state: SleepState::S0,
+            suspend_count: 0,
+            wake_count: 0,
+        }
+    }
+
+    /// The current global power state.
+    pub fn state(&self) -> SleepState {
+        self.state
+    }
+
+    /// Whether one-sided RDMA can currently reach this platform's memory.
+    pub fn memory_remotely_accessible(&self) -> bool {
+        self.state.memory_remotely_accessible()
+    }
+
+    /// Number of completed suspends.
+    pub fn suspend_count(&self) -> u64 {
+        self.suspend_count
+    }
+
+    /// Number of completed wakes.
+    pub fn wake_count(&self) -> u64 {
+        self.wake_count
+    }
+
+    /// The OSPM instance (for device inspection).
+    pub fn ospm(&self) -> &Ospm {
+        &self.ospm
+    }
+
+    /// Suspends via the `/sys/power/state` keyword (`"mem"`, `"disk"`,
+    /// `"zom"`), running the kernel path and then the firmware sequencing.
+    ///
+    /// On firmware rejection (e.g. `zom` on a stock board) the OS state is
+    /// rolled back to S0, as a failed `pm_suspend` does.
+    pub fn suspend(&mut self, keyword: &str) -> Result<SuspendOutcome, PlatformError> {
+        let (report, pm1) = self.ospm.write_sys_power_state(keyword)?;
+        let target = pm1.pending().expect("OSPM always latches a request");
+        match self.firmware.execute(self.state, target) {
+            Ok(transition) => {
+                let latency = transition.latency;
+                self.state = target;
+                self.suspend_count += 1;
+                Ok(SuspendOutcome {
+                    report,
+                    transition,
+                    latency,
+                })
+            }
+            Err(e) => {
+                // Abort: resume devices, stay in S0.
+                self.ospm.resume();
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Wakes the platform (Wake-on-LAN or power button), returning the
+    /// exit latency.
+    pub fn wake(&mut self) -> Result<SimDuration, PlatformError> {
+        if self.state == SleepState::S0 {
+            return Err(PlatformError::AlreadyRunning);
+        }
+        let t = self.firmware.execute(self.state, SleepState::S0)?;
+        self.ospm.resume();
+        self.state = SleepState::S0;
+        self.wake_count += 1;
+        Ok(t.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sz_cycle_on_capable_board() {
+        let mut p = Platform::sz_capable();
+        let out = p.suspend("zom").unwrap();
+        assert_eq!(p.state(), SleepState::Sz);
+        assert!(p.memory_remotely_accessible());
+        assert!(out.latency > SimDuration::from_secs(1));
+        let wake = p.wake().unwrap();
+        assert_eq!(p.state(), SleepState::S0);
+        assert!(wake > SimDuration::from_secs(1));
+        assert_eq!(p.suspend_count(), 1);
+        assert_eq!(p.wake_count(), 1);
+    }
+
+    #[test]
+    fn stock_board_cannot_zombie_but_recovers() {
+        let mut p = Platform::stock();
+        let err = p.suspend("zom").unwrap_err();
+        assert_eq!(
+            err,
+            PlatformError::Firmware(FirmwareError::SzNotProvisioned)
+        );
+        // Failed suspend leaves the platform running.
+        assert_eq!(p.state(), SleepState::S0);
+        // S3 still works.
+        p.suspend("mem").unwrap();
+        assert_eq!(p.state(), SleepState::S3);
+        assert!(!p.memory_remotely_accessible());
+    }
+
+    #[test]
+    fn s3_memory_is_unreachable() {
+        let mut p = Platform::sz_capable();
+        p.suspend("mem").unwrap();
+        assert!(!p.memory_remotely_accessible());
+    }
+
+    #[test]
+    fn wake_from_s0_rejected() {
+        let mut p = Platform::sz_capable();
+        assert_eq!(p.wake(), Err(PlatformError::AlreadyRunning));
+    }
+
+    #[test]
+    fn repeated_cycles() {
+        let mut p = Platform::sz_capable();
+        for _ in 0..5 {
+            p.suspend("zom").unwrap();
+            p.wake().unwrap();
+        }
+        assert_eq!(p.suspend_count(), 5);
+        assert_eq!(p.wake_count(), 5);
+        assert_eq!(p.state(), SleepState::S0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Power-supply domains (rails) and their per-state configuration.
+//!
+//! The paper's whole hardware ask is here: "Sz only requires completely
+//! independent power domains for CPU and memory" (§1). This module models
+//! each board component's rail and the level it sits at in every sleep
+//! state. The distinguishing Sz row keeps the memory in **active idle**
+//! ("the memory behavior of Sz mimics that of Si0x state specifications,
+//! where the memory is kept in active idle, unlike the low-power self
+//! refresh mode of S3") and keeps the NIC-to-memory path powered.
+
+use core::fmt;
+
+use crate::state::SleepState;
+
+/// A power-supply domain on the board.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Rail {
+    /// CPU package(s) and VRMs.
+    Cpu,
+    /// DRAM DIMMs and the memory controller.
+    Memory,
+    /// The Infiniband HCA.
+    Nic,
+    /// The PCIe segment between the HCA and memory (root complex path).
+    PciePath,
+    /// SATA/NVMe storage.
+    Storage,
+    /// Chipset/baseboard management (always minimally powered for wake).
+    Chipset,
+}
+
+impl Rail {
+    /// Every modeled rail.
+    pub const ALL: [Rail; 6] = [
+        Rail::Cpu,
+        Rail::Memory,
+        Rail::Nic,
+        Rail::PciePath,
+        Rail::Storage,
+        Rail::Chipset,
+    ];
+}
+
+impl fmt::Display for Rail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rail::Cpu => "cpu",
+            Rail::Memory => "memory",
+            Rail::Nic => "nic",
+            Rail::PciePath => "pcie-path",
+            Rail::Storage => "storage",
+            Rail::Chipset => "chipset",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The level a rail sits at.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord)]
+pub enum RailLevel {
+    /// Unpowered.
+    Off,
+    /// Minimal retention/wake power (e.g. DRAM self-refresh, WoL standby).
+    Standby,
+    /// Powered and ready to serve, but not executing (memory active idle,
+    /// NIC serving one-sided ops).
+    ActiveIdle,
+    /// Fully active.
+    On,
+}
+
+/// The rail configuration a sleep state requires.
+pub fn rail_levels(state: SleepState) -> [(Rail, RailLevel); 6] {
+    use RailLevel::*;
+    match state {
+        SleepState::S0 => [
+            (Rail::Cpu, On),
+            (Rail::Memory, On),
+            (Rail::Nic, On),
+            (Rail::PciePath, On),
+            (Rail::Storage, On),
+            (Rail::Chipset, On),
+        ],
+        // S3: RAM self-refresh, NIC in WoL standby, PCIe mostly off.
+        SleepState::S3 => [
+            (Rail::Cpu, Off),
+            (Rail::Memory, Standby),
+            (Rail::Nic, Standby),
+            (Rail::PciePath, Standby),
+            (Rail::Storage, Off),
+            (Rail::Chipset, Standby),
+        ],
+        // S4/S5: everything off except the wake logic.
+        SleepState::S4 | SleepState::S5 => [
+            (Rail::Cpu, Off),
+            (Rail::Memory, Off),
+            (Rail::Nic, Standby),
+            (Rail::PciePath, Off),
+            (Rail::Storage, Off),
+            (Rail::Chipset, Standby),
+        ],
+        // Sz: like S3 but memory in ACTIVE IDLE and the NIC→memory path
+        // kept alive to serve one-sided RDMA.
+        SleepState::Sz => [
+            (Rail::Cpu, Off),
+            (Rail::Memory, ActiveIdle),
+            (Rail::Nic, ActiveIdle),
+            (Rail::PciePath, ActiveIdle),
+            (Rail::Storage, Off),
+            (Rail::Chipset, Standby),
+        ],
+    }
+}
+
+/// Looks up the level of one rail in one state.
+pub fn level_of(state: SleepState, rail: Rail) -> RailLevel {
+    rail_levels(state)
+        .iter()
+        .find(|(r, _)| *r == rail)
+        .map(|(_, l)| *l)
+        .expect("rail_levels covers every rail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s0_everything_on() {
+        assert!(rail_levels(SleepState::S0)
+            .iter()
+            .all(|&(_, l)| l == RailLevel::On));
+    }
+
+    #[test]
+    fn sz_differs_from_s3_only_on_the_memory_path() {
+        // The paper's claim: Sz is S3 plus an alive memory/NIC/PCIe path.
+        for rail in Rail::ALL {
+            let s3 = level_of(SleepState::S3, rail);
+            let sz = level_of(SleepState::Sz, rail);
+            match rail {
+                Rail::Memory | Rail::Nic | Rail::PciePath => {
+                    assert_eq!(sz, RailLevel::ActiveIdle, "{rail}");
+                    assert!(sz > s3, "{rail} must be more awake in Sz");
+                }
+                _ => assert_eq!(s3, sz, "{rail} must match S3"),
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_is_off_in_every_sleeping_state() {
+        for s in [
+            SleepState::S3,
+            SleepState::S4,
+            SleepState::S5,
+            SleepState::Sz,
+        ] {
+            assert_eq!(level_of(s, Rail::Cpu), RailLevel::Off, "{s}");
+        }
+    }
+
+    #[test]
+    fn memory_retention_matches_state_semantics() {
+        // RAM contents survive iff the memory rail is at least in standby.
+        for s in SleepState::ALL {
+            let retained = level_of(s, Rail::Memory) >= RailLevel::Standby;
+            assert_eq!(retained, s.preserves_ram(), "{s}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! PM1 sleep-control registers.
+//!
+//! On real hardware the OS requests a sleep state by programming the
+//! `SLP_TYP` field of the PM1A/PM1B control registers and then setting
+//! `SLP_EN`; the platform latches the write and sequences the power rails.
+//! §3.1: "Since this registers have unused values, we consider new ones for
+//! triggering to zombie."
+
+use crate::state::SleepState;
+
+/// `SLP_TYP` encodings. Values for S0–S5 follow a typical x86 FADT; `Sz`
+/// takes one of the reserved encodings exactly as the paper proposes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum SlpTyp {
+    /// Working.
+    S0 = 0b000,
+    /// Suspend-to-RAM.
+    S3 = 0b101,
+    /// Suspend-to-disk.
+    S4 = 0b110,
+    /// Soft off.
+    S5 = 0b111,
+    /// Zombie — a previously unused encoding.
+    Sz = 0b100,
+}
+
+impl SlpTyp {
+    /// The encoding for a sleep state.
+    pub fn for_state(state: SleepState) -> SlpTyp {
+        match state {
+            SleepState::S0 => SlpTyp::S0,
+            SleepState::S3 => SlpTyp::S3,
+            SleepState::S4 => SlpTyp::S4,
+            SleepState::S5 => SlpTyp::S5,
+            SleepState::Sz => SlpTyp::Sz,
+        }
+    }
+
+    /// Decodes back to the sleep state.
+    pub fn state(self) -> SleepState {
+        match self {
+            SlpTyp::S0 => SleepState::S0,
+            SlpTyp::S3 => SleepState::S3,
+            SlpTyp::S4 => SleepState::S4,
+            SlpTyp::S5 => SleepState::S5,
+            SlpTyp::Sz => SleepState::Sz,
+        }
+    }
+}
+
+/// One PM1 control register (the model keeps only the sleep fields).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Pm1Control {
+    slp_typ: Option<SlpTyp>,
+    slp_en: bool,
+}
+
+impl Pm1Control {
+    /// Programs the sleep type without arming it.
+    pub fn write_slp_typ(&mut self, typ: SlpTyp) {
+        self.slp_typ = Some(typ);
+    }
+
+    /// Sets `SLP_EN`, arming the transition. Returns the state the
+    /// platform must now enter, if a type was programmed.
+    pub fn set_slp_en(&mut self) -> Option<SleepState> {
+        self.slp_en = true;
+        self.slp_typ.map(SlpTyp::state)
+    }
+
+    /// Whether the register is armed.
+    pub fn armed(&self) -> bool {
+        self.slp_en && self.slp_typ.is_some()
+    }
+
+    /// Hardware clears the enable bit once the transition completes.
+    pub fn ack(&mut self) {
+        self.slp_en = false;
+    }
+
+    /// The programmed sleep type.
+    pub fn slp_typ(&self) -> Option<SlpTyp> {
+        self.slp_typ
+    }
+}
+
+/// The PM1A/PM1B register pair. Real chipsets require the same value in
+/// both; the model enforces it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Pm1Block {
+    /// PM1A control.
+    pub a: Pm1Control,
+    /// PM1B control.
+    pub b: Pm1Control,
+}
+
+impl Pm1Block {
+    /// Programs both registers and arms the transition, as
+    /// `x86_acpi_enter_sleep_state` does. Returns the requested state.
+    pub fn request(&mut self, state: SleepState) -> SleepState {
+        let typ = SlpTyp::for_state(state);
+        self.a.write_slp_typ(typ);
+        self.b.write_slp_typ(typ);
+        self.a.set_slp_en();
+        self.b.set_slp_en().expect("type was just programmed")
+    }
+
+    /// Whether both registers agree and are armed.
+    pub fn pending(&self) -> Option<SleepState> {
+        if self.a.armed() && self.b.armed() && self.a.slp_typ() == self.b.slp_typ() {
+            self.a.slp_typ().map(SlpTyp::state)
+        } else {
+            None
+        }
+    }
+
+    /// Platform acknowledgement after the rails have switched.
+    pub fn ack(&mut self) {
+        self.a.ack();
+        self.b.ack();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slp_typ_round_trips() {
+        for s in SleepState::ALL {
+            assert_eq!(SlpTyp::for_state(s).state(), s);
+        }
+    }
+
+    #[test]
+    fn sz_uses_a_distinct_encoding() {
+        let codes: Vec<u8> = SleepState::ALL
+            .iter()
+            .map(|&s| SlpTyp::for_state(s) as u8)
+            .collect();
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(codes.len(), dedup.len(), "encodings must be unique");
+    }
+
+    #[test]
+    fn request_arms_both_registers() {
+        let mut pm1 = Pm1Block::default();
+        assert_eq!(pm1.pending(), None);
+        let s = pm1.request(SleepState::Sz);
+        assert_eq!(s, SleepState::Sz);
+        assert_eq!(pm1.pending(), Some(SleepState::Sz));
+        pm1.ack();
+        assert_eq!(pm1.pending(), None);
+        // The type stays latched after ack; only the enable bit clears.
+        assert_eq!(pm1.a.slp_typ(), Some(SlpTyp::Sz));
+    }
+
+    #[test]
+    fn slp_en_without_typ_is_inert() {
+        let mut r = Pm1Control::default();
+        assert_eq!(r.set_slp_en(), None);
+        assert!(!r.armed());
+    }
+}

@@ -1,0 +1,220 @@
+//! The Sz ACPI specification extension, as a firmware table.
+//!
+//! §3 of the paper: implementing Sz "requires modifications across the
+//! stack from hardware and firmware to the OS, **as well as to the ACPI
+//! specifications**". This module makes that concrete: an ACPI-style
+//! table (signature `ZMBI`) through which Sz-capable firmware advertises
+//! the new state to the OS — which `SLP_TYP` encoding triggers it, which
+//! power domains are independently switchable, and the enter/exit
+//! latencies. Like every ACPI table it carries a length, revision and a
+//! bytewise checksum the OS validates before trusting it.
+
+use crate::rail::Rail;
+use crate::regs::SlpTyp;
+
+/// The table signature, "ZMBI".
+pub const SIGNATURE: [u8; 4] = *b"ZMBI";
+/// Serialized table length.
+pub const TABLE_LEN: usize = 48;
+/// Current revision of the extension.
+pub const REVISION: u8 = 1;
+
+/// The Sz capability table firmware publishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SzTable {
+    /// Table revision.
+    pub revision: u8,
+    /// OEM identifier (padded ASCII).
+    pub oem_id: [u8; 6],
+    /// Whether the board actually implements Sz.
+    pub sz_supported: bool,
+    /// The `SLP_TYP` encoding that triggers Sz.
+    pub slp_typ_sz: u8,
+    /// Bitmap of rails with independent power domains
+    /// (bit `i` = `Rail::ALL[i]`).
+    pub independent_rails: u8,
+    /// Sz enter latency in milliseconds.
+    pub enter_latency_ms: u32,
+    /// Sz exit latency in milliseconds.
+    pub exit_latency_ms: u32,
+}
+
+/// Errors when parsing a table image.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TableError {
+    /// Not a ZMBI table.
+    BadSignature,
+    /// Declared length disagrees with the image.
+    BadLength,
+    /// The bytes don't sum to zero.
+    BadChecksum,
+    /// A revision this OS doesn't know.
+    UnsupportedRevision(u8),
+}
+
+impl core::fmt::Display for TableError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TableError::BadSignature => write!(f, "not a ZMBI table"),
+            TableError::BadLength => write!(f, "length mismatch"),
+            TableError::BadChecksum => write!(f, "checksum invalid"),
+            TableError::UnsupportedRevision(r) => write!(f, "unknown revision {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl SzTable {
+    /// The table an Sz-capable board publishes: CPU and memory (and the
+    /// NIC path) on independent domains, S3-class latencies.
+    pub fn sz_capable() -> Self {
+        SzTable {
+            revision: REVISION,
+            oem_id: *b"ZMBLND",
+            sz_supported: true,
+            slp_typ_sz: SlpTyp::Sz as u8,
+            independent_rails: rail_bit(Rail::Cpu)
+                | rail_bit(Rail::Memory)
+                | rail_bit(Rail::Nic)
+                | rail_bit(Rail::PciePath),
+            enter_latency_ms: 2_950,
+            exit_latency_ms: 3_800,
+        }
+    }
+
+    /// The table a stock board publishes (present but `sz_supported =
+    /// false`, so OSes can distinguish "old firmware" from "no Sz").
+    pub fn stock() -> Self {
+        SzTable {
+            revision: REVISION,
+            oem_id: *b"LEGACY",
+            sz_supported: false,
+            slp_typ_sz: 0,
+            independent_rails: 0,
+            enter_latency_ms: 0,
+            exit_latency_ms: 0,
+        }
+    }
+
+    /// Whether `rail` sits on an independently switchable power domain.
+    pub fn rail_independent(&self, rail: Rail) -> bool {
+        self.independent_rails & rail_bit(rail) != 0
+    }
+
+    /// Serializes to the fixed-size table image, computing the checksum
+    /// so the whole image sums to zero (mod 256) — the ACPI convention.
+    pub fn to_bytes(&self) -> [u8; TABLE_LEN] {
+        let mut b = [0u8; TABLE_LEN];
+        b[0..4].copy_from_slice(&SIGNATURE);
+        b[4..8].copy_from_slice(&(TABLE_LEN as u32).to_le_bytes());
+        b[8] = self.revision;
+        // b[9] is the checksum, patched last.
+        b[10..16].copy_from_slice(&self.oem_id);
+        b[16] = self.sz_supported as u8;
+        b[17] = self.slp_typ_sz;
+        b[18] = self.independent_rails;
+        b[20..24].copy_from_slice(&self.enter_latency_ms.to_le_bytes());
+        b[24..28].copy_from_slice(&self.exit_latency_ms.to_le_bytes());
+        let sum: u8 = b.iter().fold(0u8, |a, &x| a.wrapping_add(x));
+        b[9] = sum.wrapping_neg();
+        b
+    }
+
+    /// Parses and validates a table image.
+    pub fn from_bytes(image: &[u8]) -> Result<SzTable, TableError> {
+        if image.len() < TABLE_LEN || image[0..4] != SIGNATURE {
+            return Err(TableError::BadSignature);
+        }
+        let len = u32::from_le_bytes(image[4..8].try_into().expect("4 bytes")) as usize;
+        if len != TABLE_LEN || image.len() != TABLE_LEN {
+            return Err(TableError::BadLength);
+        }
+        let sum: u8 = image.iter().fold(0u8, |a, &x| a.wrapping_add(x));
+        if sum != 0 {
+            return Err(TableError::BadChecksum);
+        }
+        let revision = image[8];
+        if revision != REVISION {
+            return Err(TableError::UnsupportedRevision(revision));
+        }
+        Ok(SzTable {
+            revision,
+            oem_id: image[10..16].try_into().expect("6 bytes"),
+            sz_supported: image[16] != 0,
+            slp_typ_sz: image[17],
+            independent_rails: image[18],
+            enter_latency_ms: u32::from_le_bytes(image[20..24].try_into().expect("4 bytes")),
+            exit_latency_ms: u32::from_le_bytes(image[24..28].try_into().expect("4 bytes")),
+        })
+    }
+}
+
+fn rail_bit(rail: Rail) -> u8 {
+    let idx = Rail::ALL
+        .iter()
+        .position(|&r| r == rail)
+        .expect("ALL covers every rail");
+    1u8 << idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for table in [SzTable::sz_capable(), SzTable::stock()] {
+            let image = table.to_bytes();
+            assert_eq!(SzTable::from_bytes(&image), Ok(table));
+        }
+    }
+
+    #[test]
+    fn checksum_zeroes_the_image() {
+        let image = SzTable::sz_capable().to_bytes();
+        let sum: u8 = image.iter().fold(0u8, |a, &x| a.wrapping_add(x));
+        assert_eq!(sum, 0);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut image = SzTable::sz_capable().to_bytes();
+        image[17] ^= 0xFF; // Flip the SLP_TYP byte.
+        assert_eq!(SzTable::from_bytes(&image), Err(TableError::BadChecksum));
+
+        let mut bad_sig = SzTable::sz_capable().to_bytes();
+        bad_sig[0] = b'X';
+        assert_eq!(SzTable::from_bytes(&bad_sig), Err(TableError::BadSignature));
+
+        assert_eq!(
+            SzTable::from_bytes(&[0u8; 8]),
+            Err(TableError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn capability_semantics() {
+        let t = SzTable::sz_capable();
+        assert!(t.sz_supported);
+        assert!(t.rail_independent(Rail::Cpu));
+        assert!(t.rail_independent(Rail::Memory));
+        assert!(!t.rail_independent(Rail::Storage));
+        assert_eq!(t.slp_typ_sz, SlpTyp::Sz as u8);
+
+        let s = SzTable::stock();
+        assert!(!s.sz_supported);
+        assert!(!s.rail_independent(Rail::Memory));
+    }
+
+    #[test]
+    fn unknown_revision_rejected() {
+        let mut t = SzTable::sz_capable();
+        t.revision = 9;
+        let image = t.to_bytes();
+        assert_eq!(
+            SzTable::from_bytes(&image),
+            Err(TableError::UnsupportedRevision(9))
+        );
+    }
+}

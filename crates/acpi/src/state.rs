@@ -1,0 +1,133 @@
+//! ACPI global sleep states, extended with Sz.
+
+use core::fmt;
+
+/// A global (system-level) ACPI power state.
+///
+/// S0 is fully on; S5 is soft-off. The paper adds **Sz**, the zombie state:
+/// CPU-dead, memory-alive. S1/S2 are omitted (like on most real server
+/// platforms, which implement only S0/S3/S4/S5).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SleepState {
+    /// Working: CPU executes instructions.
+    S0,
+    /// Suspend-to-RAM: memory in self-refresh, NIC in Wake-on-LAN only.
+    S3,
+    /// Suspend-to-disk (hibernate).
+    S4,
+    /// Soft off; no system state retained.
+    S5,
+    /// Zombie: everything off like S3, except the memory stays in active
+    /// idle (not self-refresh) and the NIC-to-memory path keeps serving
+    /// one-sided RDMA.
+    Sz,
+}
+
+impl SleepState {
+    /// All modeled states, most-active first.
+    pub const ALL: [SleepState; 5] = [
+        SleepState::S0,
+        SleepState::S3,
+        SleepState::S4,
+        SleepState::S5,
+        SleepState::Sz,
+    ];
+
+    /// Whether the CPU runs in this state.
+    pub fn cpu_alive(self) -> bool {
+        matches!(self, SleepState::S0)
+    }
+
+    /// Whether the platform's memory can be remotely read/written via
+    /// one-sided RDMA in this state. This is the defining property of Sz.
+    pub fn memory_remotely_accessible(self) -> bool {
+        matches!(self, SleepState::S0 | SleepState::Sz)
+    }
+
+    /// Whether RAM content survives this state (needed to resume without
+    /// rebooting, and for Sz to serve meaningful data).
+    pub fn preserves_ram(self) -> bool {
+        matches!(self, SleepState::S0 | SleepState::S3 | SleepState::Sz)
+    }
+
+    /// Whether this is a sleeping (non-working) state.
+    pub fn is_sleeping(self) -> bool {
+        !matches!(self, SleepState::S0)
+    }
+
+    /// The `/sys/power/state` keyword that requests this state ("zom" is
+    /// the keyword the paper's kernel patch introduces; S0/S5 are not
+    /// reachable through that file).
+    pub fn sysfs_keyword(self) -> Option<&'static str> {
+        match self {
+            SleepState::S3 => Some("mem"),
+            SleepState::S4 => Some("disk"),
+            SleepState::Sz => Some("zom"),
+            SleepState::S0 | SleepState::S5 => None,
+        }
+    }
+
+    /// Parses a `/sys/power/state` keyword.
+    pub fn from_sysfs_keyword(kw: &str) -> Option<SleepState> {
+        match kw {
+            "mem" => Some(SleepState::S3),
+            "disk" => Some(SleepState::S4),
+            "zom" => Some(SleepState::Sz),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SleepState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SleepState::S0 => "S0",
+            SleepState::S3 => "S3",
+            SleepState::S4 => "S4",
+            SleepState::S5 => "S5",
+            SleepState::Sz => "Sz",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sz_is_cpu_dead_memory_alive() {
+        assert!(!SleepState::Sz.cpu_alive());
+        assert!(SleepState::Sz.memory_remotely_accessible());
+        assert!(SleepState::Sz.preserves_ram());
+        assert!(SleepState::Sz.is_sleeping());
+    }
+
+    #[test]
+    fn only_s0_and_sz_serve_memory() {
+        for s in SleepState::ALL {
+            assert_eq!(
+                s.memory_remotely_accessible(),
+                matches!(s, SleepState::S0 | SleepState::Sz),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn s3_preserves_ram_s4_s5_do_not() {
+        assert!(SleepState::S3.preserves_ram());
+        assert!(!SleepState::S4.preserves_ram());
+        assert!(!SleepState::S5.preserves_ram());
+    }
+
+    #[test]
+    fn sysfs_keywords_round_trip() {
+        for s in [SleepState::S3, SleepState::S4, SleepState::Sz] {
+            let kw = s.sysfs_keyword().unwrap();
+            assert_eq!(SleepState::from_sysfs_keyword(kw), Some(s));
+        }
+        assert_eq!(SleepState::from_sysfs_keyword("standby"), None);
+        assert!(SleepState::S0.sysfs_keyword().is_none());
+    }
+}

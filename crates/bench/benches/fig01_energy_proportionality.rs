@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig01 output. Run:
+//! `cargo bench -p zombieland-bench --bench fig01_energy_proportionality`.
+
+fn main() {
+    zombieland_bench::experiments::print_figure1();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig02 output. Run:
+//! `cargo bench -p zombieland-bench --bench fig02_aws_ratio`.
+
+fn main() {
+    zombieland_bench::experiments::print_figure2();
+}

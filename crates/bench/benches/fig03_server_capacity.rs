@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig03 output. Run:
+//! `cargo bench -p zombieland-bench --bench fig03_server_capacity`.
+
+fn main() {
+    zombieland_bench::experiments::print_figure3();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig04 output. Run:
+//! `cargo bench -p zombieland-bench --bench fig04_rack_energy`.
+
+fn main() {
+    zombieland_bench::experiments::print_figure4();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig06 output. Run:
+//! `cargo bench -p zombieland-bench --bench fig06_sz_transition`.
+
+fn main() {
+    zombieland_bench::experiments::print_figure6();
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 8: FIFO vs Clock vs Mixed over the micro-benchmark
+//! (execution time, page faults, policy cycles per eviction).
+//!
+//! Run: `cargo bench -p zombieland-bench --bench fig08_replacement_policies`
+//! (`ZL_SCALE=1.0` for the paper's 7 GiB / 6 GiB geometry).
+
+use zombieland_bench::experiments;
+
+fn main() {
+    let scale = experiments::scale_from_env();
+    println!("scale = {scale} (1.0 = paper's 7 GiB VM, 6 GiB WSS)");
+    experiments::print_figure8(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig09 output. Run:
+//! `cargo bench -p zombieland-bench --bench fig09_migration`.
+
+fn main() {
+    zombieland_bench::experiments::print_figure9();
+}

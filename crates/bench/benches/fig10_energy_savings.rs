@@ -1,0 +1,22 @@
+//! Regenerates Fig. 10: datacenter energy savings of Neat, Oasis and
+//! ZombieStack on original and modified (memory-doubled) Google-style
+//! traces, for the HP and Dell machine profiles.
+//!
+//! Run: `cargo bench -p zombieland-bench --bench fig10_energy_savings`
+//! (`ZL_DC_SERVERS=12583 ZL_DC_DAYS=29` for the paper's scale).
+
+use zombieland_bench::experiments;
+use zombieland_energy::MachineProfile;
+
+fn main() {
+    let (servers, days) = experiments::dc_scale_from_env();
+    println!("datacenter: {servers} servers x {days} days (paper: 12583 x 29)");
+    let trace = experiments::fig10_trace(servers, days, 11);
+    let modified = trace.modified();
+    let mut groups = Vec::new();
+    for profile in [MachineProfile::hp(), MachineProfile::dell()] {
+        groups.push(experiments::figure10_group(&trace, profile.clone(), false));
+        groups.push(experiments::figure10_group(&modified, profile, true));
+    }
+    experiments::print_figure10(&groups);
+}

@@ -1,0 +1,182 @@
+//! Criterion micro-benchmarks of the core building blocks: RDMA verbs,
+//! controller allocation, replacement-policy selection, paging-engine
+//! throughput and trace generation.
+//!
+//! Run: `cargo bench -p zombieland-bench --bench micro_criterion`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use zombieland_core::manager::PoolKind;
+use zombieland_core::{Rack, RackConfig};
+use zombieland_hypervisor::engine::{self, Backing, EngineConfig};
+use zombieland_hypervisor::policy::FaultList;
+use zombieland_hypervisor::Policy;
+use zombieland_mem::{FrameId, Gfn, GuestPageTable};
+use zombieland_rdma::Fabric;
+use zombieland_simcore::{Bytes, Pages};
+use zombieland_trace::{ClusterTrace, TraceConfig};
+use zombieland_workloads::{DataCaching, MicroBench, Workload};
+
+fn bench_rdma_verbs(c: &mut Criterion) {
+    let mut fabric = Fabric::new();
+    let user = fabric.attach();
+    let server = fabric.attach();
+    let mr = fabric.register(server, Bytes::mib(64)).unwrap();
+    c.bench_function("rdma_read_timed_4k", |b| {
+        b.iter(|| {
+            black_box(
+                fabric
+                    .read_timed(user, mr, Bytes::ZERO, Bytes::kib(4))
+                    .unwrap(),
+            )
+        })
+    });
+    let payload = vec![7u8; 4096];
+    c.bench_function("rdma_write_with_data_4k", |b| {
+        b.iter(|| black_box(fabric.write(user, mr, Bytes::ZERO, &payload).unwrap()))
+    });
+}
+
+fn bench_controller(c: &mut Criterion) {
+    c.bench_function("rack_alloc_release_1gib", |b| {
+        let mut rack = Rack::new(RackConfig::default());
+        let ids = rack.server_ids();
+        rack.goto_zombie(ids[1]).unwrap();
+        let user = ids[0];
+        b.iter(|| {
+            let alloc = rack.alloc_ext(user, Bytes::gib(1)).unwrap();
+            rack.release(user, &alloc.buffers).unwrap();
+        })
+    });
+    c.bench_function("rack_page_out_in", |b| {
+        let mut rack = Rack::new(RackConfig::default());
+        let ids = rack.server_ids();
+        rack.goto_zombie(ids[1]).unwrap();
+        let user = ids[0];
+        rack.alloc_ext(user, Bytes::gib(1)).unwrap();
+        b.iter(|| {
+            let (h, _) = rack.place_page(user, PoolKind::Ext).unwrap();
+            rack.fetch_page(user, h, true).unwrap();
+        })
+    });
+}
+
+fn bench_policies(c: &mut Criterion) {
+    for policy in [Policy::Fifo, Policy::Clock, Policy::MIXED_DEFAULT] {
+        c.bench_function(&format!("select_victim_{}", policy.name()), |b| {
+            let n = 4_096u64;
+            let mut gpt = GuestPageTable::new(Pages::new(n));
+            let mut list = FaultList::new(0);
+            for i in 0..n {
+                gpt.map_local(Gfn::new(i), FrameId::new(i)).unwrap();
+                list.push(Gfn::new(i));
+            }
+            b.iter(|| {
+                let (victim, _) = list.select_victim(policy, &mut gpt).unwrap();
+                // Re-insert so the list never drains.
+                gpt.touch(victim, false).unwrap();
+                list.push(victim);
+            })
+        });
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine_100k_accesses_zipf", |b| {
+        b.iter(|| {
+            let mut rack = Rack::new(RackConfig::default());
+            let ids = rack.server_ids();
+            rack.goto_zombie(ids[1]).unwrap();
+            let user = ids[0];
+            rack.alloc_ext(user, Bytes::mib(64)).unwrap();
+            let mut w = DataCaching::new(Pages::new(16_384), 3);
+            let cfg = EngineConfig::ram_ext(Bytes::mib(80), Bytes::mib(32));
+            black_box(
+                engine::run_ops(
+                    &mut w,
+                    &cfg,
+                    Backing::Rack {
+                        rack: &mut rack,
+                        user,
+                        pool: PoolKind::Ext,
+                    },
+                    100_000,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    c.bench_function("workload_next_access", |b| {
+        let mut w = MicroBench::new(Pages::new(65_536), 9);
+        b.iter(|| black_box(w.next_access()))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    use zombieland_core::codec::{decode, encode};
+    use zombieland_core::protocol::RackOp;
+    use zombieland_core::ServerId;
+    use zombieland_mem::buffer::BufferId;
+
+    let op = RackOp::UsReclaim {
+        user: ServerId::new(3),
+        buff_ids: (0..32).map(BufferId::new).collect(),
+    };
+    c.bench_function("codec_encode_us_reclaim_32", |b| {
+        b.iter(|| black_box(encode(black_box(&op))))
+    });
+    let bytes = encode(&op);
+    c.bench_function("codec_decode_us_reclaim_32", |b| {
+        b.iter(|| black_box(decode(black_box(&bytes)).unwrap()))
+    });
+}
+
+fn bench_datastructures(c: &mut Criterion) {
+    use zombieland_simcore::stats::LatencyHistogram;
+    use zombieland_simcore::SimDuration;
+
+    c.bench_function("gpt_touch", |b| {
+        let mut gpt = GuestPageTable::new(Pages::new(4_096));
+        for i in 0..4_096 {
+            gpt.map_local(Gfn::new(i), FrameId::new(i)).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4_096;
+            gpt.touch(Gfn::new(i), i.is_multiple_of(2)).unwrap();
+        })
+    });
+    c.bench_function("histogram_record", |b| {
+        let mut h = LatencyHistogram::new();
+        let d = SimDuration::from_micros(3);
+        b.iter(|| h.record(black_box(d)))
+    });
+}
+
+fn bench_trace(c: &mut Criterion) {
+    c.bench_function("trace_generate_20_servers_1d", |b| {
+        b.iter(|| {
+            let cfg = TraceConfig {
+                servers: 20,
+                duration: zombieland_simcore::SimDuration::from_days(1),
+                seed: 5,
+                mem_cpu_ratio: 1.0,
+                avg_utilization: 0.3,
+            };
+            black_box(ClusterTrace::generate(cfg))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rdma_verbs,
+    bench_controller,
+    bench_policies,
+    bench_engine,
+    bench_codec,
+    bench_datastructures,
+    bench_trace
+);
+criterion_main!(benches);

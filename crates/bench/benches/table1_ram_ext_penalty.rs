@@ -1,0 +1,14 @@
+//! Regenerates Table 1: RAM Ext performance penalty vs % local memory
+//! for the four evaluation workloads.
+//!
+//! Run: `cargo bench -p zombieland-bench --bench table1_ram_ext_penalty`
+//! (`ZL_SCALE=1.0` for the paper's geometry).
+
+use zombieland_bench::experiments;
+
+fn main() {
+    let scale = experiments::scale_from_env();
+    println!("scale = {scale} (1.0 = paper's 7 GiB VM, 6 GiB WSS)");
+    let rows = experiments::table1(scale);
+    experiments::print_table1(&rows);
+}

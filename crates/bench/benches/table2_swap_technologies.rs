@@ -1,0 +1,16 @@
+//! Regenerates Table 2: RAM Ext vs Explicit SD vs local SSD/HDD swap,
+//! one sub-table per workload.
+//!
+//! Run: `cargo bench -p zombieland-bench --bench table2_swap_technologies`
+//! (`ZL_SCALE=1.0` for the paper's geometry).
+
+use zombieland_bench::experiments;
+
+fn main() {
+    let scale = experiments::scale_from_env();
+    println!("scale = {scale} (1.0 = paper's 7 GiB VM, 6 GiB WSS)");
+    for workload in experiments::WORKLOADS {
+        let rows = experiments::table2(workload, scale);
+        experiments::print_table2(workload, &rows);
+    }
+}

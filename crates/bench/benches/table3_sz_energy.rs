@@ -1,0 +1,6 @@
+//! Regenerates the paper's table3 output. Run:
+//! `cargo bench -p zombieland-bench --bench table3_sz_energy`.
+
+fn main() {
+    zombieland_bench::experiments::print_table3();
+}

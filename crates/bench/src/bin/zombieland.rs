@@ -1,0 +1,281 @@
+//! The `zombieland` command-line tool: run the paper's experiments and
+//! ad-hoc datacenter simulations without writing code.
+//!
+//! ```text
+//! zombieland experiment <name|all> [--scale S]
+//! zombieland simulate [--servers N] [--days D] [--policy P] [--modified] [--machine hp|dell] [--trace FILE] [--timeline] [--pue X]
+//! zombieland trace [--servers N] [--days D] [--seed S] --out FILE
+//! zombieland suspend <mem|disk|zom>
+//! zombieland list
+//! ```
+//!
+//! Run via `cargo run --release -p zombieland-bench --bin zombieland-cli -- <args>`.
+
+use std::process::ExitCode;
+
+use zombieland_bench::experiments;
+use zombieland_energy::MachineProfile;
+use zombieland_simcore::SimDuration;
+use zombieland_simulator::{simulate, PolicyKind, SimConfig};
+use zombieland_trace::{ClusterTrace, TraceConfig};
+
+const EXPERIMENTS: [&str; 11] = [
+    "fig1", "fig2", "fig3", "fig4", "fig6", "fig8", "fig9", "fig10", "table1", "table2", "table3",
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         zombieland experiment <name|all> [--scale S]\n  \
+         zombieland simulate [--servers N] [--days D] [--policy neat|oasis|zombiestack|all] \
+         [--modified] [--machine hp|dell] [--trace FILE] [--timeline] [--pue X]\n  \
+         zombieland trace [--servers N] [--days D] [--seed S] --out FILE\n  \
+         zombieland suspend <mem|disk|zom>\n  \
+         zombieland list"
+    );
+    ExitCode::from(2)
+}
+
+/// Pulls `--key value` out of `args`, returning the value.
+fn flag_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn run_experiment(name: &str, scale: f64) -> bool {
+    match name {
+        "fig1" => experiments::print_figure1(),
+        "fig2" => experiments::print_figure2(),
+        "fig3" => experiments::print_figure3(),
+        "fig4" => experiments::print_figure4(),
+        "fig6" => experiments::print_figure6(),
+        "fig8" => experiments::print_figure8(scale),
+        "fig9" => experiments::print_figure9(),
+        "fig10" => {
+            let (servers, days) = experiments::dc_scale_from_env();
+            let trace = experiments::fig10_trace(servers, days, 11);
+            let modified = trace.modified();
+            let mut groups = Vec::new();
+            for profile in [MachineProfile::hp(), MachineProfile::dell()] {
+                groups.push(experiments::figure10_group(&trace, profile.clone(), false));
+                groups.push(experiments::figure10_group(&modified, profile, true));
+            }
+            experiments::print_figure10(&groups);
+        }
+        "table1" => {
+            let rows = experiments::table1(scale);
+            experiments::print_table1(&rows);
+        }
+        "table2" => {
+            for w in experiments::WORKLOADS {
+                let rows = experiments::table2(w, scale);
+                experiments::print_table2(w, &rows);
+            }
+        }
+        "table3" => experiments::print_table3(),
+        _ => return false,
+    }
+    true
+}
+
+fn cmd_experiment(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        return usage();
+    };
+    let scale = flag_value(args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(experiments::scale_from_env);
+    if name == "all" {
+        for e in EXPERIMENTS {
+            run_experiment(e, scale);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if run_experiment(name, scale) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("unknown experiment {name:?}; try `zombieland list`");
+        ExitCode::from(2)
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> ExitCode {
+    let servers = flag_value(args, "--servers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let days = flag_value(args, "--days")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let machine = match flag_value(args, "--machine").as_deref() {
+        Some("dell") => MachineProfile::dell(),
+        _ => MachineProfile::hp(),
+    };
+    let policy_arg = flag_value(args, "--policy").unwrap_or_else(|| "all".into());
+    let policies: Vec<PolicyKind> = match policy_arg.as_str() {
+        "neat" => vec![PolicyKind::Neat],
+        "oasis" => vec![PolicyKind::Oasis],
+        "zombiestack" => vec![PolicyKind::ZombieStack],
+        "all" => vec![PolicyKind::Neat, PolicyKind::Oasis, PolicyKind::ZombieStack],
+        other => {
+            eprintln!("unknown policy {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut trace = match flag_value(args, "--trace") {
+        Some(path) => match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| ClusterTrace::from_json(&s).map_err(|e| e.to_string()))
+        {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot load trace {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => ClusterTrace::generate(TraceConfig {
+            servers,
+            duration: SimDuration::from_days(days),
+            seed: 11,
+            mem_cpu_ratio: 1.0,
+            avg_utilization: 0.25,
+        }),
+    };
+    if args.iter().any(|a| a == "--modified") {
+        trace = trace.modified();
+    }
+    println!(
+        "trace: {} servers x {} day(s), {} tasks, machine {}",
+        trace.config().servers,
+        trace.config().duration.as_nanos() / 86_400_000_000_000,
+        trace.tasks().len(),
+        machine.name()
+    );
+    let timeline = args.iter().any(|a| a == "--timeline");
+    let pue = flag_value(args, "--pue").and_then(|v| v.parse::<f64>().ok());
+    let cfg_for = |p: PolicyKind| SimConfig {
+        sample_interval: timeline.then(|| SimDuration::from_hours(1)),
+        ..SimConfig::new(p, machine.clone())
+    };
+    let base = simulate(&trace, &cfg_for(PolicyKind::AlwaysOn));
+    println!("baseline (always-on): {:.1} kWh", base.energy.as_kwh());
+    let cooling = pue.map(zombieland_energy::cooling::CoolingModel::with_pue);
+    if let Some(c) = &cooling {
+        println!(
+            "  at the facility meter (PUE {:.2}): {:.1} kWh",
+            c.pue,
+            c.facility_energy(base.energy).as_kwh()
+        );
+    }
+    for p in policies {
+        let r = simulate(&trace, &cfg_for(p));
+        let total: f64 = r.state_seconds.iter().sum();
+        println!(
+            "{:<12} {:.1} kWh  saving {:>5.1}%  (active {:.0}%, zombie {:.0}%, \
+             asleep {:.0}%; {} migrations, {} wakeups)",
+            r.policy.name(),
+            r.energy.as_kwh(),
+            r.savings_pct(&base),
+            100.0 * r.state_seconds[0] / total,
+            100.0 * r.state_seconds[1] / total,
+            100.0 * r.state_seconds[2] / total,
+            r.migrations,
+            r.wakeups,
+        );
+        if let Some(c) = &cooling {
+            println!(
+                "             facility: {:.1} kWh ({:.1} kWh saved vs baseline, footnote-1 amplification)",
+                c.facility_energy(r.energy).as_kwh(),
+                c.amplified_saving(base.energy, r.energy).as_kwh()
+            );
+        }
+        if timeline {
+            for s in &r.timeline {
+                println!(
+                    "  t+{:>3.0}h  active {:>4}  zombie {:>4}  asleep {:>4}  {:>8.1} kW",
+                    s.at.as_secs_f64() / 3_600.0,
+                    s.counts[0],
+                    s.counts[1],
+                    s.counts[2],
+                    s.power.get() / 1_000.0
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let Some(out) = flag_value(args, "--out") else {
+        eprintln!("trace: --out FILE is required");
+        return ExitCode::from(2);
+    };
+    let cfg = TraceConfig {
+        servers: flag_value(args, "--servers")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300),
+        duration: SimDuration::from_days(
+            flag_value(args, "--days")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1),
+        ),
+        seed: flag_value(args, "--seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(11),
+        mem_cpu_ratio: 1.0,
+        avg_utilization: 0.25,
+    };
+    let trace = ClusterTrace::generate(cfg);
+    match std::fs::write(&out, trace.to_json()) {
+        Ok(()) => {
+            println!("wrote {} tasks to {out}", trace.tasks().len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {out:?}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_suspend(args: &[String]) -> ExitCode {
+    let Some(kw) = args.first() else {
+        return usage();
+    };
+    let mut platform = zombieland_acpi::Platform::sz_capable();
+    match platform.suspend(kw) {
+        Ok(outcome) => {
+            println!("state: {}", platform.state());
+            println!(
+                "memory remotely accessible: {}",
+                platform.memory_remotely_accessible()
+            );
+            println!("kept awake: {:?}", outcome.report.kept_awake());
+            println!("enter latency: {}", outcome.latency);
+            for s in &outcome.transition.switches {
+                println!("  rail {} -> {:?}", s.rail, s.to);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("suspend failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("experiment") => cmd_experiment(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("suspend") => cmd_suspend(&args[1..]),
+        Some("list") => {
+            println!("experiments: {}", EXPERIMENTS.join(" "));
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment harnesses: one function per table/figure of the paper.
+//!
+//! Each `cargo bench --bench <name>` target is a thin `main` over a
+//! function in [`experiments`], so integration tests can run the same
+//! experiments at reduced scale and assert the paper's qualitative
+//! results.
+//!
+//! Scaling: the paper's runs use a 7 GiB VM with a 6 GiB working set and
+//! a 12 583-server datacenter. By default the harnesses run a
+//! faithfully-shaped but smaller configuration (the reported metrics are
+//! ratios, which are size-stable); set `ZL_SCALE=1.0` for the paper-sized
+//! memory experiments and `ZL_DC_SERVERS`/`ZL_DC_DAYS` for bigger
+//! datacenter sweeps.
+
+pub mod experiments;

@@ -1,0 +1,242 @@
+//! Remote-memory-aware VM placement (§5.1).
+//!
+//! Nova places a VM in two phases: *filter* the hosts able to take it,
+//! then *weigh* the survivors. ZombieStack relaxes the memory filter:
+//! a host qualifies if it can serve **50 %** of the VM's memory locally
+//! (the empirically chosen compromise of §6.3) and the rack's remote pool
+//! covers the rest. The weigher implements VM stacking (most-loaded
+//! first), the strategy that creates empty servers to push into Sz.
+
+/// The power condition of a host as the scheduler sees it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HostPowerState {
+    /// Running (S0), can host VMs.
+    Active,
+    /// In Sz: serves memory, cannot host VMs without waking.
+    Zombie,
+    /// In S3: dark, must wake before doing anything.
+    Sleeping,
+}
+
+/// A host as the placement logic sees it. Capacities are normalized to
+/// "one server" = 1.0 on both axes (matching the trace format).
+#[derive(Clone, Copy, Debug)]
+pub struct HostView {
+    /// Host identifier.
+    pub id: u32,
+    /// Power state.
+    pub state: HostPowerState,
+    /// CPU capacity (1.0 = whole server).
+    pub cpu_capacity: f64,
+    /// Memory capacity.
+    pub mem_capacity: f64,
+    /// Booked CPU of resident VMs.
+    pub cpu_booked: f64,
+    /// Locally booked memory of resident VMs (their local shares).
+    pub mem_booked_local: f64,
+    /// Actual CPU utilization (for consolidation decisions).
+    pub cpu_used: f64,
+}
+
+impl HostView {
+    /// Free CPU capacity.
+    pub fn cpu_free(&self) -> f64 {
+        (self.cpu_capacity - self.cpu_booked).max(0.0)
+    }
+
+    /// Free local memory.
+    pub fn mem_free(&self) -> f64 {
+        (self.mem_capacity - self.mem_booked_local).max(0.0)
+    }
+}
+
+/// A VM (trace task) as the placement logic sees it.
+#[derive(Clone, Copy, Debug)]
+pub struct VmView {
+    /// VM identifier.
+    pub id: u64,
+    /// Booked CPU.
+    pub cpu_booked: f64,
+    /// Booked memory.
+    pub mem_booked: f64,
+    /// Actual average CPU use.
+    pub cpu_used: f64,
+    /// Actual average memory use (the working set for migration).
+    pub mem_used: f64,
+}
+
+/// What a successful placement decided.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Placement {
+    /// The chosen host.
+    pub host: u32,
+    /// Memory served from the host's local RAM.
+    pub local_mem: f64,
+    /// Memory served from the remote pool.
+    pub remote_mem: f64,
+}
+
+/// The Nova-like scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct NovaScheduler {
+    /// Minimum fraction of a VM's memory that must be local
+    /// (ZombieStack: 0.5; vanilla Nova: 1.0).
+    pub min_local_fraction: f64,
+}
+
+impl NovaScheduler {
+    /// ZombieStack's configuration: the 50 % rule of §5.1/§6.3.
+    pub fn zombiestack() -> Self {
+        NovaScheduler {
+            min_local_fraction: 0.5,
+        }
+    }
+
+    /// Vanilla Nova: all memory must be local.
+    pub fn vanilla() -> Self {
+        NovaScheduler {
+            min_local_fraction: 1.0,
+        }
+    }
+
+    /// Phase 1: can `host` take `vm`, given `remote_pool` free remote
+    /// memory? Returns the split it would use (as much local as
+    /// available, topped up remotely).
+    pub fn filter(&self, host: &HostView, vm: &VmView, remote_pool: f64) -> Option<Placement> {
+        if host.state != HostPowerState::Active {
+            return None;
+        }
+        if host.cpu_free() + 1e-12 < vm.cpu_booked {
+            return None;
+        }
+        let local = vm.mem_booked.min(host.mem_free());
+        if local + 1e-12 < vm.mem_booked * self.min_local_fraction {
+            return None;
+        }
+        let remote = vm.mem_booked - local;
+        if remote > remote_pool + 1e-12 {
+            return None;
+        }
+        Some(Placement {
+            host: host.id,
+            local_mem: local,
+            remote_mem: remote,
+        })
+    }
+
+    /// Phase 2: picks the best host among `hosts` for `vm` under the
+    /// stacking strategy — the *most* loaded host that still fits, so
+    /// load concentrates and empty servers emerge.
+    pub fn schedule(&self, hosts: &[HostView], vm: &VmView, remote_pool: f64) -> Option<Placement> {
+        hosts
+            .iter()
+            .filter_map(|h| self.filter(h, vm, remote_pool).map(|p| (h, p)))
+            .max_by(|(a, _), (b, _)| {
+                // Highest booked CPU first; host id breaks ties for
+                // determinism.
+                (a.cpu_booked, b.id)
+                    .partial_cmp(&(b.cpu_booked, a.id))
+                    .expect("no NaN load")
+            })
+            .map(|(_, p)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host(id: u32, cpu_booked: f64, mem_local: f64) -> HostView {
+        HostView {
+            id,
+            state: HostPowerState::Active,
+            cpu_capacity: 1.0,
+            mem_capacity: 1.0,
+            cpu_booked,
+            mem_booked_local: mem_local,
+            cpu_used: cpu_booked * 0.6,
+        }
+    }
+
+    fn vm(cpu: f64, mem: f64) -> VmView {
+        VmView {
+            id: 1,
+            cpu_booked: cpu,
+            mem_booked: mem,
+            cpu_used: cpu * 0.5,
+            mem_used: mem * 0.7,
+        }
+    }
+
+    #[test]
+    fn vanilla_needs_full_local_memory() {
+        let s = NovaScheduler::vanilla();
+        let h = host(0, 0.0, 0.7); // 0.3 local memory free.
+        let v = vm(0.2, 0.5);
+        assert!(s.filter(&h, &v, 10.0).is_none());
+        // ZombieStack takes it: 0.3 local (≥ 50 % of 0.5) + 0.2 remote.
+        let z = NovaScheduler::zombiestack();
+        let p = z.filter(&h, &v, 10.0).unwrap();
+        assert!((p.local_mem - 0.3).abs() < 1e-9);
+        assert!((p.remote_mem - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fifty_percent_rule_enforced() {
+        let z = NovaScheduler::zombiestack();
+        let h = host(0, 0.0, 0.8); // Only 0.2 free.
+        let v = vm(0.1, 0.5); // Needs ≥ 0.25 local.
+        assert!(z.filter(&h, &v, 10.0).is_none());
+    }
+
+    #[test]
+    fn remote_pool_must_cover_the_rest() {
+        let z = NovaScheduler::zombiestack();
+        let h = host(0, 0.0, 0.7);
+        let v = vm(0.1, 0.5);
+        assert!(z.filter(&h, &v, 0.1).is_none(), "pool too small");
+        assert!(z.filter(&h, &v, 0.2).is_some());
+    }
+
+    #[test]
+    fn cpu_filter_and_power_state() {
+        let z = NovaScheduler::zombiestack();
+        let mut h = host(0, 0.95, 0.0);
+        assert!(z.filter(&h, &vm(0.1, 0.1), 1.0).is_none(), "no cpu room");
+        h.cpu_booked = 0.5;
+        h.state = HostPowerState::Zombie;
+        assert!(
+            z.filter(&h, &vm(0.1, 0.1), 1.0).is_none(),
+            "zombies can't host"
+        );
+    }
+
+    #[test]
+    fn local_memory_preferred_over_remote() {
+        // The scheduler uses as much local memory as it can get.
+        let z = NovaScheduler::zombiestack();
+        let h = host(0, 0.0, 0.2);
+        let p = z.filter(&h, &vm(0.1, 0.5), 10.0).unwrap();
+        assert!((p.local_mem - 0.5).abs() < 1e-9, "fits fully local: {p:?}");
+        assert_eq!(p.remote_mem, 0.0);
+    }
+
+    #[test]
+    fn stacking_picks_most_loaded_host() {
+        let z = NovaScheduler::zombiestack();
+        let hosts = [host(0, 0.2, 0.2), host(1, 0.6, 0.2), host(2, 0.4, 0.2)];
+        let p = z.schedule(&hosts, &vm(0.2, 0.3), 10.0).unwrap();
+        assert_eq!(p.host, 1);
+        // When the most-loaded host is full, fall to the next.
+        let hosts = [host(0, 0.2, 0.2), host(1, 0.95, 0.2), host(2, 0.4, 0.2)];
+        let p = z.schedule(&hosts, &vm(0.2, 0.3), 10.0).unwrap();
+        assert_eq!(p.host, 2);
+    }
+
+    #[test]
+    fn no_host_fits() {
+        let z = NovaScheduler::zombiestack();
+        let hosts = [host(0, 0.99, 0.99)];
+        assert_eq!(z.schedule(&hosts, &vm(0.2, 0.3), 10.0), None);
+    }
+}

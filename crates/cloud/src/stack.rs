@@ -1,0 +1,586 @@
+//! ZombieStack bound to a live rack: the end-to-end stack the examples
+//! and integration tests drive.
+//!
+//! [`ZombieStack`] owns a [`Rack`] and runs the OpenStack-layer decisions
+//! against it: Nova-style placement with the 50 % rule (allocating the
+//! remote share via `GS_alloc_ext`), Neat-style consolidation (pushing
+//! emptied servers into Sz through the real ACPI/fabric path), and the
+//! modified migration protocol.
+
+use std::collections::BTreeMap;
+
+use zombieland_core::{Rack, RackConfig, RackError, ServerId};
+use zombieland_mem::buffer::BufferId;
+use zombieland_simcore::{Bytes, SimDuration, SimTime};
+
+use crate::consolidation::{ConsolidationMode, Neat};
+use crate::migration::{self, MigrationStats};
+use crate::placement::{HostPowerState, HostView, NovaScheduler, VmView};
+
+/// A VM request at the cloud API.
+#[derive(Clone, Copy, Debug)]
+pub struct VmSpec {
+    /// VM identifier.
+    pub id: u64,
+    /// Booked CPU as a fraction of one server.
+    pub cpu: f64,
+    /// Booked (reserved) memory.
+    pub mem: Bytes,
+    /// Current working set (for migration and the 30 % rule).
+    pub wss: Bytes,
+    /// Actual CPU utilization (fraction of one server).
+    pub cpu_used: f64,
+}
+
+/// A placed VM.
+#[derive(Clone, Debug)]
+pub struct PlacedVm {
+    /// The request.
+    pub spec: VmSpec,
+    /// Host server.
+    pub host: ServerId,
+    /// Local share of its memory.
+    pub local: Bytes,
+    /// Remote buffers backing the rest.
+    pub remote_buffers: Vec<BufferId>,
+}
+
+/// Consolidation round report.
+#[derive(Clone, Debug, Default)]
+pub struct ConsolidationReport {
+    /// VMs migrated (id, from, to) with their timing.
+    pub migrations: Vec<(u64, ServerId, ServerId, MigrationStats)>,
+    /// Servers pushed into Sz this round.
+    pub suspended: Vec<ServerId>,
+    /// Total migration time.
+    pub migration_time: SimDuration,
+}
+
+/// The cloud operating system over one rack.
+pub struct ZombieStack {
+    rack: Rack,
+    scheduler: NovaScheduler,
+    neat: Neat,
+    vms: BTreeMap<u64, PlacedVm>,
+    last_consolidation: Option<SimTime>,
+    last_swap_refresh: Option<SimTime>,
+}
+
+impl ZombieStack {
+    /// Boots the stack over a fresh rack.
+    pub fn new(config: RackConfig) -> Self {
+        ZombieStack {
+            rack: Rack::new(config),
+            scheduler: NovaScheduler::zombiestack(),
+            neat: Neat::new(ConsolidationMode::ZombieStack),
+            vms: BTreeMap::new(),
+            last_consolidation: None,
+            last_swap_refresh: None,
+        }
+    }
+
+    /// Read access to the rack.
+    pub fn rack(&self) -> &Rack {
+        &self.rack
+    }
+
+    /// The placed VMs.
+    pub fn vms(&self) -> impl Iterator<Item = &PlacedVm> {
+        self.vms.values()
+    }
+
+    fn server_ram(&self) -> Bytes {
+        self.rack.config().ram_per_server
+    }
+
+    fn norm(&self, b: Bytes) -> f64 {
+        b.get() as f64 / self.server_ram().get() as f64
+    }
+
+    fn host_view(&self, s: ServerId) -> HostView {
+        let state = match self.rack.state(s) {
+            Ok(zombieland_acpi::SleepState::S0) => HostPowerState::Active,
+            Ok(zombieland_acpi::SleepState::Sz) => HostPowerState::Zombie,
+            _ => HostPowerState::Sleeping,
+        };
+        let mut cpu_booked = 0.0;
+        let mut cpu_used = 0.0;
+        let mut mem_local = Bytes::ZERO;
+        for vm in self.vms.values().filter(|v| v.host == s) {
+            cpu_booked += vm.spec.cpu;
+            cpu_used += vm.spec.cpu_used;
+            mem_local += vm.local;
+        }
+        HostView {
+            id: s.get(),
+            state,
+            cpu_capacity: 1.0,
+            mem_capacity: self.norm(self.server_ram() - self.rack.config().system_reserved),
+            cpu_booked,
+            mem_booked_local: self.norm(mem_local),
+            cpu_used,
+        }
+    }
+
+    fn views(&self) -> Vec<HostView> {
+        self.rack
+            .server_ids()
+            .into_iter()
+            .map(|s| self.host_view(s))
+            .collect()
+    }
+
+    fn vm_view(&self, spec: &VmSpec) -> VmView {
+        VmView {
+            id: spec.id,
+            cpu_booked: spec.cpu,
+            mem_booked: self.norm(spec.mem),
+            cpu_used: spec.cpu_used,
+            mem_used: self.norm(spec.wss),
+        }
+    }
+
+    fn remote_pool(&self) -> f64 {
+        self.norm(self.rack.db().free_memory())
+    }
+
+    fn sync_local_usage(&mut self, s: ServerId) -> Result<(), RackError> {
+        let used: Bytes = self
+            .vms
+            .values()
+            .filter(|v| v.host == s)
+            .map(|v| v.local)
+            .sum();
+        self.rack.set_local_usage(s, used)
+    }
+
+    /// Boots a VM: schedules it under the 50 % rule, allocates the remote
+    /// share via `GS_alloc_ext`, and records the placement. When no
+    /// active host fits, the zombie with the fewest allocated buffers is
+    /// woken (`GS_get_lru_zombie`, §5.2) and placement retried.
+    pub fn boot_vm(&mut self, spec: VmSpec) -> Result<ServerId, RackError> {
+        let vm = self.vm_view(&spec);
+        let placement = loop {
+            let views = self.views();
+            if let Some(p) = self.scheduler.schedule(&views, &vm, self.remote_pool()) {
+                break p;
+            }
+            // "If there is no host that satisfies this requirement, we
+            // choose and wake up a zombie host."
+            let Some(lru) = self.rack.get_lru_zombie(ServerId::new(0))? else {
+                return Err(RackError::Db(
+                    zombieland_core::db::DbError::AdmissionDenied {
+                        requested: zombieland_mem::buffer::buffers_for(spec.mem),
+                        available: 0,
+                    },
+                ));
+            };
+            self.rack.wake(lru, None)?;
+        };
+        let host = ServerId::new(placement.host);
+        let local = spec
+            .mem
+            .mul_f64(placement.local_mem / vm.mem_booked.max(1e-12));
+        let remote = spec.mem.saturating_sub(local);
+        let remote_buffers = if remote > Bytes::ZERO {
+            self.rack.alloc_ext(host, remote)?.buffers
+        } else {
+            Vec::new()
+        };
+        self.vms.insert(
+            spec.id,
+            PlacedVm {
+                spec,
+                host,
+                local,
+                remote_buffers,
+            },
+        );
+        self.sync_local_usage(host)?;
+        Ok(host)
+    }
+
+    /// Destroys a VM, releasing its remote buffers.
+    pub fn shutdown_vm(&mut self, id: u64) -> Result<(), RackError> {
+        let Some(vm) = self.vms.remove(&id) else {
+            return Ok(());
+        };
+        if !vm.remote_buffers.is_empty() {
+            self.rack.release(vm.host, &vm.remote_buffers)?;
+        }
+        self.sync_local_usage(vm.host)
+    }
+
+    /// Migrates one VM to `target` using the ZombieStack protocol: only
+    /// the local (hot) part moves; the remote part is re-pointed
+    /// ("update the ownership pointers for the remote memory
+    /// components", §5.3), and the local/remote split is re-balanced for
+    /// the target's free memory.
+    fn migrate(&mut self, id: u64, target: ServerId) -> Result<MigrationStats, RackError> {
+        let vm = self.vms.get(&id).expect("caller validated").clone();
+        let source = vm.host;
+        let stats = migration::zombiestack_migration(vm.local.min(vm.spec.wss));
+
+        // Ownership of the existing remote buffers moves with the VM; the
+        // data itself stays on its zombie hosts (no copy).
+        if !vm.remote_buffers.is_empty() {
+            self.rack
+                .transfer_buffers(source, target, &vm.remote_buffers)?;
+        }
+
+        // Re-split: as much local memory as the target can spare, the
+        // rest remote (allocating the shortfall).
+        let target_view = self.host_view(target);
+        let free_local = self
+            .server_ram()
+            .mul_f64((target_view.mem_capacity - target_view.mem_booked_local).max(0.0));
+        let new_local = vm.spec.mem.min(free_local);
+        let need_remote = vm.spec.mem.saturating_sub(new_local);
+        let have_remote = zombieland_mem::buffer::BUFF_SIZE * vm.remote_buffers.len() as u64;
+        let mut buffers = vm.remote_buffers.clone();
+        if need_remote > have_remote {
+            let extra = self.rack.alloc_ext(target, need_remote - have_remote)?;
+            buffers.extend(extra.buffers);
+        }
+
+        let vm_mut = self.vms.get_mut(&id).expect("present");
+        vm_mut.host = target;
+        vm_mut.local = vm
+            .spec
+            .mem
+            .saturating_sub(zombieland_mem::buffer::BUFF_SIZE * buffers.len() as u64);
+        vm_mut.remote_buffers = buffers;
+        self.sync_local_usage(source)?;
+        self.sync_local_usage(target)?;
+        Ok(stats)
+    }
+
+    /// Refreshes the Explicit-SD pools: "this function is periodically
+    /// called (i.e. every 1 hour) in order to take advantage of unused
+    /// remote buffers" (§4.4). Asks `GS_alloc_swap` for up to `per_host`
+    /// extra swap memory on every active host.
+    pub fn refresh_swap(&mut self, per_host: Bytes) -> Result<u64, RackError> {
+        let mut granted = 0u64;
+        for s in self.rack.server_ids() {
+            if self.rack.state(s)? != zombieland_acpi::SleepState::S0 {
+                continue;
+            }
+            granted += self.rack.alloc_swap(s, per_host)?.buffers.len() as u64;
+        }
+        Ok(granted)
+    }
+
+    /// The operator loop: call periodically with simulation time. Sends
+    /// the controller heartbeat, checks for failover, runs consolidation
+    /// on the Neat cadence (5 min) and the swap refresh on the paper's
+    /// hourly cadence (§4.4). Returns the consolidation report when a
+    /// round ran.
+    pub fn tick(&mut self, now: SimTime) -> Result<Option<ConsolidationReport>, RackError> {
+        self.rack.heartbeat(now);
+        self.rack.check_failover(now);
+
+        if self
+            .last_swap_refresh
+            .is_none_or(|t| now.saturating_since(t) >= SimDuration::from_hours(1))
+        {
+            self.last_swap_refresh = Some(now);
+            // Top up every active host's Explicit-SD pool, best effort.
+            let _ = self.refresh_swap(Bytes::mib(256))?;
+        }
+
+        if self
+            .last_consolidation
+            .is_none_or(|t| now.saturating_since(t) >= SimDuration::from_mins(5))
+        {
+            self.last_consolidation = Some(now);
+            return Ok(Some(self.consolidate()?));
+        }
+        Ok(None)
+    }
+
+    /// One Neat consolidation round: first relieve overloaded hosts
+    /// (steps 2–4 of the Neat algorithm), then evacuate underloaded hosts
+    /// onto their peers (30 % rule) and push the emptied hosts into Sz.
+    pub fn consolidate(&mut self) -> Result<ConsolidationReport, RackError> {
+        let mut report = ConsolidationReport::default();
+
+        // Overload relief: shed the smallest sufficient VMs.
+        let views = self.views();
+        for host_id in self.neat.overloaded(&views) {
+            let source = ServerId::new(host_id);
+            let resident: Vec<VmView> = self
+                .vms
+                .values()
+                .filter(|v| v.host == source)
+                .map(|v| self.vm_view(&v.spec))
+                .collect();
+            let host_view = self.host_view(source);
+            for vm_id in self.neat.select_vms_to_shed(&host_view, &resident) {
+                let spec = self.vms[&vm_id].spec;
+                let vm = self.vm_view(&spec);
+                let fresh = self.views();
+                if let Some(t) = self
+                    .neat
+                    .pick_target(&fresh, host_id, &vm, self.remote_pool())
+                {
+                    let target = ServerId::new(t);
+                    let stats = self.migrate(vm_id, target)?;
+                    report.migration_time += stats.total;
+                    report.migrations.push((vm_id, source, target, stats));
+                }
+            }
+        }
+
+        let views = self.views();
+        for host_id in self.neat.underloaded(&views) {
+            // Never suspend the last active host: the rack must keep
+            // compute capacity for arrivals (and someone to run agents).
+            let actives = self
+                .rack
+                .server_ids()
+                .into_iter()
+                .filter(|&s| self.rack.state(s) == Ok(zombieland_acpi::SleepState::S0))
+                .count();
+            if actives <= 1 {
+                break;
+            }
+            let source = ServerId::new(host_id);
+            let resident: Vec<u64> = self
+                .vms
+                .values()
+                .filter(|v| v.host == source)
+                .map(|v| v.spec.id)
+                .collect();
+            // Find a target for every VM; abort the host if any VM is
+            // stuck (all-or-nothing evacuation).
+            let mut moves = Vec::new();
+            let mut ok = true;
+            for vm_id in &resident {
+                let spec = self.vms[vm_id].spec;
+                let vm = self.vm_view(&spec);
+                let fresh_views = self.views();
+                match self
+                    .neat
+                    .pick_target(&fresh_views, host_id, &vm, self.remote_pool())
+                {
+                    Some(t) => moves.push((*vm_id, ServerId::new(t))),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            for (vm_id, target) in moves {
+                let stats = self.migrate(vm_id, target)?;
+                report.migration_time += stats.total;
+                report.migrations.push((vm_id, source, target, stats));
+            }
+            // The host is empty: push it into Sz (its memory joins the
+            // pool).
+            self.rack.goto_zombie(source)?;
+            report.suspended.push(source);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: u64, cpu: f64, mem_gib: u64, cpu_used: f64) -> VmSpec {
+        VmSpec {
+            id,
+            cpu,
+            mem: Bytes::gib(mem_gib),
+            wss: Bytes::gib(mem_gib).mul_f64(0.8),
+            cpu_used,
+        }
+    }
+
+    fn spec_mem(id: u64, cpu: f64, mem_gib: u64, wss_gib: u64, cpu_used: f64) -> VmSpec {
+        VmSpec {
+            id,
+            cpu,
+            mem: Bytes::gib(mem_gib),
+            wss: Bytes::gib(wss_gib).mul_f64(0.8),
+            cpu_used,
+        }
+    }
+
+    #[test]
+    fn boot_places_and_allocates_remote() {
+        let mut stack = ZombieStack::new(RackConfig::default());
+        // One server becomes a zombie so the pool is non-empty.
+        let ids = stack.rack.server_ids();
+        stack.rack.goto_zombie(ids[3]).unwrap();
+        // A VM bigger than any host's free memory: must split.
+        let host = stack.boot_vm(spec(1, 0.5, 20, 0.3)).unwrap();
+        let vm = stack.vms().next().unwrap();
+        assert_eq!(vm.host, host);
+        assert!(vm.local < Bytes::gib(20));
+        assert!(!vm.remote_buffers.is_empty());
+        // 50 % rule respected.
+        assert!(vm.local.get() * 2 >= Bytes::gib(20).get());
+    }
+
+    #[test]
+    fn consolidation_empties_idle_hosts_into_sz() {
+        let mut stack = ZombieStack::new(RackConfig {
+            servers: 3,
+            ..RackConfig::default()
+        });
+        // A busy, memory-heavy VM fills host 0 (12 GiB of the 15 GiB
+        // usable), so the idle VM (8 GiB, needing >= 4 GiB local under the
+        // 50 % rule) cannot stack there and lands on host 1 alone.
+        stack.boot_vm(spec_mem(1, 0.4, 12, 10, 0.35)).unwrap();
+        stack.boot_vm(spec_mem(3, 0.3, 8, 8, 0.05)).unwrap();
+        let hosts_used: std::collections::HashSet<ServerId> = stack.vms().map(|v| v.host).collect();
+        assert_eq!(hosts_used.len(), 2, "load spread over 2 hosts");
+
+        let report = stack.consolidate().unwrap();
+        // The empty host 2 was zombified first, which fills the remote
+        // pool; then host 1 (idle VM only) evacuated under the 30 % rule
+        // (3 GiB free on host 0 >= 30 % of the 6.4 GiB WSS) and zombified
+        // too.
+        assert_eq!(report.suspended.len(), 2);
+        assert_eq!(report.migrations.len(), 1);
+        let (vm_id, from, to, stats) = &report.migrations[0];
+        assert_eq!(*vm_id, 3);
+        assert_ne!(from, to);
+        assert!(stats.total > SimDuration::ZERO);
+        for z in &report.suspended {
+            assert_eq!(
+                stack.rack.state(*z).unwrap(),
+                zombieland_acpi::SleepState::Sz
+            );
+        }
+        assert!(stack.rack.db().free_buffers() > 0, "memory joined the pool");
+        // The migrated VM's memory was re-split: part local on the busy
+        // host, the rest in remote buffers.
+        let vm = stack.vms().find(|v| v.spec.id == 3).unwrap();
+        assert!(vm.local < Bytes::gib(8));
+        assert!(!vm.remote_buffers.is_empty());
+        // All VMs live on active hosts.
+        for vm in stack.vms() {
+            assert!(!report.suspended.contains(&vm.host));
+        }
+    }
+
+    #[test]
+    fn boot_wakes_lru_zombie_when_nothing_fits() {
+        let mut stack = ZombieStack::new(RackConfig {
+            servers: 2,
+            ..RackConfig::default()
+        });
+        let ids = stack.rack.server_ids();
+        // One host is a zombie; the other fills up on CPU.
+        stack.rack.goto_zombie(ids[1]).unwrap();
+        stack.boot_vm(spec(1, 0.9, 4, 0.8)).unwrap();
+        // This VM fits nowhere active: the zombie must wake to host it.
+        let host = stack.boot_vm(spec(2, 0.5, 4, 0.4)).unwrap();
+        assert_eq!(host, ids[1]);
+        assert_eq!(
+            stack.rack.state(ids[1]).unwrap(),
+            zombieland_acpi::SleepState::S0
+        );
+    }
+
+    #[test]
+    fn boot_fails_when_rack_exhausted() {
+        let mut stack = ZombieStack::new(RackConfig {
+            servers: 1,
+            ..RackConfig::default()
+        });
+        stack.boot_vm(spec(1, 0.9, 4, 0.8)).unwrap();
+        assert!(stack.boot_vm(spec(2, 0.5, 4, 0.4)).is_err());
+    }
+
+    #[test]
+    fn overloaded_hosts_shed_vms() {
+        let mut stack = ZombieStack::new(RackConfig {
+            servers: 2,
+            ..RackConfig::default()
+        });
+        // Overload host 0 (>90 % used), with a peer that has room. The
+        // second VM is the smallest by memory, so the MMT heuristic sheds
+        // it — and it fits on the peer.
+        stack.boot_vm(spec(1, 0.6, 2, 0.55)).unwrap();
+        stack.boot_vm(spec(2, 0.39, 1, 0.38)).unwrap();
+        stack.boot_vm(spec(3, 0.5, 2, 0.45)).unwrap(); // Lands on host 1.
+        let report = stack.consolidate().unwrap();
+        assert!(
+            !report.migrations.is_empty(),
+            "the overloaded host shed at least one VM"
+        );
+        // No host remains overloaded.
+        for s in stack.rack.server_ids() {
+            let v = stack.host_view(s);
+            assert!(v.cpu_used <= 0.9 + 1e-9, "host {s}: {}", v.cpu_used);
+        }
+    }
+
+    #[test]
+    fn refresh_swap_harvests_unused_buffers() {
+        let mut stack = ZombieStack::new(RackConfig::default());
+        let ids = stack.rack.server_ids();
+        stack.rack.goto_zombie(ids[3]).unwrap();
+        let granted = stack.refresh_swap(Bytes::mib(256)).unwrap();
+        assert_eq!(granted, 3 * 4, "4 buffers for each of 3 active hosts");
+        // A second refresh keeps taking from the pool (best effort).
+        let more = stack.refresh_swap(Bytes::mib(256)).unwrap();
+        assert_eq!(more, 12);
+    }
+
+    #[test]
+    fn operator_tick_paces_consolidation_and_refresh() {
+        let mut stack = ZombieStack::new(RackConfig::default());
+        let t0 = SimTime::ZERO;
+        // First tick runs both.
+        let first = stack.tick(t0).unwrap();
+        assert!(first.is_some(), "first tick consolidates");
+        // One minute later: neither cadence due.
+        let soon = stack.tick(t0 + SimDuration::from_mins(1)).unwrap();
+        assert!(soon.is_none());
+        // Five minutes later: consolidation due again.
+        let later = stack.tick(t0 + SimDuration::from_mins(6)).unwrap();
+        assert!(later.is_some());
+        // The empty rack consolidated down to one active host; the rest
+        // are zombies serving the pool.
+        let ids = stack.rack.server_ids();
+        let zombies = ids
+            .iter()
+            .filter(|&&s| stack.rack.state(s) == Ok(zombieland_acpi::SleepState::Sz))
+            .count();
+        assert_eq!(zombies, 3, "all but the last active host zombified");
+        // Fast-forward past the hour: the swap refresh draws from the
+        // pool for the remaining active host.
+        stack.tick(t0 + SimDuration::from_hours(2)).unwrap();
+        let swap_buffers: u64 = ids
+            .iter()
+            .map(|&s| {
+                stack
+                    .rack
+                    .manager(s)
+                    .granted_buffers(zombieland_core::manager::PoolKind::Swap)
+                    .len() as u64
+            })
+            .sum();
+        assert!(swap_buffers > 0, "hourly GS_alloc_swap refresh ran");
+    }
+
+    #[test]
+    fn shutdown_releases_buffers() {
+        let mut stack = ZombieStack::new(RackConfig::default());
+        let ids = stack.rack.server_ids();
+        stack.rack.goto_zombie(ids[3]).unwrap();
+        let before = stack.rack.db().free_buffers();
+        stack.boot_vm(spec(1, 0.5, 20, 0.3)).unwrap();
+        assert!(stack.rack.db().free_buffers() < before);
+        stack.shutdown_vm(1).unwrap();
+        assert_eq!(stack.rack.db().free_buffers(), before);
+    }
+}

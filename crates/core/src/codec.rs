@@ -1,0 +1,297 @@
+//! Wire encoding of the control-plane protocol.
+//!
+//! The RPC layer moves bytes; this module defines what those bytes are. A
+//! small, versioned, little-endian TLV format — one opcode byte, a u16
+//! version, then the operation's fields; variable-length id lists carry a
+//! u32 count. Nothing here allocates on the decode hot path beyond the
+//! output vectors, and every decoder is total: corrupt input yields
+//! [`CodecError`], never a panic.
+
+use zombieland_mem::buffer::BufferId;
+use zombieland_simcore::Bytes;
+
+use crate::protocol::RackOp;
+use crate::server::ServerId;
+
+/// Protocol version carried in every message.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Opcodes, one per §4.3–4.4 function.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+enum Opcode {
+    GotoZombie = 1,
+    Reclaim = 2,
+    UsReclaim = 3,
+    AllocExt = 4,
+    AllocSwap = 5,
+    AsGetFreeMem = 6,
+    GetLruZombie = 7,
+}
+
+impl Opcode {
+    fn from_byte(b: u8) -> Option<Opcode> {
+        match b {
+            1 => Some(Opcode::GotoZombie),
+            2 => Some(Opcode::Reclaim),
+            3 => Some(Opcode::UsReclaim),
+            4 => Some(Opcode::AllocExt),
+            5 => Some(Opcode::AllocSwap),
+            6 => Some(Opcode::AsGetFreeMem),
+            7 => Some(Opcode::GetLruZombie),
+            _ => None,
+        }
+    }
+}
+
+/// Decode failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than the fields require.
+    Truncated,
+    /// Unknown opcode byte.
+    UnknownOpcode(u8),
+    /// A protocol version this peer does not speak.
+    VersionMismatch(u16),
+    /// Bytes left over after the last field.
+    TrailingBytes(usize),
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "message truncated"),
+            CodecError::UnknownOpcode(b) => write!(f, "unknown opcode {b:#x}"),
+            CodecError::VersionMismatch(v) => write!(f, "wire version {v} unsupported"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn finish(self) -> Result<(), CodecError> {
+        let rest = self.buf.len() - self.pos;
+        if rest == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes(rest))
+        }
+    }
+}
+
+fn put_header(out: &mut Vec<u8>, op: Opcode) {
+    out.push(op as u8);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+}
+
+/// Encodes an operation to its wire bytes.
+pub fn encode(op: &RackOp) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match op {
+        RackOp::GotoZombie { host, buffers } => {
+            put_header(&mut out, Opcode::GotoZombie);
+            out.extend_from_slice(&host.get().to_le_bytes());
+            out.extend_from_slice(&buffers.to_le_bytes());
+        }
+        RackOp::Reclaim { host, nb_buffers } => {
+            put_header(&mut out, Opcode::Reclaim);
+            out.extend_from_slice(&host.get().to_le_bytes());
+            out.extend_from_slice(&nb_buffers.to_le_bytes());
+        }
+        RackOp::UsReclaim { user, buff_ids } => {
+            put_header(&mut out, Opcode::UsReclaim);
+            out.extend_from_slice(&user.get().to_le_bytes());
+            out.extend_from_slice(&(buff_ids.len() as u32).to_le_bytes());
+            for b in buff_ids {
+                out.extend_from_slice(&b.get().to_le_bytes());
+            }
+        }
+        RackOp::AllocExt { user, mem_size } => {
+            put_header(&mut out, Opcode::AllocExt);
+            out.extend_from_slice(&user.get().to_le_bytes());
+            out.extend_from_slice(&mem_size.get().to_le_bytes());
+        }
+        RackOp::AllocSwap { user, mem_size } => {
+            put_header(&mut out, Opcode::AllocSwap);
+            out.extend_from_slice(&user.get().to_le_bytes());
+            out.extend_from_slice(&mem_size.get().to_le_bytes());
+        }
+        RackOp::AsGetFreeMem { host } => {
+            put_header(&mut out, Opcode::AsGetFreeMem);
+            out.extend_from_slice(&host.get().to_le_bytes());
+        }
+        RackOp::GetLruZombie => {
+            put_header(&mut out, Opcode::GetLruZombie);
+        }
+    }
+    out
+}
+
+/// Decodes wire bytes back into an operation.
+pub fn decode(bytes: &[u8]) -> Result<RackOp, CodecError> {
+    let mut r = Reader::new(bytes);
+    let op = r.u8()?;
+    let op = Opcode::from_byte(op).ok_or(CodecError::UnknownOpcode(op))?;
+    let version = r.u16()?;
+    if version != WIRE_VERSION {
+        return Err(CodecError::VersionMismatch(version));
+    }
+    let decoded = match op {
+        Opcode::GotoZombie => RackOp::GotoZombie {
+            host: ServerId::new(r.u32()?),
+            buffers: r.u64()?,
+        },
+        Opcode::Reclaim => RackOp::Reclaim {
+            host: ServerId::new(r.u32()?),
+            nb_buffers: r.u64()?,
+        },
+        Opcode::UsReclaim => {
+            let user = ServerId::new(r.u32()?);
+            let count = r.u32()? as usize;
+            // Bound the preallocation by what the buffer can even hold.
+            let mut buff_ids = Vec::with_capacity(count.min(bytes.len() / 8 + 1));
+            for _ in 0..count {
+                buff_ids.push(BufferId::new(r.u64()?));
+            }
+            RackOp::UsReclaim { user, buff_ids }
+        }
+        Opcode::AllocExt => RackOp::AllocExt {
+            user: ServerId::new(r.u32()?),
+            mem_size: Bytes::new(r.u64()?),
+        },
+        Opcode::AllocSwap => RackOp::AllocSwap {
+            user: ServerId::new(r.u32()?),
+            mem_size: Bytes::new(r.u64()?),
+        },
+        Opcode::AsGetFreeMem => RackOp::AsGetFreeMem {
+            host: ServerId::new(r.u32()?),
+        },
+        Opcode::GetLruZombie => RackOp::GetLruZombie,
+    };
+    r.finish()?;
+    Ok(decoded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<RackOp> {
+        vec![
+            RackOp::GotoZombie {
+                host: ServerId::new(3),
+                buffers: 240,
+            },
+            RackOp::Reclaim {
+                host: ServerId::new(3),
+                nb_buffers: 12,
+            },
+            RackOp::UsReclaim {
+                user: ServerId::new(0),
+                buff_ids: vec![BufferId::new(5), BufferId::new(99), BufferId::new(u64::MAX)],
+            },
+            RackOp::UsReclaim {
+                user: ServerId::new(1),
+                buff_ids: vec![],
+            },
+            RackOp::AllocExt {
+                user: ServerId::new(7),
+                mem_size: Bytes::gib(3),
+            },
+            RackOp::AllocSwap {
+                user: ServerId::new(7),
+                mem_size: Bytes::mib(512),
+            },
+            RackOp::AsGetFreeMem {
+                host: ServerId::new(2),
+            },
+            RackOp::GetLruZombie,
+        ]
+    }
+
+    #[test]
+    fn round_trips() {
+        for op in samples() {
+            let bytes = encode(&op);
+            assert_eq!(decode(&bytes), Ok(op.clone()), "{}", op.wire_name());
+        }
+    }
+
+    #[test]
+    fn truncation_detected_at_every_length() {
+        for op in samples() {
+            let bytes = encode(&op);
+            for cut in 0..bytes.len() {
+                let r = decode(&bytes[..cut]);
+                assert!(r.is_err(), "{} cut at {cut} decoded: {r:?}", op.wire_name());
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut bytes = encode(&RackOp::GetLruZombie);
+        bytes.push(0);
+        assert_eq!(decode(&bytes), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_opcode_and_version() {
+        let mut bytes = encode(&RackOp::GetLruZombie);
+        bytes[0] = 0xEE;
+        assert_eq!(decode(&bytes), Err(CodecError::UnknownOpcode(0xEE)));
+
+        let mut bytes = encode(&RackOp::GetLruZombie);
+        bytes[1] = 0xFF;
+        bytes[2] = 0xFF;
+        assert_eq!(decode(&bytes), Err(CodecError::VersionMismatch(0xFFFF)));
+    }
+
+    #[test]
+    fn huge_declared_count_does_not_blow_memory() {
+        // A malicious UsReclaim declaring 4 billion ids but carrying none.
+        let mut bytes = Vec::new();
+        bytes.push(3); // UsReclaim.
+        bytes.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // user.
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // count.
+        assert_eq!(decode(&bytes), Err(CodecError::Truncated));
+    }
+}

@@ -1,0 +1,41 @@
+//! Rack-level memory disaggregation with zombie servers — the paper's
+//! primary contribution (§4).
+//!
+//! A rack contains general-purpose servers in one of five roles (Fig. 7):
+//! the **global memory controller** (`global-mem-ctr`), its **secondary**
+//! mirror, **user servers** that consume remote memory, **zombie servers**
+//! that serve memory while suspended in Sz, and **active servers** that
+//! serve residual memory while running. Every server runs a **remote
+//! memory manager** agent that talks to the controller over RPC-over-RDMA
+//! and moves pages with one-sided verbs.
+//!
+//! Crate layout:
+//!
+//! - [`server`] — server identity and per-server platform/memory state.
+//! - [`db`] — the controller's in-memory buffer database: who lends what,
+//!   who uses what, zombie-first allocation, reclaim planning.
+//! - [`protocol`] — the paper's wire functions (`GS_goto_zombie`,
+//!   `GS_reclaim`, `US_reclaim`, `GS_alloc_ext`, `GS_alloc_swap`,
+//!   `AS_get_free_mem`, `GS_get_lru_zombie`) with their RPC cost model.
+//! - [`codec`] — the versioned little-endian wire encoding of those
+//!   operations (total decoders; corrupt input errors, never panics).
+//! - [`manager`] — the remote-mem-mgr agent: granted-buffer slot
+//!   bookkeeping, page handles, the asynchronous local backup that makes
+//!   revocation safe.
+//! - [`ha`] — heartbeat monitoring and synchronous mirroring onto the
+//!   secondary controller, with failover.
+//! - [`rack`] — [`rack::Rack`], the facade wiring fabric + platforms +
+//!   controller + managers together; the hypervisor and cloud layers
+//!   program against it.
+
+pub mod codec;
+pub mod db;
+pub mod ha;
+pub mod manager;
+pub mod protocol;
+pub mod rack;
+pub mod server;
+
+pub use manager::PageHandle;
+pub use rack::{Rack, RackConfig, RackError};
+pub use server::ServerId;

@@ -1,0 +1,190 @@
+//! The control-plane protocol: the paper's wire functions and their RPC
+//! cost model.
+//!
+//! §4.3–4.4 name seven functions. Each variant carries the parameters the
+//! paper gives it; [`RackOp::request_len`]/[`RackOp::response_len`] model
+//! the serialized sizes and [`RackOp::server_time`] the controller-side
+//! processing (in-memory database work), which together drive the
+//! [`zombieland_rdma::rpc::RpcLink`] timing.
+
+use zombieland_mem::buffer::BufferId;
+use zombieland_simcore::{Bytes, SimDuration};
+
+use crate::server::ServerId;
+
+/// A control-plane operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RackOp {
+    /// `GS_goto_zombie(buffers)` — a suspending server lends its free
+    /// memory.
+    GotoZombie {
+        /// The suspending host.
+        host: ServerId,
+        /// Number of buffers lent.
+        buffers: u64,
+    },
+    /// `GS_reclaim(nbBuffers)` — a waking server takes its memory back.
+    Reclaim {
+        /// The waking host.
+        host: ServerId,
+        /// Buffers to reclaim.
+        nb_buffers: u64,
+    },
+    /// `US_reclaim(buff_IDs)` — controller → user revocation notice.
+    UsReclaim {
+        /// The user losing buffers.
+        user: ServerId,
+        /// The revoked buffers.
+        buff_ids: Vec<BufferId>,
+    },
+    /// `GS_alloc_ext(memSize)` — guaranteed RAM-Extension allocation.
+    AllocExt {
+        /// The requesting user.
+        user: ServerId,
+        /// Requested size (`nb × BUFF_SIZE == memSize`).
+        mem_size: Bytes,
+    },
+    /// `GS_alloc_swap(memSize)` — best-effort Explicit-SD allocation.
+    AllocSwap {
+        /// The requesting user.
+        user: ServerId,
+        /// Requested size (`nb × BUFF_SIZE ≤ memSize`).
+        mem_size: Bytes,
+    },
+    /// `AS_get_free_mem()` — harvest residual memory from an active
+    /// server.
+    AsGetFreeMem {
+        /// The active server asked to lend.
+        host: ServerId,
+    },
+    /// `GS_get_lru_zombie()` — the zombie with the fewest allocated
+    /// buffers (consolidation wake-up preference).
+    GetLruZombie,
+}
+
+impl RackOp {
+    /// The paper's name for the function.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            RackOp::GotoZombie { .. } => "GS_goto_zombie",
+            RackOp::Reclaim { .. } => "GS_reclaim",
+            RackOp::UsReclaim { .. } => "US_reclaim",
+            RackOp::AllocExt { .. } => "GS_alloc_ext",
+            RackOp::AllocSwap { .. } => "GS_alloc_swap",
+            RackOp::AsGetFreeMem { .. } => "AS_get_free_mem",
+            RackOp::GetLruZombie => "GS_get_lru_zombie",
+        }
+    }
+
+    /// Serialized request size: the actual wire encoding
+    /// ([`crate::codec::encode`]) plus the transport's framing header.
+    pub fn request_len(&self) -> Bytes {
+        const FRAMING: u64 = 32;
+        Bytes::new(FRAMING + crate::codec::encode(self).len() as u64)
+    }
+
+    /// Serialized response size: header plus buffer descriptors where the
+    /// response carries a list (allocations return up to
+    /// `mem_size / BUFF_SIZE` descriptors).
+    pub fn response_len(&self) -> Bytes {
+        const HDR: u64 = 64;
+        let extra = match self {
+            RackOp::AllocExt { mem_size, .. } | RackOp::AllocSwap { mem_size, .. } => {
+                zombieland_mem::buffer::buffers_for(*mem_size) * 32
+            }
+            RackOp::Reclaim { nb_buffers, .. } => nb_buffers * 16,
+            _ => 0,
+        };
+        Bytes::new(HDR + extra)
+    }
+
+    /// Controller-side processing time: in-memory database operations in
+    /// the tens of microseconds, scaling mildly with the touched rows.
+    pub fn server_time(&self) -> SimDuration {
+        let rows = match self {
+            RackOp::GotoZombie { buffers, .. } => *buffers,
+            RackOp::Reclaim { nb_buffers, .. } => *nb_buffers,
+            RackOp::UsReclaim { buff_ids, .. } => buff_ids.len() as u64,
+            RackOp::AllocExt { mem_size, .. } | RackOp::AllocSwap { mem_size, .. } => {
+                zombieland_mem::buffer::buffers_for(*mem_size)
+            }
+            RackOp::AsGetFreeMem { .. } => 1,
+            RackOp::GetLruZombie => 1,
+        };
+        SimDuration::from_micros(15) + SimDuration::from_nanos(200) * rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_names_match_paper() {
+        let ops = [
+            RackOp::GotoZombie {
+                host: ServerId::new(0),
+                buffers: 4,
+            },
+            RackOp::Reclaim {
+                host: ServerId::new(0),
+                nb_buffers: 2,
+            },
+            RackOp::UsReclaim {
+                user: ServerId::new(1),
+                buff_ids: vec![BufferId::new(0)],
+            },
+            RackOp::AllocExt {
+                user: ServerId::new(1),
+                mem_size: Bytes::mib(128),
+            },
+            RackOp::AllocSwap {
+                user: ServerId::new(1),
+                mem_size: Bytes::mib(64),
+            },
+            RackOp::AsGetFreeMem {
+                host: ServerId::new(2),
+            },
+            RackOp::GetLruZombie,
+        ];
+        let names: Vec<&str> = ops.iter().map(|o| o.wire_name()).collect();
+        assert_eq!(
+            names,
+            [
+                "GS_goto_zombie",
+                "GS_reclaim",
+                "US_reclaim",
+                "GS_alloc_ext",
+                "GS_alloc_swap",
+                "AS_get_free_mem",
+                "GS_get_lru_zombie"
+            ]
+        );
+    }
+
+    #[test]
+    fn sizes_scale_with_payload() {
+        let small = RackOp::AllocExt {
+            user: ServerId::new(0),
+            mem_size: Bytes::mib(64),
+        };
+        let large = RackOp::AllocExt {
+            user: ServerId::new(0),
+            mem_size: Bytes::gib(4),
+        };
+        assert!(large.response_len() > small.response_len());
+        assert!(large.server_time() > small.server_time());
+        assert_eq!(small.request_len(), large.request_len());
+    }
+
+    #[test]
+    fn control_ops_are_fast() {
+        // Control-plane work stays far below data-plane page transfers at
+        // scale: everything under a millisecond of server time.
+        let op = RackOp::GotoZombie {
+            host: ServerId::new(0),
+            buffers: 256,
+        };
+        assert!(op.server_time() < SimDuration::from_millis(1));
+    }
+}

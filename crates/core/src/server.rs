@@ -1,0 +1,59 @@
+//! Server identity and roles.
+
+use core::fmt;
+
+/// Rack-unique server identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServerId(u32);
+
+impl ServerId {
+    /// Builds from a raw id.
+    pub const fn new(id: u32) -> Self {
+        ServerId(id)
+    }
+
+    /// The raw id.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "srv:{}", self.0)
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "srv:{}", self.0)
+    }
+}
+
+/// The five roles of Fig. 7. A server's role can change over its life
+/// (an active server becomes a zombie, a zombie wakes into a user, ...).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// Hosts the global memory controller.
+    GlobalController,
+    /// Hosts the secondary (mirror) controller.
+    SecondaryController,
+    /// Runs VMs; may consume remote memory.
+    User,
+    /// Suspended in Sz, serving memory.
+    Zombie,
+    /// Running, serving residual memory.
+    Active,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_values() {
+        assert!(ServerId::new(1) < ServerId::new(2));
+        assert_eq!(ServerId::new(7).get(), 7);
+        assert_eq!(format!("{}", ServerId::new(3)), "srv:3");
+    }
+}

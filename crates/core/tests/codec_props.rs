@@ -1,0 +1,63 @@
+//! Property tests for the wire codec: arbitrary operations round-trip,
+//! and arbitrary bytes never panic the decoder.
+
+use proptest::prelude::*;
+use zombieland_core::codec::{decode, encode};
+use zombieland_core::protocol::RackOp;
+use zombieland_core::ServerId;
+use zombieland_mem::buffer::BufferId;
+use zombieland_simcore::Bytes;
+
+fn ops() -> impl Strategy<Value = RackOp> {
+    prop_oneof![
+        (any::<u32>(), any::<u64>()).prop_map(|(h, b)| RackOp::GotoZombie {
+            host: ServerId::new(h),
+            buffers: b,
+        }),
+        (any::<u32>(), any::<u64>()).prop_map(|(h, n)| RackOp::Reclaim {
+            host: ServerId::new(h),
+            nb_buffers: n,
+        }),
+        (any::<u32>(), prop::collection::vec(any::<u64>(), 0..64)).prop_map(|(u, ids)| {
+            RackOp::UsReclaim {
+                user: ServerId::new(u),
+                buff_ids: ids.into_iter().map(BufferId::new).collect(),
+            }
+        }),
+        (any::<u32>(), any::<u64>()).prop_map(|(u, s)| RackOp::AllocExt {
+            user: ServerId::new(u),
+            mem_size: Bytes::new(s),
+        }),
+        (any::<u32>(), any::<u64>()).prop_map(|(u, s)| RackOp::AllocSwap {
+            user: ServerId::new(u),
+            mem_size: Bytes::new(s),
+        }),
+        any::<u32>().prop_map(|h| RackOp::AsGetFreeMem {
+            host: ServerId::new(h),
+        }),
+        Just(RackOp::GetLruZombie),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn any_op_round_trips(op in ops()) {
+        let bytes = encode(&op);
+        prop_assert_eq!(decode(&bytes), Ok(op));
+    }
+
+    #[test]
+    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Whatever arrives on the wire, decode returns Ok or Err — it
+        // never panics and never allocates unboundedly.
+        let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn request_len_covers_encoding(op in ops()) {
+        // The RPC layer's size model is never smaller than the real
+        // message.
+        let encoded = encode(&op).len() as u64;
+        prop_assert!(op.request_len().get() >= encoded);
+    }
+}

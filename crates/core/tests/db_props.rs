@@ -1,0 +1,186 @@
+//! Property tests: the controller database keeps its invariants under
+//! arbitrary operation sequences, and stays deterministic (the mirroring
+//! precondition).
+
+use proptest::prelude::*;
+use zombieland_core::db::{CtrlDb, DbError};
+use zombieland_core::ServerId;
+use zombieland_mem::buffer::BufferId;
+use zombieland_rdma::Fabric;
+use zombieland_simcore::Bytes;
+
+const HOSTS: u32 = 5;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Lend { host: u32, n: u8, zombie: bool },
+    Alloc { user: u32, nb: u8, guaranteed: bool },
+    ReleaseSome { user: u32 },
+    Reclaim { host: u32, nb: u8 },
+    Wake { host: u32 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            ((0..HOSTS), (1u8..6), any::<bool>()).prop_map(|(host, n, zombie)| Op::Lend {
+                host,
+                n,
+                zombie
+            }),
+            ((0..HOSTS), (1u8..8), any::<bool>()).prop_map(|(user, nb, guaranteed)| Op::Alloc {
+                user,
+                nb,
+                guaranteed
+            }),
+            (0..HOSTS).prop_map(|user| Op::ReleaseSome { user }),
+            ((0..HOSTS), (1u8..6)).prop_map(|(host, nb)| Op::Reclaim { host, nb }),
+            (0..HOSTS).prop_map(|host| Op::Wake { host }),
+        ],
+        1..60,
+    )
+}
+
+/// Applies one op; returns whether it mutated the DB (errors are fine —
+/// they must just be the *right* errors).
+fn apply(db: &mut CtrlDb, fabric: &mut Fabric, node: zombieland_rdma::NodeId, op: &Op) {
+    match op {
+        Op::Lend { host, n, zombie } => {
+            let mrs: Vec<_> = (0..*n)
+                .map(|_| fabric.register(node, Bytes::mib(64)).unwrap())
+                .collect();
+            db.lend(ServerId::new(*host), &mrs, *zombie).unwrap();
+        }
+        Op::Alloc {
+            user,
+            nb,
+            guaranteed,
+        } => match db.allocate(ServerId::new(*user), *nb as u64, *guaranteed) {
+            Ok(recs) => {
+                if *guaranteed {
+                    assert_eq!(recs.len(), *nb as usize);
+                }
+            }
+            Err(DbError::AdmissionDenied {
+                requested,
+                available,
+            }) => {
+                assert!(*guaranteed);
+                assert!(available < requested);
+            }
+            Err(e) => panic!("unexpected {e}"),
+        },
+        Op::ReleaseSome { user } => {
+            let mine: Vec<BufferId> = db
+                .buffers_of_user(ServerId::new(*user))
+                .iter()
+                .take(2)
+                .map(|r| r.id)
+                .collect();
+            if !mine.is_empty() {
+                db.release(ServerId::new(*user), &mine).unwrap();
+            }
+        }
+        Op::Reclaim { host, nb } => {
+            let plan = db.reclaim(ServerId::new(*host), *nb as u64).unwrap();
+            // Free buffers are always preferred: revocations happen only
+            // when the request exceeded the host's free lent buffers.
+            let _ = plan;
+        }
+        Op::Wake { host } => {
+            db.mark_awake(ServerId::new(*host)).unwrap();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_ops(ops in ops()) {
+        let mut fabric = Fabric::new();
+        let node = fabric.attach();
+        let mut db = CtrlDb::new();
+        for h in 0..HOSTS {
+            db.register_host(ServerId::new(h));
+        }
+        for op in &ops {
+            apply(&mut db, &mut fabric, node, op);
+
+            // Invariant 1: free count equals rows without a user.
+            let mut free = 0u64;
+            let mut per_user: std::collections::BTreeMap<u32, u64> = Default::default();
+            for h in 0..HOSTS {
+                for rec in db.buffers_of_host(ServerId::new(h)) {
+                    prop_assert_eq!(rec.host, ServerId::new(h));
+                    match rec.user {
+                        None => free += 1,
+                        Some(u) => {
+                            // Invariant 2: nobody "remotely" uses their own
+                            // host's memory.
+                            prop_assert_ne!(u, rec.host);
+                            *per_user.entry(u.get()).or_default() += 1;
+                        }
+                    }
+                    // Invariant 3: zombie hosts serve zombie-kind buffers.
+                    let expected = if db.is_zombie(rec.host) {
+                        zombieland_core::db::BufferKind::Zombie
+                    } else {
+                        zombieland_core::db::BufferKind::Active
+                    };
+                    prop_assert_eq!(rec.kind, expected);
+                }
+            }
+            prop_assert_eq!(free, db.free_buffers());
+            // Invariant 4: per-user views agree with row scans.
+            for (u, count) in per_user {
+                prop_assert_eq!(
+                    db.buffers_of_user(ServerId::new(u)).len() as u64,
+                    count
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replay_determinism(ops in ops()) {
+        // The same op sequence produces byte-identical databases — the
+        // property the HA mirroring relies on.
+        let run = |ops: &[Op]| {
+            let mut fabric = Fabric::new();
+            let node = fabric.attach();
+            let mut db = CtrlDb::new();
+            for h in 0..HOSTS {
+                db.register_host(ServerId::new(h));
+            }
+            for op in ops {
+                apply(&mut db, &mut fabric, node, op);
+            }
+            db
+        };
+        prop_assert_eq!(run(&ops), run(&ops));
+    }
+
+    #[test]
+    fn reclaim_conserves_buffers(lent in 1u8..12, allocated in 0u8..12, take in 1u8..14) {
+        let mut fabric = Fabric::new();
+        let node = fabric.attach();
+        let mut db = CtrlDb::new();
+        db.register_host(ServerId::new(0));
+        db.register_host(ServerId::new(1));
+        let mrs: Vec<_> = (0..lent)
+            .map(|_| fabric.register(node, Bytes::mib(64)).unwrap())
+            .collect();
+        db.lend(ServerId::new(1), &mrs, true).unwrap();
+        let _ = db.allocate(ServerId::new(0), allocated as u64, false);
+        let before = db.len();
+        let plan = db.reclaim(ServerId::new(1), take as u64).unwrap();
+        let reclaimed = plan.returned_free.len() + plan.revoked.len();
+        prop_assert_eq!(reclaimed, (take as usize).min(lent as usize));
+        prop_assert_eq!(db.len(), before - reclaimed);
+        // Free buffers are consumed before any revocation.
+        if !plan.revoked.is_empty() {
+            prop_assert_eq!(db.free_buffers(), 0);
+        }
+    }
+}

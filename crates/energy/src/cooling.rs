@@ -1,0 +1,96 @@
+//! Datacenter cooling overhead (the paper's footnote 1).
+//!
+//! "The low energy consumption of a Zombie server translates into less
+//! dissipated heat. Thereby, the Zombie technology also decreases the
+//! energy consumed by the datacenter cooling system." Cooling power
+//! tracks dissipated IT power, so every Watt saved at the server is
+//! amplified at the facility meter. The standard way to express this is
+//! PUE (power usage effectiveness): facility power = PUE × IT power.
+
+use zombieland_simcore::Joules;
+
+/// A facility cooling/overhead model.
+#[derive(Clone, Copy, Debug)]
+pub struct CoolingModel {
+    /// Power usage effectiveness: total facility power / IT power.
+    /// Industry averages hover around 1.5; hyperscalers reach ~1.1.
+    pub pue: f64,
+}
+
+impl CoolingModel {
+    /// A typical enterprise datacenter.
+    pub fn typical() -> Self {
+        CoolingModel { pue: 1.5 }
+    }
+
+    /// A modern, highly optimized facility.
+    pub fn hyperscale() -> Self {
+        CoolingModel { pue: 1.12 }
+    }
+
+    /// Builds from an explicit PUE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pue < 1.0` (facility power cannot be below IT power).
+    pub fn with_pue(pue: f64) -> Self {
+        assert!(pue >= 1.0, "PUE is total/IT and cannot be below 1");
+        CoolingModel { pue }
+    }
+
+    /// Facility energy for a given IT energy.
+    pub fn facility_energy(&self, it: Joules) -> Joules {
+        Joules::new(it.get() * self.pue)
+    }
+
+    /// The cooling/overhead share alone.
+    pub fn overhead_energy(&self, it: Joules) -> Joules {
+        Joules::new(it.get() * (self.pue - 1.0))
+    }
+
+    /// Facility-level savings implied by an IT-level saving: with a
+    /// load-proportional cooling model the *percentage* carries over
+    /// unchanged, but the absolute Joules are amplified by PUE — the
+    /// footnote's point.
+    pub fn amplified_saving(&self, baseline_it: Joules, improved_it: Joules) -> Joules {
+        Joules::new((baseline_it.get() - improved_it.get()).max(0.0) * self.pue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facility_scales_by_pue() {
+        let m = CoolingModel::typical();
+        let it = Joules::new(1000.0);
+        assert!((m.facility_energy(it).get() - 1500.0).abs() < 1e-9);
+        assert!((m.overhead_energy(it).get() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn savings_amplify_in_joules_not_percent() {
+        let m = CoolingModel::typical();
+        let base = Joules::new(1000.0);
+        let improved = Joules::new(600.0);
+        // 400 J saved at the servers -> 600 J at the meter.
+        assert!((m.amplified_saving(base, improved).get() - 600.0).abs() < 1e-9);
+        // Percentage is invariant under proportional cooling.
+        let pct_it = 1.0 - improved.get() / base.get();
+        let pct_fac = 1.0 - m.facility_energy(improved).get() / m.facility_energy(base).get();
+        assert!((pct_it - pct_fac).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hyperscale_overhead_is_small() {
+        let m = CoolingModel::hyperscale();
+        assert!(m.overhead_energy(Joules::new(100.0)).get() < 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be below 1")]
+    fn pue_below_one_rejected() {
+        CoolingModel::with_pue(0.9);
+    }
+}

@@ -1,0 +1,140 @@
+//! Energy consumption vs. server utilization (Fig. 1).
+//!
+//! Fig. 1 contrasts the *actual* power curve of a commodity server — which
+//! already draws roughly half its peak power when completely idle — with
+//! the *ideal*, energy-proportional behaviour (power linear in
+//! utilization, zero at idle). The gap between the two curves is the
+//! motivation for consolidating VMs onto fewer servers and suspending the
+//! rest.
+
+use crate::profile::MachineProfile;
+
+/// The actual power fraction at `utilization ∈ [0, 1]`.
+///
+/// Model: `f(u) = idle + (1 − idle) · (2u − u²)`, the standard concave
+/// "sub-linear savings" shape (power rises quickly at low utilization and
+/// flattens near peak). It matches Fig. 1's solid curve: `f(0) = idle ≈
+/// 0.5`, `f(1) = 1`.
+pub fn power_fraction(profile: &MachineProfile, utilization: f64) -> f64 {
+    let u = utilization.clamp(0.0, 1.0);
+    let idle = profile.s0_idle_fraction();
+    idle + (1.0 - idle) * (2.0 * u - u * u)
+}
+
+/// The ideal, energy-proportional power fraction (Fig. 1 dashed line).
+pub fn ideal_fraction(utilization: f64) -> f64 {
+    utilization.clamp(0.0, 1.0)
+}
+
+/// Energy efficiency at a utilization level: useful work per unit power,
+/// normalized so a perfectly proportional server scores 1 everywhere.
+/// Undefined (0) at zero utilization.
+pub fn efficiency(profile: &MachineProfile, utilization: f64) -> f64 {
+    let u = utilization.clamp(0.0, 1.0);
+    if u == 0.0 {
+        0.0
+    } else {
+        u / power_fraction(profile, u)
+    }
+}
+
+/// One row of Fig. 1: utilization, actual and ideal fractions (in %).
+#[derive(Clone, Copy, Debug)]
+pub struct CurvePoint {
+    /// Utilization in percent.
+    pub utilization_pct: f64,
+    /// Actual power in percent of max.
+    pub actual_pct: f64,
+    /// Ideal (proportional) power in percent of max.
+    pub ideal_pct: f64,
+}
+
+/// Samples the Fig. 1 curves at `steps + 1` evenly spaced points.
+pub fn figure1(profile: &MachineProfile, steps: usize) -> Vec<CurvePoint> {
+    (0..=steps)
+        .map(|i| {
+            let u = i as f64 / steps as f64;
+            CurvePoint {
+                utilization_pct: u * 100.0,
+                actual_pct: power_fraction(profile, u) * 100.0,
+                ideal_pct: ideal_fraction(u) * 100.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zombieland_acpi::SleepState;
+
+    #[test]
+    fn endpoints() {
+        let hp = MachineProfile::hp();
+        assert!((power_fraction(&hp, 0.0) - hp.s0_idle_fraction()).abs() < 1e-12);
+        assert!((power_fraction(&hp, 1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(ideal_fraction(0.0), 0.0);
+        assert_eq!(ideal_fraction(1.0), 1.0);
+    }
+
+    #[test]
+    fn actual_dominates_ideal() {
+        let hp = MachineProfile::hp();
+        for i in 0..=100 {
+            let u = i as f64 / 100.0;
+            assert!(power_fraction(&hp, u) >= ideal_fraction(u), "u={u}");
+        }
+    }
+
+    #[test]
+    fn monotone_and_concave() {
+        let hp = MachineProfile::hp();
+        let mut prev = power_fraction(&hp, 0.0);
+        let mut prev_delta = f64::INFINITY;
+        for i in 1..=100 {
+            let u = i as f64 / 100.0;
+            let f = power_fraction(&hp, u);
+            let delta = f - prev;
+            assert!(delta >= 0.0, "monotone at u={u}");
+            assert!(delta <= prev_delta + 1e-12, "concave at u={u}");
+            prev = f;
+            prev_delta = delta;
+        }
+    }
+
+    #[test]
+    fn efficiency_improves_with_utilization() {
+        let hp = MachineProfile::hp();
+        assert!(efficiency(&hp, 0.9) > efficiency(&hp, 0.3));
+        assert!(efficiency(&hp, 0.3) > efficiency(&hp, 0.05));
+        assert_eq!(efficiency(&hp, 0.0), 0.0);
+        // Even at 100 % a real server only reaches proportional parity.
+        assert!((efficiency(&hp, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let hp = MachineProfile::hp();
+        let pts = figure1(&hp, 10);
+        assert_eq!(pts.len(), 11);
+        // Idle actual power near 50 % (the paper's S0idle marker).
+        assert!(pts[0].actual_pct > 45.0 && pts[0].actual_pct < 60.0);
+        assert_eq!(pts[0].ideal_pct, 0.0);
+        assert!((pts[10].actual_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sleep_states_sit_below_the_curve() {
+        // Fig. 1 marks S3/S4/S5 near the bottom: all far below S0 idle.
+        let hp = MachineProfile::hp();
+        let idle = power_fraction(&hp, 0.0);
+        for s in [
+            SleepState::S3,
+            SleepState::S4,
+            SleepState::S5,
+            SleepState::Sz,
+        ] {
+            assert!(hp.state_fraction(s) < idle / 3.0, "{s}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Energy models: machine profiles, the paper's Sz estimation (Eq. 1),
+//! utilization power curves and rack-level architecture comparisons.
+//!
+//! The paper could not measure an Sz machine (none exists), so §6.6.1
+//! *derives* Sz consumption from seven measured configurations of two lab
+//! machines (Table 3) using Eq. 1. This crate encodes those measurements
+//! as data ([`profile`]), implements the derivation, and builds the two
+//! figure-level models on top:
+//!
+//! - [`curve`] — Fig. 1's energy-vs-utilization curves (actual vs ideal).
+//! - [`rack`] — Fig. 4's rack-level energy totals for the four
+//!   architectures (server-centric, ideal disaggregation, micro-servers,
+//!   zombie).
+//! - [`meter`] — a PowerSpy2-like integrator used by the datacenter
+//!   simulator to turn state/utilization timelines into Joules.
+//! - [`cooling`] — the facility-level (PUE) amplification of server-level
+//!   savings that the paper's footnote 1 points out.
+
+pub mod cooling;
+pub mod curve;
+pub mod meter;
+pub mod profile;
+pub mod rack;
+
+pub use meter::EnergyMeter;
+pub use profile::{MachineProfile, MeasuredConfig};

@@ -1,0 +1,101 @@
+//! Energy integration over simulated time (the PowerSpy2 stand-in).
+
+use zombieland_simcore::{Joules, SimTime, Watts};
+
+/// Integrates a piecewise-constant power signal into Joules.
+///
+/// The datacenter simulator calls [`EnergyMeter::set_power`] whenever a
+/// server's state or utilization changes; the meter accumulates energy for
+/// the elapsed interval at the previous level.
+///
+/// # Examples
+///
+/// ```
+/// use zombieland_energy::EnergyMeter;
+/// use zombieland_simcore::{SimDuration, SimTime, Watts};
+///
+/// let mut m = EnergyMeter::new(SimTime::ZERO, Watts::new(100.0));
+/// m.set_power(SimTime::ZERO + SimDuration::from_secs(10), Watts::new(50.0));
+/// let total = m.finish(SimTime::ZERO + SimDuration::from_secs(20));
+/// assert!((total.get() - (100.0 * 10.0 + 50.0 * 10.0)).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EnergyMeter {
+    since: SimTime,
+    power: Watts,
+    total: Joules,
+}
+
+impl EnergyMeter {
+    /// Starts metering at `start` with an initial power level.
+    pub fn new(start: SimTime, power: Watts) -> Self {
+        EnergyMeter {
+            since: start,
+            power,
+            total: Joules::ZERO,
+        }
+    }
+
+    /// Records a power change at `at`, accumulating the interval since the
+    /// last change. Out-of-order timestamps are clamped (treated as "now").
+    pub fn set_power(&mut self, at: SimTime, power: Watts) {
+        let elapsed = at.saturating_since(self.since);
+        self.total += self.power.over(elapsed);
+        self.since = self.since.max(at);
+        self.power = power;
+    }
+
+    /// Current power level.
+    pub fn power(&self) -> Watts {
+        self.power
+    }
+
+    /// Energy accumulated so far, up to the last recorded change.
+    pub fn accumulated(&self) -> Joules {
+        self.total
+    }
+
+    /// Closes the measurement at `at` and returns the grand total.
+    pub fn finish(mut self, at: SimTime) -> Joules {
+        self.set_power(at, Watts::ZERO);
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zombieland_simcore::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn integrates_piecewise_signal() {
+        let mut m = EnergyMeter::new(t(0), Watts::new(10.0));
+        m.set_power(t(5), Watts::new(20.0));
+        m.set_power(t(8), Watts::new(0.0));
+        let total = m.finish(t(100));
+        // 10 W * 5 s + 20 W * 3 s + 0 W * 92 s.
+        assert!((total.get() - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_changes_are_free() {
+        let mut m = EnergyMeter::new(t(0), Watts::new(10.0));
+        m.set_power(t(0), Watts::new(99.0));
+        m.set_power(t(0), Watts::new(1.0));
+        let total = m.finish(t(1));
+        assert!((total.get() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_order_clamped() {
+        let mut m = EnergyMeter::new(t(10), Watts::new(10.0));
+        // A timestamp before the meter started: no negative energy.
+        m.set_power(t(5), Watts::new(50.0));
+        let total = m.finish(t(11));
+        assert!((total.get() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,238 @@
+//! Machine energy profiles and the Sz estimation (Table 3 + Eq. 1).
+
+use core::fmt;
+
+use zombieland_acpi::SleepState;
+use zombieland_simcore::Watts;
+
+/// The seven configurations the paper measured with the PowerSpy2
+/// analyzer (Table 3). Names follow the paper's notation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MeasuredConfig {
+    /// S0, Infiniband card physically absent.
+    S0WoIb,
+    /// S0, Infiniband card present but unused.
+    S0WIbOff,
+    /// S0, Infiniband card in use.
+    S0WIbOn,
+    /// S3, Infiniband card absent.
+    S3WoIb,
+    /// S3, Infiniband card present (Wake-on-LAN capable).
+    S3WIb,
+    /// S4, Infiniband card absent.
+    S4WoIb,
+    /// S4, Infiniband card present.
+    S4WIb,
+}
+
+impl MeasuredConfig {
+    /// All configurations, in Table 3 column order.
+    pub const ALL: [MeasuredConfig; 7] = [
+        MeasuredConfig::S0WoIb,
+        MeasuredConfig::S0WIbOff,
+        MeasuredConfig::S0WIbOn,
+        MeasuredConfig::S3WoIb,
+        MeasuredConfig::S3WIb,
+        MeasuredConfig::S4WoIb,
+        MeasuredConfig::S4WIb,
+    ];
+
+    /// The paper's column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MeasuredConfig::S0WoIb => "S0WOIB",
+            MeasuredConfig::S0WIbOff => "S0WIBOff",
+            MeasuredConfig::S0WIbOn => "S0WIBOn",
+            MeasuredConfig::S3WoIb => "S3WOIB",
+            MeasuredConfig::S3WIb => "S3WIB",
+            MeasuredConfig::S4WoIb => "S4WOIB",
+            MeasuredConfig::S4WIb => "S4WIB",
+        }
+    }
+}
+
+/// An energy profile of one machine model: measured idle/sleep fractions
+/// (of the machine's maximum draw) plus its maximum power.
+///
+/// The two built-in profiles carry the paper's Table 3 measurements for
+/// the HP Compaq Elite 8300 and the Dell Precision Tower 5810.
+#[derive(Clone, Debug)]
+pub struct MachineProfile {
+    name: &'static str,
+    /// Maximum (100 % utilization) power draw. The paper reports only
+    /// fractions; these absolute values are typical for the two machines
+    /// and only scale the Joule axis, never a relative result.
+    max_power: Watts,
+    fractions: [f64; 7],
+}
+
+impl MachineProfile {
+    /// Table 3, HP row.
+    pub fn hp() -> Self {
+        MachineProfile {
+            name: "HP",
+            max_power: Watts::new(150.0),
+            fractions: [0.4616, 0.5220, 0.5384, 0.0423, 0.1103, 0.0019, 0.0681],
+        }
+    }
+
+    /// Table 3, Dell row.
+    pub fn dell() -> Self {
+        MachineProfile {
+            name: "Dell",
+            max_power: Watts::new(220.0),
+            fractions: [0.3535, 0.4233, 0.4477, 0.0197, 0.0871, 0.0112, 0.0831],
+        }
+    }
+
+    /// Builds a custom profile. `fractions` follows
+    /// [`MeasuredConfig::ALL`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is outside `[0, 1]`.
+    pub fn custom(name: &'static str, max_power: Watts, fractions: [f64; 7]) -> Self {
+        assert!(
+            fractions.iter().all(|f| (0.0..=1.0).contains(f)),
+            "fractions are shares of max power"
+        );
+        MachineProfile {
+            name,
+            max_power,
+            fractions,
+        }
+    }
+
+    /// Machine model name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Maximum power draw.
+    pub fn max_power(&self) -> Watts {
+        self.max_power
+    }
+
+    /// The measured fraction of max power for a configuration.
+    pub fn fraction(&self, config: MeasuredConfig) -> f64 {
+        self.fractions[MeasuredConfig::ALL
+            .iter()
+            .position(|&c| c == config)
+            .expect("ALL covers every config")]
+    }
+
+    /// **Eq. 1 of the paper**: estimates the Sz fraction from the measured
+    /// configurations.
+    ///
+    /// ```text
+    /// E(Sz) = (E(S0WIBOn) − E(S0WIBOff))   // Infiniband activity
+    ///       + (E(S3WIB)  − E(S3WOIB))      // WoL path (low-power IB, PCIe, root complex)
+    ///       + E(S3WOIB)                    // the rest of the S3 platform
+    /// ```
+    pub fn sz_fraction(&self) -> f64 {
+        let ib_activity =
+            self.fraction(MeasuredConfig::S0WIbOn) - self.fraction(MeasuredConfig::S0WIbOff);
+        let wol_path = self.fraction(MeasuredConfig::S3WIb) - self.fraction(MeasuredConfig::S3WoIb);
+        ib_activity + wol_path + self.fraction(MeasuredConfig::S3WoIb)
+    }
+
+    /// Idle fraction of a running (S0) server with its Infiniband card in
+    /// use — the relevant baseline for a cloud host.
+    pub fn s0_idle_fraction(&self) -> f64 {
+        self.fraction(MeasuredConfig::S0WIbOn)
+    }
+
+    /// The fraction of max power drawn in `state`. For S0 this is the
+    /// *idle* fraction; combine with [`crate::curve::power_fraction`] for
+    /// utilization-dependent draw. Sleep states include the WoL-capable
+    /// Infiniband card, as the paper assumes ("a server in a sleep state
+    /// usually keeps at least one of its network card in a power state
+    /// which allows the Wake-on-LAN").
+    pub fn state_fraction(&self, state: SleepState) -> f64 {
+        match state {
+            SleepState::S0 => self.s0_idle_fraction(),
+            SleepState::S3 => self.fraction(MeasuredConfig::S3WIb),
+            SleepState::S4 => self.fraction(MeasuredConfig::S4WIb),
+            // S5 is not in Table 3; soft-off with WoL sits at (or just
+            // below) the S4-with-IB level.
+            SleepState::S5 => self.fraction(MeasuredConfig::S4WIb),
+            SleepState::Sz => self.sz_fraction(),
+        }
+    }
+
+    /// Absolute power in `state` (S0 taken at idle).
+    pub fn state_power(&self, state: SleepState) -> Watts {
+        self.max_power * self.state_fraction(state)
+    }
+}
+
+impl fmt::Display for MachineProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (max {:?})", self.name, self.max_power)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hp_sz_matches_paper_value() {
+        // Table 3 last column: HP 12.67 %.
+        let hp = MachineProfile::hp();
+        assert!(
+            (hp.sz_fraction() - 0.1267).abs() < 1e-9,
+            "{}",
+            hp.sz_fraction()
+        );
+    }
+
+    #[test]
+    fn dell_sz_matches_paper_value() {
+        // Table 3 last column: Dell 11.15 %.
+        let dell = MachineProfile::dell();
+        assert!(
+            (dell.sz_fraction() - 0.1115).abs() < 1e-9,
+            "{}",
+            dell.sz_fraction()
+        );
+    }
+
+    #[test]
+    fn sz_sits_between_s3_and_s0_idle() {
+        for p in [MachineProfile::hp(), MachineProfile::dell()] {
+            let sz = p.sz_fraction();
+            assert!(sz > p.fraction(MeasuredConfig::S3WIb), "{}", p.name());
+            assert!(sz < p.s0_idle_fraction() / 2.0, "Sz is far below idle S0");
+        }
+    }
+
+    #[test]
+    fn table3_fractions_accessible() {
+        let hp = MachineProfile::hp();
+        assert!((hp.fraction(MeasuredConfig::S0WoIb) - 0.4616).abs() < 1e-12);
+        assert!((hp.fraction(MeasuredConfig::S4WIb) - 0.0681).abs() < 1e-12);
+        let dell = MachineProfile::dell();
+        assert!((dell.fraction(MeasuredConfig::S3WIb) - 0.0871).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_power_ordering() {
+        let p = MachineProfile::hp();
+        let s0 = p.state_power(SleepState::S0).get();
+        let sz = p.state_power(SleepState::Sz).get();
+        let s3 = p.state_power(SleepState::S3).get();
+        let s4 = p.state_power(SleepState::S4).get();
+        assert!(s0 > sz && sz > s3 && s3 > s4);
+    }
+
+    #[test]
+    #[should_panic(expected = "shares of max power")]
+    fn custom_rejects_bad_fraction() {
+        MachineProfile::custom(
+            "bad",
+            Watts::new(100.0),
+            [1.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        );
+    }
+}

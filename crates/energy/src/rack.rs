@@ -1,0 +1,239 @@
+//! Rack-level energy comparison of disaggregation architectures (Fig. 4).
+//!
+//! Fig. 4 works one example: a rack of three servers whose aggregate
+//! demand needs about one server's worth of CPU but two servers' worth of
+//! memory (the memory-bound regime motivating the paper). It then
+//! estimates the rack energy, in units of `Emax` (one server's maximum
+//! draw), under four architectures. The paper's rough totals are
+//! 2.1 / 1.15 / 1.8 / 1.2 × Emax; this module computes the same totals
+//! from the machine profile instead of hand-waving, which lands within a
+//! few tenths of the paper's guidance values while preserving the ordering
+//! that matters: ideal < zombie ≪ micro-servers < server-centric.
+
+use zombieland_acpi::SleepState;
+
+use crate::curve::power_fraction;
+use crate::profile::MachineProfile;
+
+/// The demand placed on the rack, in server-equivalents.
+#[derive(Clone, Copy, Debug)]
+pub struct RackDemand {
+    /// Number of servers in the rack.
+    pub servers: u32,
+    /// CPU demand (1.0 = one fully busy server's CPU).
+    pub cpu: f64,
+    /// Memory demand (1.0 = one server's full RAM).
+    pub mem: f64,
+}
+
+impl RackDemand {
+    /// The Fig. 4 example: 3 servers, CPU-light, memory-heavy (memory
+    /// demand ≈ 2× CPU demand, the trend from Fig. 2). The demands are
+    /// fractional because real aggregate demand is — and because that is
+    /// what exposes the allocation-granularity difference between full
+    /// servers and micro-servers.
+    pub fn figure4() -> Self {
+        RackDemand {
+            servers: 3,
+            cpu: 0.9,
+            mem: 1.6,
+        }
+    }
+}
+
+/// Energy estimate for one architecture, with a per-component breakdown.
+#[derive(Clone, Debug)]
+pub struct RackEnergy {
+    /// Architecture name.
+    pub architecture: &'static str,
+    /// Total rack draw in units of one server's `Emax`.
+    pub total_emax: f64,
+    /// `(component, emax)` breakdown.
+    pub breakdown: Vec<(String, f64)>,
+}
+
+/// (a) Server-centric: each board bundles CPU and memory. Memory demand
+/// dictates how many servers must stay on; their CPUs run mostly idle.
+/// Spare servers are suspended to S3.
+pub fn server_centric(p: &MachineProfile, d: &RackDemand) -> RackEnergy {
+    let servers_on = d.mem.ceil().max(1.0) as u32;
+    let util_each = (d.cpu / servers_on as f64).min(1.0);
+    let per_server = power_fraction(p, util_each);
+    let suspended = d.servers.saturating_sub(servers_on);
+    let s3 = p.state_fraction(SleepState::S3);
+    RackEnergy {
+        architecture: "server-centric",
+        total_emax: servers_on as f64 * per_server + suspended as f64 * s3,
+        breakdown: vec![
+            (
+                format!("{servers_on} servers on at {:.0}% cpu", util_each * 100.0),
+                servers_on as f64 * per_server,
+            ),
+            (format!("{suspended} servers in S3"), suspended as f64 * s3),
+        ],
+    }
+}
+
+/// (b) Ideal resource disaggregation: independent CPU and memory boards;
+/// unused boards are powered off entirely. Board maxima are fractions of a
+/// bundled server's `Emax` (a server is roughly 65 % compute, 28 % memory);
+/// the fabric interconnect adds a fixed tax.
+pub fn ideal_disaggregation(_p: &MachineProfile, d: &RackDemand) -> RackEnergy {
+    const CPU_BOARD_MAX: f64 = 0.65;
+    const MEM_BOARD_MAX: f64 = 0.28;
+    const INTERCONNECT: f64 = 0.08;
+    let cpu_boards = d.cpu.ceil() as u32;
+    let mem_boards = d.mem.ceil() as u32;
+    let cpu_draw = d.cpu * CPU_BOARD_MAX; // Boards scale with load.
+    let mem_draw = d.mem * MEM_BOARD_MAX; // DRAM draw scales with demand.
+    RackEnergy {
+        architecture: "ideal disaggregation",
+        total_emax: cpu_draw + mem_draw + INTERCONNECT,
+        breakdown: vec![
+            (format!("{cpu_boards} cpu boards"), cpu_draw),
+            (format!("{mem_boards} memory boards"), mem_draw),
+            ("interconnect".to_string(), INTERCONNECT),
+        ],
+    }
+}
+
+/// (c) Micro-servers: the rack is split into 4× as many quarter-size
+/// {CPU, memory} nodes (SeaMicro-style) sharing disaggregated
+/// network/storage. Residual waste shrinks with node size, but memory
+/// still cannot be served by a suspended node, so memory demand keeps
+/// nodes powered.
+pub fn micro_servers(p: &MachineProfile, d: &RackDemand) -> RackEnergy {
+    let per_server_micros = 4u32;
+    let micros = d.servers * per_server_micros;
+    let micro_emax = 1.0 / per_server_micros as f64;
+    let mem_per_micro = micro_emax; // Memory scales with node size.
+    let micros_on = ((d.mem / mem_per_micro).ceil() as u32).min(micros).max(1);
+    let util_each = (d.cpu / (micros_on as f64 * micro_emax)).min(1.0);
+    let per_micro = power_fraction(p, util_each) * micro_emax;
+    let suspended = micros - micros_on;
+    let s3 = p.state_fraction(SleepState::S3) * micro_emax;
+    RackEnergy {
+        architecture: "micro-servers",
+        total_emax: micros_on as f64 * per_micro + suspended as f64 * s3,
+        breakdown: vec![
+            (
+                format!(
+                    "{micros_on} micro-servers on at {:.0}% cpu",
+                    util_each * 100.0
+                ),
+                micros_on as f64 * per_micro,
+            ),
+            (
+                format!("{suspended} micro-servers in S3"),
+                suspended as f64 * s3,
+            ),
+        ],
+    }
+}
+
+/// (d) Zombie servers: VMs consolidate onto the fewest servers whose CPU
+/// satisfies demand; the remaining *memory* demand is served by servers
+/// pushed into Sz; anything left over sleeps in S3.
+pub fn zombie(p: &MachineProfile, d: &RackDemand) -> RackEnergy {
+    let active = d.cpu.ceil().max(1.0) as u32;
+    let util_each = (d.cpu / active as f64).min(1.0);
+    let per_active = power_fraction(p, util_each);
+    // Memory not already covered by the active servers' own RAM.
+    let residual_mem = (d.mem - active as f64).max(0.0);
+    let zombies = (residual_mem.ceil() as u32).min(d.servers - active);
+    let s3_count = d.servers - active - zombies;
+    let sz = p.sz_fraction();
+    let s3 = p.state_fraction(SleepState::S3);
+    RackEnergy {
+        architecture: "zombie (Sz)",
+        total_emax: active as f64 * per_active + zombies as f64 * sz + s3_count as f64 * s3,
+        breakdown: vec![
+            (
+                format!("{active} servers on at {:.0}% cpu", util_each * 100.0),
+                active as f64 * per_active,
+            ),
+            (format!("{zombies} servers in Sz"), zombies as f64 * sz),
+            (format!("{s3_count} servers in S3"), s3_count as f64 * s3),
+        ],
+    }
+}
+
+/// All four Fig. 4 architectures, in the figure's order.
+pub fn figure4(p: &MachineProfile, d: &RackDemand) -> [RackEnergy; 4] {
+    [
+        server_centric(p, d),
+        ideal_disaggregation(p, d),
+        micro_servers(p, d),
+        zombie(p, d),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn totals() -> (f64, f64, f64, f64) {
+        let p = MachineProfile::hp();
+        let d = RackDemand::figure4();
+        let [sc, ideal, micro, z] = figure4(&p, &d);
+        (
+            sc.total_emax,
+            ideal.total_emax,
+            micro.total_emax,
+            z.total_emax,
+        )
+    }
+
+    #[test]
+    fn ordering_matches_paper() {
+        // Paper: 1.15 (ideal) < 1.2 (zombie) < 1.8 (micro) < 2.1 (s-c).
+        let (sc, ideal, micro, z) = totals();
+        assert!(ideal < z, "ideal {ideal} < zombie {z}");
+        assert!(z < micro, "zombie {z} < micro {micro}");
+        assert!(micro < sc, "micro {micro} < server-centric {sc}");
+    }
+
+    #[test]
+    fn magnitudes_near_paper_guidance() {
+        let (sc, ideal, micro, z) = totals();
+        assert!((ideal - 1.15).abs() < 0.15, "ideal {ideal}");
+        assert!((z - 1.2).abs() < 0.15, "zombie {z}");
+        assert!((micro - 1.8).abs() < 0.25, "micro {micro}");
+        assert!((sc - 2.1).abs() < 0.30, "server-centric {sc}");
+    }
+
+    #[test]
+    fn zombie_close_to_ideal() {
+        // The paper's headline: power-domain disaggregation gets within a
+        // few percent of full board-level disaggregation.
+        let (_, ideal, _, z) = totals();
+        assert!((z - ideal) / ideal < 0.15);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let p = MachineProfile::dell();
+        let d = RackDemand::figure4();
+        for e in figure4(&p, &d) {
+            let sum: f64 = e.breakdown.iter().map(|(_, v)| v).sum();
+            assert!((sum - e.total_emax).abs() < 1e-9, "{}", e.architecture);
+        }
+    }
+
+    #[test]
+    fn cpu_bound_rack_equalizes_architectures() {
+        // When demand is CPU-bound (mem fits active servers), zombies add
+        // nothing: zombie == consolidation-only server-centric.
+        let p = MachineProfile::hp();
+        let d = RackDemand {
+            servers: 3,
+            cpu: 2.0,
+            mem: 1.5,
+        };
+        let z = zombie(&p, &d);
+        let sc = server_centric(&p, &d);
+        assert!(z.total_emax <= sc.total_emax + 1e-9);
+        // No zombies were needed.
+        assert!(z.breakdown[1].0.starts_with("0 servers in Sz"));
+    }
+}

@@ -1,0 +1,33 @@
+//! The modified KVM hypervisor: demand paging with remote memory (§4.5).
+//!
+//! The paper extends KVM's page-fault handler so a VM's pseudo-physical
+//! memory can be backed by a mix of local machine frames and remote
+//! buffer slots, with a replacement policy demoting cold pages as local
+//! memory runs out. Two remote-memory modes exist:
+//!
+//! - **RAM Extension** (`RAM Ext`): hypervisor-managed and invisible to
+//!   the guest. The VM believes all of `VMMemSize` is local RAM; the
+//!   hypervisor pages the excess to remote buffers.
+//! - **Explicit Swap Device** (`Explicit SD`): a swap disk the *guest*
+//!   manages, backed by remote memory (or, for the Table 2 comparison,
+//!   by a local SSD/HDD). The guest sees less RAM and behaves
+//!   accordingly — the reason the paper finds `RAM Ext` superior.
+//!
+//! Modules: [`policy`] implements the three §6.2 replacement policies
+//! (FIFO, Clock, Mixed); [`swapdev`] models the swap backends of Table 2;
+//! [`splitdriver`] is the Explicit SD as a request-level paravirtual
+//! device (the paper's split-driver model); [`engine`] is the paging
+//! engine that executes a workload's access stream against a memory
+//! split and produces the timing/fault statistics behind Fig. 8 and
+//! Tables 1–2; [`wss`] estimates a VM's working-set size by accessed-bit
+//! sampling — the input to ZombieStack's 30 % consolidation rule.
+
+pub mod engine;
+pub mod policy;
+pub mod splitdriver;
+pub mod swapdev;
+pub mod wss;
+
+pub use engine::{EngineConfig, Mode, RunStats};
+pub use policy::Policy;
+pub use swapdev::SwapBackend;

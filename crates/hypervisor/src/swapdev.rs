@@ -1,0 +1,76 @@
+//! Swap backends for the Table 2 comparison.
+//!
+//! §6.4 compares the remote-RAM Explicit SD against "a local fast swap
+//! device (provided by an SSD, Samsung MZ-7PD256), and a local slow swap
+//! device (provided by a HDD, Seagate ST12000NM0007)". This module
+//! carries the 4 KiB latency profiles of those devices; remote RAM goes
+//! through the rack's RDMA path instead of a constant.
+
+use zombieland_simcore::SimDuration;
+
+/// Where an Explicit Swap Device's blocks live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwapBackend {
+    /// Remote RAM over RDMA (the paper's Explicit SD).
+    RemoteRam,
+    /// Local SATA SSD (Samsung MZ-7PD256-class).
+    LocalSsd,
+    /// Local HDD (Seagate ST12000NM-class).
+    LocalHdd,
+}
+
+impl SwapBackend {
+    /// Table 2 column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SwapBackend::RemoteRam => "ESD",
+            SwapBackend::LocalSsd => "LFSD",
+            SwapBackend::LocalHdd => "LSSD",
+        }
+    }
+
+    /// 4 KiB random-read latency. `None` for [`SwapBackend::RemoteRam`],
+    /// whose cost comes from the RDMA path.
+    pub fn read_4k(self) -> Option<SimDuration> {
+        match self {
+            SwapBackend::RemoteRam => None,
+            SwapBackend::LocalSsd => Some(SimDuration::from_micros(95)),
+            SwapBackend::LocalHdd => Some(SimDuration::from_millis(11)),
+        }
+    }
+
+    /// 4 KiB write latency (SSD writes buffer in SLC/DRAM cache; HDD pays
+    /// the same mechanical cost both ways).
+    pub fn write_4k(self) -> Option<SimDuration> {
+        match self {
+            SwapBackend::RemoteRam => None,
+            SwapBackend::LocalSsd => Some(SimDuration::from_micros(60)),
+            SwapBackend::LocalHdd => Some(SimDuration::from_millis(11)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_ordering() {
+        // SSD is ~100× faster than HDD; RDMA (≈2-3 µs) beats both, which
+        // is Table 2's observation (2): "Using a remote RAM as the swap
+        // space through Infiniband is better than using a local storage,
+        // even if the latter is fast".
+        let ssd = SwapBackend::LocalSsd.read_4k().unwrap();
+        let hdd = SwapBackend::LocalHdd.read_4k().unwrap();
+        assert!(hdd > ssd * 50);
+        assert!(ssd > SimDuration::from_micros(10));
+        assert!(SwapBackend::RemoteRam.read_4k().is_none());
+    }
+
+    #[test]
+    fn labels_match_table2() {
+        assert_eq!(SwapBackend::RemoteRam.label(), "ESD");
+        assert_eq!(SwapBackend::LocalSsd.label(), "LFSD");
+        assert_eq!(SwapBackend::LocalHdd.label(), "LSSD");
+    }
+}

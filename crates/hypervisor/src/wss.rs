@@ -1,0 +1,174 @@
+//! Working-set-size estimation via accessed-bit sampling.
+//!
+//! ZombieStack's consolidation rule — "only check if 30 % of the VM's
+//! working set size is available on the target server" (§5.2) — needs a
+//! WSS number per VM. Hypervisors estimate it the way this module does:
+//! periodically clear the accessed bits of a sample of guest pages, wait
+//! an interval, and count how many got re-set. Scaling the hit count by
+//! the sampling ratio estimates how many pages were touched in the
+//! window; an exponentially weighted average smooths the noise.
+
+use zombieland_mem::{Gfn, GuestPageTable};
+use zombieland_simcore::{DetRng, Pages};
+
+/// Accessed-bit-sampling WSS estimator for one VM.
+#[derive(Debug)]
+pub struct WssEstimator {
+    /// Pages sampled per round.
+    sample_size: u64,
+    /// EWMA smoothing factor (weight of the newest observation).
+    alpha: f64,
+    rng: DetRng,
+    /// Pages whose accessed bits were cleared at round start.
+    armed: Vec<Gfn>,
+    estimate: f64,
+    rounds: u64,
+}
+
+impl WssEstimator {
+    /// Creates an estimator sampling `sample_size` pages per round.
+    pub fn new(sample_size: u64, seed: u64) -> Self {
+        WssEstimator {
+            sample_size: sample_size.max(1),
+            alpha: 0.3,
+            rng: DetRng::new(seed),
+            armed: Vec::new(),
+            estimate: 0.0,
+            rounds: 0,
+        }
+    }
+
+    /// Starts a sampling round: picks random guest pages and clears their
+    /// accessed bits. Call, run the VM for an interval, then
+    /// [`WssEstimator::end_round`].
+    pub fn begin_round(&mut self, gpt: &mut GuestPageTable) {
+        self.armed.clear();
+        let size = gpt.size().count();
+        if size == 0 {
+            return;
+        }
+        for _ in 0..self.sample_size.min(size) {
+            let gfn = Gfn::new(self.rng.below(size));
+            if gpt.clear_accessed(gfn).is_ok() {
+                self.armed.push(gfn);
+            }
+        }
+    }
+
+    /// Ends the round: counts re-set accessed bits and folds the scaled
+    /// observation into the estimate. Returns this round's raw
+    /// observation in pages.
+    pub fn end_round(&mut self, gpt: &GuestPageTable) -> Pages {
+        if self.armed.is_empty() {
+            return Pages::ZERO;
+        }
+        let hits = self
+            .armed
+            .iter()
+            .filter(|&&g| gpt.accessed(g).unwrap_or(false))
+            .count() as f64;
+        let ratio = hits / self.armed.len() as f64;
+        let observed = ratio * gpt.size().count() as f64;
+        self.estimate = if self.rounds == 0 {
+            observed
+        } else {
+            self.alpha * observed + (1.0 - self.alpha) * self.estimate
+        };
+        self.rounds += 1;
+        Pages::new(observed as u64)
+    }
+
+    /// The smoothed estimate.
+    pub fn estimate(&self) -> Pages {
+        Pages::new(self.estimate.round() as u64)
+    }
+
+    /// Sampling rounds completed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zombieland_mem::FrameId;
+
+    /// Builds a table of `size` pages, all mapped, with `hot` of them
+    /// "touched" after each clear.
+    fn table(size: u64) -> GuestPageTable {
+        let mut gpt = GuestPageTable::new(Pages::new(size));
+        for i in 0..size {
+            gpt.map_local(Gfn::new(i), FrameId::new(i)).unwrap();
+        }
+        gpt
+    }
+
+    fn touch_hot(gpt: &mut GuestPageTable, hot: u64) {
+        for i in 0..hot {
+            gpt.touch(Gfn::new(i), false).unwrap();
+        }
+    }
+
+    #[test]
+    fn estimates_the_hot_fraction() {
+        let size = 10_000u64;
+        let hot = 3_000u64;
+        let mut gpt = table(size);
+        let mut est = WssEstimator::new(512, 7);
+        for _ in 0..12 {
+            est.begin_round(&mut gpt);
+            // The interval: the workload touches its hot set.
+            touch_hot(&mut gpt, hot);
+            est.end_round(&gpt);
+        }
+        let e = est.estimate().count() as f64;
+        assert!(
+            (e - hot as f64).abs() / (hot as f64) < 0.25,
+            "estimate {e} vs true {hot}"
+        );
+        assert_eq!(est.rounds(), 12);
+    }
+
+    #[test]
+    fn tracks_working_set_changes() {
+        let size = 8_192u64;
+        let mut gpt = table(size);
+        let mut est = WssEstimator::new(512, 8);
+        for _ in 0..10 {
+            est.begin_round(&mut gpt);
+            touch_hot(&mut gpt, 1_000);
+            est.end_round(&gpt);
+        }
+        let small = est.estimate().count();
+        for _ in 0..10 {
+            est.begin_round(&mut gpt);
+            touch_hot(&mut gpt, 6_000);
+            est.end_round(&gpt);
+        }
+        let big = est.estimate().count();
+        assert!(big > small * 3, "grew {small} -> {big}");
+    }
+
+    #[test]
+    fn idle_vm_estimates_near_zero() {
+        let mut gpt = table(4_096);
+        gpt.clear_all_accessed();
+        let mut est = WssEstimator::new(256, 9);
+        for _ in 0..5 {
+            est.begin_round(&mut gpt);
+            // Nothing touches anything.
+            est.end_round(&gpt);
+        }
+        assert_eq!(est.estimate().count(), 0);
+    }
+
+    #[test]
+    fn empty_table_is_harmless() {
+        let mut gpt = GuestPageTable::new(Pages::ZERO);
+        let mut est = WssEstimator::new(64, 10);
+        est.begin_round(&mut gpt);
+        assert_eq!(est.end_round(&gpt), Pages::ZERO);
+        assert_eq!(est.estimate(), Pages::ZERO);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests: the paging engine's accounting stays consistent for
+//! arbitrary access streams and memory splits.
+
+use proptest::prelude::*;
+use zombieland_core::manager::PoolKind;
+use zombieland_core::{Rack, RackConfig};
+use zombieland_hypervisor::engine::{self, Backing, EngineConfig};
+use zombieland_hypervisor::Policy;
+use zombieland_simcore::{Bytes, DetRng, Pages, SimDuration};
+use zombieland_workloads::{Access, Workload};
+
+/// A fuzz workload: random page picks from a seeded stream, with a
+/// configurable skew between a small hot set and the full range.
+struct FuzzWorkload {
+    wss: Pages,
+    rng: DetRng,
+    hot: u64,
+    hot_bias: f64,
+    write_bias: f64,
+}
+
+impl Workload for FuzzWorkload {
+    fn name(&self) -> &'static str {
+        "fuzz"
+    }
+
+    fn wss(&self) -> Pages {
+        self.wss
+    }
+
+    fn base_op_cost(&self) -> SimDuration {
+        SimDuration::from_nanos(100)
+    }
+
+    fn next_access(&mut self) -> Access {
+        let page = if self.rng.chance(self.hot_bias) {
+            self.rng.below(self.hot)
+        } else {
+            self.rng.below(self.wss.count())
+        };
+        Access {
+            page,
+            write: self.rng.chance(self.write_bias),
+        }
+    }
+
+    fn suggested_ops(&self) -> u64 {
+        self.wss.count() * 4
+    }
+}
+
+fn policies() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::Fifo),
+        Just(Policy::Clock),
+        Just(Policy::MIXED_DEFAULT),
+        (1usize..64).prop_map(|x| Policy::Mixed { x }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_accounting_is_consistent(
+        seed in 0u64..1_000,
+        local_frac in 0.05f64..1.0,
+        hot_bias in 0.0f64..1.0,
+        write_bias in 0.0f64..1.0,
+        policy in policies(),
+    ) {
+        let wss = Pages::new(2_048);
+        let reserved = Bytes::mib(10);
+        let mut rack = Rack::new(RackConfig::default());
+        let ids = rack.server_ids();
+        let (user, zombie) = (ids[0], ids[1]);
+        rack.goto_zombie(zombie).unwrap();
+        rack.alloc_ext(user, Bytes::mib(64)).unwrap();
+
+        let mut w = FuzzWorkload {
+            wss,
+            rng: DetRng::new(seed),
+            hot: (wss.count() / 8).max(1),
+            hot_bias,
+            write_bias,
+        };
+        let local = reserved.mul_f64(local_frac);
+        let cfg = EngineConfig {
+            policy,
+            seed,
+            ..EngineConfig::ram_ext(reserved, local)
+        };
+        let stats = engine::run(
+            &mut w,
+            &cfg,
+            Backing::Rack { rack: &mut rack, user, pool: PoolKind::Ext },
+        )
+        .unwrap();
+
+        // Accounting invariants.
+        prop_assert_eq!(stats.ops, wss.count() * 4);
+        prop_assert!(stats.minor_faults <= wss.count(), "one first-touch per page");
+        prop_assert!(stats.remote_faults <= stats.ops);
+        // Every remote fault re-fetches a page that was demoted at some
+        // point; with the clean-copy cache a page can refault without a
+        // fresh demotion, but never before its first demotion.
+        if stats.remote_faults > 0 {
+            prop_assert!(stats.demotions > 0);
+        }
+        prop_assert!(stats.clean_demotions <= stats.demotions);
+        // Evictions happen only under memory pressure.
+        if local >= reserved {
+            prop_assert_eq!(stats.demotions, 0);
+        }
+        // Time accounting: io is part of exec; both positive.
+        prop_assert!(stats.io_time <= stats.exec_time);
+        prop_assert!(stats.exec_time >= SimDuration::from_nanos(100) * stats.ops);
+        // Teardown happened: no leaked remote pages.
+        prop_assert_eq!(rack.manager(user).live_pages(), 0);
+    }
+
+    #[test]
+    fn more_local_memory_never_hurts_much(
+        seed in 0u64..200,
+        hot_bias in 0.3f64..0.95,
+    ) {
+        // Monotonicity (allowing 5% jitter for policy noise): exec time
+        // with 75% local <= exec time with 25% local.
+        let wss = Pages::new(1_024);
+        let reserved = Bytes::mib(5);
+        let run = |frac: f64| {
+            let mut rack = Rack::new(RackConfig::default());
+            let ids = rack.server_ids();
+            rack.goto_zombie(ids[1]).unwrap();
+            rack.alloc_ext(ids[0], Bytes::mib(32)).unwrap();
+            let mut w = FuzzWorkload {
+                wss,
+                rng: DetRng::new(seed),
+                hot: wss.count() / 8,
+                hot_bias,
+                write_bias: 0.3,
+            };
+            let cfg = EngineConfig::ram_ext(reserved, reserved.mul_f64(frac));
+            engine::run(
+                &mut w,
+                &cfg,
+                Backing::Rack { rack: &mut rack, user: ids[0], pool: PoolKind::Ext },
+            )
+            .unwrap()
+            .exec_time
+        };
+        let scarce = run(0.25);
+        let ample = run(0.75);
+        prop_assert!(
+            ample.as_nanos() as f64 <= scarce.as_nanos() as f64 * 1.05,
+            "{ample} vs {scarce}"
+        );
+    }
+}

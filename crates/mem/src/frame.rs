@@ -1,0 +1,182 @@
+//! Host-physical frame allocation.
+
+use core::fmt;
+
+use zombieland_simcore::{Bytes, Pages};
+
+/// A host-physical (machine) page frame number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(u64);
+
+impl FrameId {
+    /// Builds a frame id from a raw machine frame number.
+    pub const fn new(mfn: u64) -> Self {
+        FrameId(mfn)
+    }
+
+    /// The raw machine frame number.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mfn:{}", self.0)
+    }
+}
+
+/// Errors returned by [`FrameAllocator`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// No free frame is available; the caller must evict (the paper's
+    /// page-fault handler reacts by demoting a cold page to remote memory).
+    OutOfFrames,
+    /// The frame is not currently allocated, or is outside the managed
+    /// range.
+    NotAllocated(FrameId),
+    /// The frame was already free.
+    DoubleFree(FrameId),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::OutOfFrames => write!(f, "no free machine frames"),
+            FrameError::NotAllocated(id) => write!(f, "{id:?} is not allocated"),
+            FrameError::DoubleFree(id) => write!(f, "{id:?} freed twice"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A free-list allocator over a contiguous range of machine frames.
+///
+/// Frames are recycled LIFO, which keeps allocation O(1) and makes tests
+/// deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use zombieland_mem::FrameAllocator;
+/// use zombieland_simcore::Bytes;
+///
+/// let mut a = FrameAllocator::new(Bytes::mib(1));
+/// let f = a.alloc().unwrap();
+/// assert_eq!(a.free_frames().count(), 255);
+/// a.free(f).unwrap();
+/// assert_eq!(a.free_frames().count(), 256);
+/// ```
+#[derive(Debug)]
+pub struct FrameAllocator {
+    total: u64,
+    free: Vec<u64>,
+    allocated: Vec<bool>,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator managing `capacity` worth of frames
+    /// (rounded up to whole pages).
+    pub fn new(capacity: Bytes) -> Self {
+        let total = capacity.pages().count();
+        FrameAllocator {
+            total,
+            // Reversed so the first alloc returns frame 0.
+            free: (0..total).rev().collect(),
+            allocated: vec![false; total as usize],
+        }
+    }
+
+    /// Total number of managed frames.
+    pub fn total_frames(&self) -> Pages {
+        Pages::new(self.total)
+    }
+
+    /// Number of currently free frames.
+    pub fn free_frames(&self) -> Pages {
+        Pages::new(self.free.len() as u64)
+    }
+
+    /// Number of currently allocated frames.
+    pub fn used_frames(&self) -> Pages {
+        Pages::new(self.total - self.free.len() as u64)
+    }
+
+    /// Allocates one frame.
+    pub fn alloc(&mut self) -> Result<FrameId, FrameError> {
+        let mfn = self.free.pop().ok_or(FrameError::OutOfFrames)?;
+        self.allocated[mfn as usize] = true;
+        Ok(FrameId(mfn))
+    }
+
+    /// Returns a frame to the free list.
+    pub fn free(&mut self, frame: FrameId) -> Result<(), FrameError> {
+        let idx = frame.0 as usize;
+        if frame.0 >= self.total {
+            return Err(FrameError::NotAllocated(frame));
+        }
+        if !self.allocated[idx] {
+            return Err(FrameError::DoubleFree(frame));
+        }
+        self.allocated[idx] = false;
+        self.free.push(frame.0);
+        Ok(())
+    }
+
+    /// Whether the given frame is currently allocated.
+    pub fn is_allocated(&self, frame: FrameId) -> bool {
+        (frame.0 < self.total) && self.allocated[frame.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut a = FrameAllocator::new(Bytes::kib(16)); // 4 frames.
+        assert_eq!(a.total_frames().count(), 4);
+        let f0 = a.alloc().unwrap();
+        let f1 = a.alloc().unwrap();
+        assert_ne!(f0, f1);
+        assert!(a.is_allocated(f0));
+        assert_eq!(a.used_frames().count(), 2);
+        a.free(f0).unwrap();
+        assert!(!a.is_allocated(f0));
+        assert_eq!(a.free_frames().count(), 3);
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut a = FrameAllocator::new(Bytes::kib(8)); // 2 frames.
+        a.alloc().unwrap();
+        a.alloc().unwrap();
+        assert_eq!(a.alloc(), Err(FrameError::OutOfFrames));
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = FrameAllocator::new(Bytes::kib(8));
+        let f = a.alloc().unwrap();
+        a.free(f).unwrap();
+        assert_eq!(a.free(f), Err(FrameError::DoubleFree(f)));
+    }
+
+    #[test]
+    fn out_of_range_free_rejected() {
+        let mut a = FrameAllocator::new(Bytes::kib(8));
+        let bogus = FrameId::new(99);
+        assert_eq!(a.free(bogus), Err(FrameError::NotAllocated(bogus)));
+    }
+
+    #[test]
+    fn frames_are_unique_until_freed() {
+        let mut a = FrameAllocator::new(Bytes::kib(64)); // 16 frames.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..16 {
+            assert!(seen.insert(a.alloc().unwrap()));
+        }
+    }
+}

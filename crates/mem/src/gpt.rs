@@ -1,0 +1,341 @@
+//! Guest page tables: the pseudo-physical → machine mapping.
+//!
+//! §4.5 of the paper: "VMs are given pseudo-physical frames and the
+//! hypervisor manages their association with host-physical (machine)
+//! frames. [...] In our solution, we provision both local and remote page
+//! frames to a VM." This module keeps that association and the
+//! accessed/dirty bits the replacement policies consume.
+
+use core::fmt;
+
+use zombieland_simcore::Pages;
+
+use crate::buffer::RemoteSlot;
+use crate::frame::FrameId;
+
+/// A guest (pseudo-physical) frame number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gfn(u64);
+
+impl Gfn {
+    /// Builds from a raw guest frame number.
+    pub const fn new(g: u64) -> Self {
+        Gfn(g)
+    }
+
+    /// The raw guest frame number.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Gfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gfn:{}", self.0)
+    }
+}
+
+/// Where a guest page currently lives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PageLocation {
+    /// Never touched: KVM allocates machine frames on demand.
+    NotAllocated,
+    /// Present in a local machine frame.
+    Local(FrameId),
+    /// Demoted to a remote buffer slot (present bit cleared).
+    Remote(RemoteSlot),
+}
+
+/// One page-table entry: location plus the accessed/dirty bits that the
+/// Clock and Mixed policies read.
+#[derive(Clone, Copy, Debug)]
+struct Pte {
+    loc: PageLocation,
+    accessed: bool,
+    dirty: bool,
+}
+
+/// Errors from page-table operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GptError {
+    /// The guest frame number is outside the VM's pseudo-physical space.
+    OutOfRange(Gfn),
+    /// The entry was not in the state the operation requires.
+    WrongState(Gfn),
+}
+
+impl fmt::Display for GptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GptError::OutOfRange(g) => write!(f, "{g:?} outside guest memory"),
+            GptError::WrongState(g) => write!(f, "{g:?} in wrong state for operation"),
+        }
+    }
+}
+
+impl std::error::Error for GptError {}
+
+/// The pseudo-physical → machine mapping for one VM.
+///
+/// # Examples
+///
+/// ```
+/// use zombieland_mem::{Gfn, GuestPageTable, PageLocation, FrameId};
+/// use zombieland_simcore::Pages;
+///
+/// let mut gpt = GuestPageTable::new(Pages::new(4));
+/// gpt.map_local(Gfn::new(0), FrameId::new(7)).unwrap();
+/// assert_eq!(gpt.locate(Gfn::new(0)), Ok(PageLocation::Local(FrameId::new(7))));
+/// ```
+#[derive(Debug)]
+pub struct GuestPageTable {
+    ptes: Vec<Pte>,
+    local: u64,
+    remote: u64,
+}
+
+impl GuestPageTable {
+    /// Creates an all-unallocated table covering `size` guest pages.
+    pub fn new(size: Pages) -> Self {
+        GuestPageTable {
+            ptes: vec![
+                Pte {
+                    loc: PageLocation::NotAllocated,
+                    accessed: false,
+                    dirty: false,
+                };
+                size.count() as usize
+            ],
+            local: 0,
+            remote: 0,
+        }
+    }
+
+    /// The VM's pseudo-physical size in pages.
+    pub fn size(&self) -> Pages {
+        Pages::new(self.ptes.len() as u64)
+    }
+
+    /// Number of pages currently in local frames.
+    pub fn local_pages(&self) -> Pages {
+        Pages::new(self.local)
+    }
+
+    /// Number of pages currently demoted to remote slots.
+    pub fn remote_pages(&self) -> Pages {
+        Pages::new(self.remote)
+    }
+
+    fn pte(&self, gfn: Gfn) -> Result<&Pte, GptError> {
+        self.ptes
+            .get(gfn.0 as usize)
+            .ok_or(GptError::OutOfRange(gfn))
+    }
+
+    fn pte_mut(&mut self, gfn: Gfn) -> Result<&mut Pte, GptError> {
+        self.ptes
+            .get_mut(gfn.0 as usize)
+            .ok_or(GptError::OutOfRange(gfn))
+    }
+
+    /// Where `gfn` currently lives.
+    pub fn locate(&self, gfn: Gfn) -> Result<PageLocation, GptError> {
+        Ok(self.pte(gfn)?.loc)
+    }
+
+    /// Installs a fresh local mapping for a page that was `NotAllocated`
+    /// (first touch) — the traditional KVM demand-allocation path.
+    pub fn map_local(&mut self, gfn: Gfn, frame: FrameId) -> Result<(), GptError> {
+        let pte = self.pte_mut(gfn)?;
+        if !matches!(pte.loc, PageLocation::NotAllocated) {
+            return Err(GptError::WrongState(gfn));
+        }
+        pte.loc = PageLocation::Local(frame);
+        pte.accessed = true;
+        pte.dirty = false;
+        self.local += 1;
+        Ok(())
+    }
+
+    /// Demotes a local page to a remote slot: clears the present bit and
+    /// records where the content went. Returns the machine frame that was
+    /// freed.
+    pub fn demote(&mut self, gfn: Gfn, slot: RemoteSlot) -> Result<FrameId, GptError> {
+        let pte = self.pte_mut(gfn)?;
+        let PageLocation::Local(frame) = pte.loc else {
+            return Err(GptError::WrongState(gfn));
+        };
+        pte.loc = PageLocation::Remote(slot);
+        pte.accessed = false;
+        pte.dirty = false;
+        self.local -= 1;
+        self.remote += 1;
+        Ok(frame)
+    }
+
+    /// Promotes a remote page back into a local frame (remote fault path).
+    /// Returns the slot that can now be released.
+    pub fn promote(&mut self, gfn: Gfn, frame: FrameId) -> Result<RemoteSlot, GptError> {
+        let pte = self.pte_mut(gfn)?;
+        let PageLocation::Remote(slot) = pte.loc else {
+            return Err(GptError::WrongState(gfn));
+        };
+        pte.loc = PageLocation::Local(frame);
+        pte.accessed = true;
+        self.local += 1;
+        self.remote -= 1;
+        Ok(slot)
+    }
+
+    /// Marks an access to a local page, setting the accessed (and
+    /// optionally dirty) bit.
+    pub fn touch(&mut self, gfn: Gfn, write: bool) -> Result<(), GptError> {
+        let pte = self.pte_mut(gfn)?;
+        if !matches!(pte.loc, PageLocation::Local(_)) {
+            return Err(GptError::WrongState(gfn));
+        }
+        pte.accessed = true;
+        if write {
+            pte.dirty = true;
+        }
+        Ok(())
+    }
+
+    /// Reads the accessed bit.
+    pub fn accessed(&self, gfn: Gfn) -> Result<bool, GptError> {
+        Ok(self.pte(gfn)?.accessed)
+    }
+
+    /// Reads the dirty bit.
+    pub fn dirty(&self, gfn: Gfn) -> Result<bool, GptError> {
+        Ok(self.pte(gfn)?.dirty)
+    }
+
+    /// Clears the accessed bit of one entry (Clock hand sweep).
+    pub fn clear_accessed(&mut self, gfn: Gfn) -> Result<(), GptError> {
+        self.pte_mut(gfn)?.accessed = false;
+        Ok(())
+    }
+
+    /// Clears every accessed bit — the periodic reset the Clock policy
+    /// relies on ("the accessed bit of all pages is periodically cleared").
+    pub fn clear_all_accessed(&mut self) {
+        for pte in &mut self.ptes {
+            pte.accessed = false;
+        }
+    }
+
+    /// Iterates over guest pages currently held in local frames.
+    pub fn iter_local(&self) -> impl Iterator<Item = (Gfn, FrameId)> + '_ {
+        self.ptes.iter().enumerate().filter_map(|(i, pte)| {
+            if let PageLocation::Local(f) = pte.loc {
+                Some((Gfn(i as u64), f))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Iterates over guest pages currently demoted to remote slots.
+    pub fn iter_remote(&self) -> impl Iterator<Item = (Gfn, RemoteSlot)> + '_ {
+        self.ptes.iter().enumerate().filter_map(|(i, pte)| {
+            if let PageLocation::Remote(s) = pte.loc {
+                Some((Gfn(i as u64), s))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferId;
+
+    fn slot(n: u32) -> RemoteSlot {
+        RemoteSlot {
+            buffer: BufferId::new(0),
+            slot: n,
+        }
+    }
+
+    #[test]
+    fn lifecycle_local_remote_local() {
+        let mut gpt = GuestPageTable::new(Pages::new(2));
+        let g = Gfn::new(0);
+        assert_eq!(gpt.locate(g), Ok(PageLocation::NotAllocated));
+
+        gpt.map_local(g, FrameId::new(1)).unwrap();
+        assert_eq!(gpt.local_pages().count(), 1);
+        assert!(gpt.accessed(g).unwrap());
+
+        let freed = gpt.demote(g, slot(9)).unwrap();
+        assert_eq!(freed, FrameId::new(1));
+        assert_eq!(gpt.locate(g), Ok(PageLocation::Remote(slot(9))));
+        assert_eq!(gpt.remote_pages().count(), 1);
+        assert!(!gpt.accessed(g).unwrap());
+
+        let back = gpt.promote(g, FrameId::new(2)).unwrap();
+        assert_eq!(back, slot(9));
+        assert_eq!(gpt.locate(g), Ok(PageLocation::Local(FrameId::new(2))));
+        assert_eq!(gpt.remote_pages().count(), 0);
+    }
+
+    #[test]
+    fn state_transitions_enforced() {
+        let mut gpt = GuestPageTable::new(Pages::new(1));
+        let g = Gfn::new(0);
+        // Cannot demote or promote an unallocated page.
+        assert_eq!(gpt.demote(g, slot(0)), Err(GptError::WrongState(g)));
+        assert_eq!(
+            gpt.promote(g, FrameId::new(0)),
+            Err(GptError::WrongState(g))
+        );
+        gpt.map_local(g, FrameId::new(0)).unwrap();
+        // Cannot map twice.
+        assert_eq!(
+            gpt.map_local(g, FrameId::new(1)),
+            Err(GptError::WrongState(g))
+        );
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let mut gpt = GuestPageTable::new(Pages::new(1));
+        let g = Gfn::new(5);
+        assert_eq!(gpt.locate(g), Err(GptError::OutOfRange(g)));
+        assert_eq!(
+            gpt.map_local(g, FrameId::new(0)),
+            Err(GptError::OutOfRange(g))
+        );
+    }
+
+    #[test]
+    fn accessed_dirty_bits() {
+        let mut gpt = GuestPageTable::new(Pages::new(1));
+        let g = Gfn::new(0);
+        gpt.map_local(g, FrameId::new(0)).unwrap();
+        gpt.clear_all_accessed();
+        assert!(!gpt.accessed(g).unwrap());
+        gpt.touch(g, false).unwrap();
+        assert!(gpt.accessed(g).unwrap());
+        assert!(!gpt.dirty(g).unwrap());
+        gpt.touch(g, true).unwrap();
+        assert!(gpt.dirty(g).unwrap());
+        gpt.clear_accessed(g).unwrap();
+        assert!(!gpt.accessed(g).unwrap());
+    }
+
+    #[test]
+    fn iterators_partition_pages() {
+        let mut gpt = GuestPageTable::new(Pages::new(3));
+        gpt.map_local(Gfn::new(0), FrameId::new(0)).unwrap();
+        gpt.map_local(Gfn::new(1), FrameId::new(1)).unwrap();
+        gpt.demote(Gfn::new(1), slot(4)).unwrap();
+        let local: Vec<_> = gpt.iter_local().collect();
+        let remote: Vec<_> = gpt.iter_remote().collect();
+        assert_eq!(local, vec![(Gfn::new(0), FrameId::new(0))]);
+        assert_eq!(remote, vec![(Gfn::new(1), slot(4))]);
+    }
+}

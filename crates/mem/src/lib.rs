@@ -1,0 +1,23 @@
+//! Memory substrate: machine frames, guest page tables and remote buffers.
+//!
+//! This crate models the memory objects the paper's stack manipulates:
+//!
+//! - **Machine frames** ([`frame`]): host-physical page frames handed out by
+//!   a [`frame::FrameAllocator`]. The hypervisor provisions these to VMs on
+//!   demand (§4.5 of the paper).
+//! - **Guest page tables** ([`gpt`]): the pseudo-physical → machine mapping
+//!   KVM maintains. A guest page is in exactly one of three states — not yet
+//!   allocated, present in a local frame, or demoted to a *remote* slot on
+//!   another server. The paper's modified page-fault handler moves pages
+//!   between the last two.
+//! - **Remote buffers** ([`buffer`]): the uniform `BUFF_SIZE` lending unit
+//!   managed by the global memory controller (§4.3). A buffer is a
+//!   contiguous run of page-sized slots served by some host.
+
+pub mod buffer;
+pub mod frame;
+pub mod gpt;
+
+pub use buffer::{BufferId, RemoteSlot, BUFF_SIZE};
+pub use frame::{FrameAllocator, FrameId};
+pub use gpt::{Gfn, GuestPageTable, PageLocation};

@@ -1,0 +1,671 @@
+//! The fabric: nodes, registered regions and verb execution.
+
+use core::fmt;
+use std::collections::HashMap;
+
+use zombieland_simcore::{Bytes, SimDuration};
+
+use crate::mr::{MemoryRegion, MrAccess, MrKey};
+use crate::node::{Availability, NodeId, TrafficStats};
+
+/// Timing profile of one fabric hop.
+///
+/// Defaults are calibrated to the paper's testbed: Mellanox ConnectX-3
+/// HCAs on an FDR (56 Gb/s) InfiniBand switch. One-sided verbs on that
+/// hardware complete in 1–2 µs for small payloads and stream large ones at
+/// roughly 6 GB/s; CPU-mediated SEND/RECV costs more because the remote
+/// side must post receives and get scheduled.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkProfile {
+    /// Base latency of a one-sided READ (includes the response flight).
+    pub read_base: SimDuration,
+    /// Base latency of a one-sided WRITE.
+    pub write_base: SimDuration,
+    /// Base latency of a two-sided SEND (remote CPU involvement).
+    pub send_base: SimDuration,
+    /// Streaming throughput in bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        LinkProfile {
+            read_base: SimDuration::from_nanos(1_600),
+            write_base: SimDuration::from_nanos(1_100),
+            send_base: SimDuration::from_nanos(3_500),
+            bandwidth_bps: 6.0e9,
+        }
+    }
+}
+
+impl LinkProfile {
+    /// The paper's testbed: ConnectX-3 on FDR (56 Gb/s) InfiniBand.
+    pub fn fdr() -> Self {
+        LinkProfile::default()
+    }
+
+    /// A newer EDR (100 Gb/s) InfiniBand generation: slightly lower base
+    /// latency, ~11 GB/s streaming.
+    pub fn edr() -> Self {
+        LinkProfile {
+            read_base: SimDuration::from_nanos(1_300),
+            write_base: SimDuration::from_nanos(900),
+            send_base: SimDuration::from_nanos(3_000),
+            bandwidth_bps: 11.0e9,
+        }
+    }
+
+    /// RoCE over commodity 10 GbE: microseconds more base latency and an
+    /// order of magnitude less bandwidth — the "what if the rack had no
+    /// InfiniBand" question Table 2's conclusions depend on.
+    pub fn roce_10g() -> Self {
+        LinkProfile {
+            read_base: SimDuration::from_micros(8),
+            write_base: SimDuration::from_micros(6),
+            send_base: SimDuration::from_micros(15),
+            bandwidth_bps: 1.1e9,
+        }
+    }
+
+    /// Time to move `len` payload bytes once the verb is on the wire.
+    fn serialize(&self, len: Bytes) -> SimDuration {
+        SimDuration::from_secs_f64(len.get() as f64 / self.bandwidth_bps)
+    }
+
+    /// Completion time of a one-sided READ of `len` bytes.
+    pub fn read_time(&self, len: Bytes) -> SimDuration {
+        self.read_base + self.serialize(len)
+    }
+
+    /// Completion time of a one-sided WRITE of `len` bytes.
+    pub fn write_time(&self, len: Bytes) -> SimDuration {
+        self.write_base + self.serialize(len)
+    }
+
+    /// Completion time of a two-sided SEND of `len` bytes.
+    pub fn send_time(&self, len: Bytes) -> SimDuration {
+        self.send_base + self.serialize(len)
+    }
+}
+
+/// Errors surfaced by fabric verbs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FabricError {
+    /// The node id is not attached to this fabric.
+    UnknownNode(NodeId),
+    /// The memory-region key is not registered.
+    UnknownMr(MrKey),
+    /// The target cannot serve this verb in its current availability —
+    /// e.g. SEND to a zombie, or any verb to a node that is down.
+    Unreachable {
+        /// The unreachable target.
+        node: NodeId,
+        /// Whether the verb needed the remote CPU (two-sided).
+        needs_cpu: bool,
+    },
+    /// The access fell outside the registered region.
+    OutOfBounds(MrKey),
+    /// A remote write to a read-only registration (rkey permission
+    /// violation).
+    AccessDenied(MrKey),
+    /// The initiating node is itself not in a state that can issue verbs.
+    InitiatorSuspended(NodeId),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::UnknownNode(n) => write!(f, "{n:?} not attached to fabric"),
+            FabricError::UnknownMr(k) => write!(f, "{k:?} not registered"),
+            FabricError::Unreachable { node, needs_cpu } => {
+                if *needs_cpu {
+                    write!(f, "{node:?} cannot serve CPU-mediated verbs")
+                } else {
+                    write!(f, "{node:?} memory unreachable")
+                }
+            }
+            FabricError::OutOfBounds(k) => write!(f, "access outside {k:?}"),
+            FabricError::AccessDenied(k) => write!(f, "remote write denied on {k:?}"),
+            FabricError::InitiatorSuspended(n) => {
+                write!(f, "{n:?} is suspended and cannot initiate verbs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+struct NodeState {
+    availability: Availability,
+    stats: TrafficStats,
+}
+
+/// The simulated RDMA interconnect of one rack.
+///
+/// # Examples
+///
+/// ```
+/// use zombieland_rdma::{Availability, Fabric};
+/// use zombieland_simcore::Bytes;
+///
+/// let mut fabric = Fabric::new();
+/// let user = fabric.attach();
+/// let zombie = fabric.attach();
+/// let mr = fabric.register(zombie, Bytes::mib(64)).unwrap();
+///
+/// // The zombie suspends but keeps serving memory.
+/// fabric.set_availability(zombie, Availability::MemoryOnly);
+/// let took = fabric.write(user, mr, Bytes::ZERO, b"hot page").unwrap();
+/// assert!(took.as_nanos() > 0);
+///
+/// let mut buf = [0u8; 8];
+/// fabric.read(user, mr, Bytes::ZERO, &mut buf).unwrap();
+/// assert_eq!(&buf, b"hot page");
+/// ```
+pub struct Fabric {
+    nodes: Vec<NodeState>,
+    regions: HashMap<MrKey, MemoryRegion>,
+    next_mr: u64,
+    profile: LinkProfile,
+}
+
+impl Default for Fabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fabric {
+    /// Creates an empty fabric with the default FDR-calibrated profile.
+    pub fn new() -> Self {
+        Fabric::with_profile(LinkProfile::default())
+    }
+
+    /// Creates an empty fabric with a custom timing profile.
+    pub fn with_profile(profile: LinkProfile) -> Self {
+        Fabric {
+            nodes: Vec::new(),
+            regions: HashMap::new(),
+            next_mr: 0,
+            profile,
+        }
+    }
+
+    /// The timing profile in force.
+    pub fn profile(&self) -> &LinkProfile {
+        &self.profile
+    }
+
+    /// Attaches a new node, fully available.
+    pub fn attach(&mut self) -> NodeId {
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(NodeState {
+            availability: Availability::Full,
+            stats: TrafficStats::default(),
+        });
+        id
+    }
+
+    /// Number of attached nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn state(&self, node: NodeId) -> Result<&NodeState, FabricError> {
+        self.nodes
+            .get(node.get() as usize)
+            .ok_or(FabricError::UnknownNode(node))
+    }
+
+    fn state_mut(&mut self, node: NodeId) -> Result<&mut NodeState, FabricError> {
+        self.nodes
+            .get_mut(node.get() as usize)
+            .ok_or(FabricError::UnknownNode(node))
+    }
+
+    /// Updates a node's availability (called by the platform layer on
+    /// every ACPI transition).
+    pub fn set_availability(&mut self, node: NodeId, availability: Availability) {
+        if let Ok(s) = self.state_mut(node) {
+            s.availability = availability;
+        }
+    }
+
+    /// Reads a node's availability.
+    pub fn availability(&self, node: NodeId) -> Result<Availability, FabricError> {
+        Ok(self.state(node)?.availability)
+    }
+
+    /// Traffic counters of a node.
+    pub fn stats(&self, node: NodeId) -> Result<TrafficStats, FabricError> {
+        Ok(self.state(node)?.stats)
+    }
+
+    /// Registers `len` bytes of `owner`'s memory (remote read+write) and
+    /// returns its key.
+    ///
+    /// Registration requires the owner's CPU (it pins pages and programs
+    /// the NIC), so the owner must be `Full`.
+    pub fn register(&mut self, owner: NodeId, len: Bytes) -> Result<MrKey, FabricError> {
+        self.register_with_access(owner, len, MrAccess::ReadWrite)
+    }
+
+    /// Registers with explicit remote-access rights (the rkey permission
+    /// bits): lend a buffer read-only and no peer can scribble on it.
+    pub fn register_with_access(
+        &mut self,
+        owner: NodeId,
+        len: Bytes,
+        access: MrAccess,
+    ) -> Result<MrKey, FabricError> {
+        let st = self.state(owner)?;
+        if !st.availability.serves_cpu() {
+            return Err(FabricError::Unreachable {
+                node: owner,
+                needs_cpu: true,
+            });
+        }
+        let key = MrKey::new(self.next_mr);
+        self.next_mr += 1;
+        self.regions
+            .insert(key, MemoryRegion::with_access(owner, len, access));
+        Ok(key)
+    }
+
+    /// Deregisters a region. The owner must be `Full` (deregistration is a
+    /// local CPU operation); keys of vanished regions simply error.
+    pub fn deregister(&mut self, key: MrKey) -> Result<(), FabricError> {
+        let owner = self
+            .regions
+            .get(&key)
+            .ok_or(FabricError::UnknownMr(key))?
+            .node();
+        if !self.state(owner)?.availability.serves_cpu() {
+            return Err(FabricError::Unreachable {
+                node: owner,
+                needs_cpu: true,
+            });
+        }
+        self.regions.remove(&key);
+        Ok(())
+    }
+
+    /// Looks up the node owning a region.
+    pub fn mr_owner(&self, key: MrKey) -> Result<NodeId, FabricError> {
+        Ok(self
+            .regions
+            .get(&key)
+            .ok_or(FabricError::UnknownMr(key))?
+            .node())
+    }
+
+    fn checked_target(
+        &self,
+        initiator: NodeId,
+        key: MrKey,
+        offset: Bytes,
+        len: Bytes,
+        needs_cpu: bool,
+    ) -> Result<NodeId, FabricError> {
+        self.checked_access(initiator, key, offset, len, needs_cpu, false)
+    }
+
+    fn checked_write_target(
+        &self,
+        initiator: NodeId,
+        key: MrKey,
+        offset: Bytes,
+        len: Bytes,
+    ) -> Result<NodeId, FabricError> {
+        self.checked_access(initiator, key, offset, len, false, true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn checked_access(
+        &self,
+        initiator: NodeId,
+        key: MrKey,
+        offset: Bytes,
+        len: Bytes,
+        needs_cpu: bool,
+        write: bool,
+    ) -> Result<NodeId, FabricError> {
+        if !self.state(initiator)?.availability.serves_cpu() {
+            return Err(FabricError::InitiatorSuspended(initiator));
+        }
+        let region = self.regions.get(&key).ok_or(FabricError::UnknownMr(key))?;
+        let target = region.node();
+        let avail = self.state(target)?.availability;
+        let ok = if needs_cpu {
+            avail.serves_cpu()
+        } else {
+            avail.serves_memory()
+        };
+        if !ok {
+            return Err(FabricError::Unreachable {
+                node: target,
+                needs_cpu,
+            });
+        }
+        if !region.in_bounds(offset, len) {
+            return Err(FabricError::OutOfBounds(key));
+        }
+        if write && !region.access().allows_write() {
+            return Err(FabricError::AccessDenied(key));
+        }
+        Ok(target)
+    }
+
+    fn account(&mut self, initiator: NodeId, target: NodeId, len: Bytes, read: bool) {
+        let t = &mut self.nodes[target.get() as usize].stats;
+        if read {
+            t.inbound_reads += 1;
+        } else {
+            t.inbound_writes += 1;
+        }
+        t.inbound_bytes += len;
+        let i = &mut self.nodes[initiator.get() as usize].stats;
+        i.outbound_ops += 1;
+        i.outbound_bytes += len;
+    }
+
+    /// One-sided RDMA READ: pulls `dst.len()` bytes from `(key, offset)`
+    /// into `dst`. Works against `Full` and `MemoryOnly` (zombie) targets.
+    pub fn read(
+        &mut self,
+        initiator: NodeId,
+        key: MrKey,
+        offset: Bytes,
+        dst: &mut [u8],
+    ) -> Result<SimDuration, FabricError> {
+        let len = Bytes::new(dst.len() as u64);
+        let target = self.checked_target(initiator, key, offset, len, false)?;
+        self.regions[&key].read_bytes(offset, dst);
+        self.account(initiator, target, len, true);
+        Ok(self.profile.read_time(len))
+    }
+
+    /// One-sided READ that only models timing (no data movement). Used by
+    /// large-scale simulations where page contents are irrelevant.
+    pub fn read_timed(
+        &mut self,
+        initiator: NodeId,
+        key: MrKey,
+        offset: Bytes,
+        len: Bytes,
+    ) -> Result<SimDuration, FabricError> {
+        let target = self.checked_target(initiator, key, offset, len, false)?;
+        self.account(initiator, target, len, true);
+        Ok(self.profile.read_time(len))
+    }
+
+    /// A batch of one-sided READs posted back-to-back on one queue pair:
+    /// the NIC pipelines them, so the batch completes in one base latency
+    /// plus the serialized payload time — much cheaper than issuing the
+    /// reads one by one (the basis of swap readahead).
+    ///
+    /// Timing only; availability and bounds are checked per element, and
+    /// the whole batch fails if any element would.
+    pub fn read_batch_timed(
+        &mut self,
+        initiator: NodeId,
+        reads: &[(MrKey, Bytes, Bytes)],
+    ) -> Result<SimDuration, FabricError> {
+        let mut payload = Bytes::ZERO;
+        for &(key, offset, len) in reads {
+            let target = self.checked_target(initiator, key, offset, len, false)?;
+            self.account(initiator, target, len, true);
+            payload += len;
+        }
+        if reads.is_empty() {
+            return Ok(SimDuration::ZERO);
+        }
+        Ok(self.profile.read_time(payload))
+    }
+
+    /// One-sided RDMA WRITE: pushes `src` to `(key, offset)`. Works against
+    /// `Full` and `MemoryOnly` (zombie) targets.
+    pub fn write(
+        &mut self,
+        initiator: NodeId,
+        key: MrKey,
+        offset: Bytes,
+        src: &[u8],
+    ) -> Result<SimDuration, FabricError> {
+        let len = Bytes::new(src.len() as u64);
+        let target = self.checked_write_target(initiator, key, offset, len)?;
+        self.regions
+            .get_mut(&key)
+            .expect("checked above")
+            .write_bytes(offset, src);
+        self.account(initiator, target, len, false);
+        Ok(self.profile.write_time(len))
+    }
+
+    /// One-sided WRITE that only models timing.
+    pub fn write_timed(
+        &mut self,
+        initiator: NodeId,
+        key: MrKey,
+        offset: Bytes,
+        len: Bytes,
+    ) -> Result<SimDuration, FabricError> {
+        let target = self.checked_write_target(initiator, key, offset, len)?;
+        self.account(initiator, target, len, false);
+        Ok(self.profile.write_time(len))
+    }
+
+    /// Two-sided SEND: requires the *target's CPU*. This is what makes a
+    /// zombie "brain-dead": the data in its RAM is reachable, the node
+    /// itself is not.
+    pub fn send(
+        &mut self,
+        initiator: NodeId,
+        target: NodeId,
+        len: Bytes,
+    ) -> Result<SimDuration, FabricError> {
+        if !self.state(initiator)?.availability.serves_cpu() {
+            return Err(FabricError::InitiatorSuspended(initiator));
+        }
+        let avail = self.state(target)?.availability;
+        if !avail.serves_cpu() {
+            return Err(FabricError::Unreachable {
+                node: target,
+                needs_cpu: true,
+            });
+        }
+        self.account(initiator, target, len, false);
+        Ok(self.profile.send_time(len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_nodes() -> (Fabric, NodeId, NodeId, NodeId) {
+        let mut f = Fabric::new();
+        let a = f.attach();
+        let b = f.attach();
+        let c = f.attach();
+        (f, a, b, c)
+    }
+
+    #[test]
+    fn one_sided_works_against_zombie() {
+        let (mut f, user, zombie, _) = three_nodes();
+        let mr = f.register(zombie, Bytes::mib(1)).unwrap();
+        f.set_availability(zombie, Availability::MemoryOnly);
+
+        f.write(user, mr, Bytes::new(8), b"zombie").unwrap();
+        let mut out = [0u8; 6];
+        f.read(user, mr, Bytes::new(8), &mut out).unwrap();
+        assert_eq!(&out, b"zombie");
+    }
+
+    #[test]
+    fn two_sided_fails_against_zombie() {
+        let (mut f, user, zombie, _) = three_nodes();
+        f.set_availability(zombie, Availability::MemoryOnly);
+        assert_eq!(
+            f.send(user, zombie, Bytes::kib(1)),
+            Err(FabricError::Unreachable {
+                node: zombie,
+                needs_cpu: true
+            })
+        );
+    }
+
+    #[test]
+    fn nothing_works_against_down_node() {
+        let (mut f, user, down, _) = three_nodes();
+        let mr = f.register(down, Bytes::mib(1)).unwrap();
+        f.set_availability(down, Availability::Down);
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            f.read(user, mr, Bytes::ZERO, &mut buf),
+            Err(FabricError::Unreachable {
+                needs_cpu: false,
+                ..
+            })
+        ));
+        assert!(f.send(user, down, Bytes::new(1)).is_err());
+    }
+
+    #[test]
+    fn suspended_initiator_cannot_issue() {
+        let (mut f, user, server, _) = three_nodes();
+        let mr = f.register(server, Bytes::mib(1)).unwrap();
+        f.set_availability(user, Availability::MemoryOnly);
+        assert_eq!(
+            f.write_timed(user, mr, Bytes::ZERO, Bytes::kib(4)),
+            Err(FabricError::InitiatorSuspended(user))
+        );
+    }
+
+    #[test]
+    fn registration_needs_cpu() {
+        let (mut f, _, zombie, _) = three_nodes();
+        f.set_availability(zombie, Availability::MemoryOnly);
+        assert!(f.register(zombie, Bytes::mib(1)).is_err());
+    }
+
+    #[test]
+    fn bounds_enforced() {
+        let (mut f, user, server, _) = three_nodes();
+        let mr = f.register(server, Bytes::new(16)).unwrap();
+        let mut buf = [0u8; 32];
+        assert_eq!(
+            f.read(user, mr, Bytes::ZERO, &mut buf),
+            Err(FabricError::OutOfBounds(mr))
+        );
+    }
+
+    #[test]
+    fn read_only_regions_reject_remote_writes() {
+        let (mut f, user, server, _) = three_nodes();
+        let mr = f
+            .register_with_access(server, Bytes::mib(1), MrAccess::ReadOnly)
+            .unwrap();
+        assert_eq!(
+            f.write(user, mr, Bytes::ZERO, b"nope"),
+            Err(FabricError::AccessDenied(mr))
+        );
+        assert_eq!(
+            f.write_timed(user, mr, Bytes::ZERO, Bytes::kib(4)),
+            Err(FabricError::AccessDenied(mr))
+        );
+        // Reads still work.
+        let mut buf = [0u8; 4];
+        assert!(f.read(user, mr, Bytes::ZERO, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn unknown_handles() {
+        let (mut f, user, _, _) = three_nodes();
+        let bogus_mr = MrKey::new(999);
+        assert_eq!(
+            f.read_timed(user, bogus_mr, Bytes::ZERO, Bytes::new(1)),
+            Err(FabricError::UnknownMr(bogus_mr))
+        );
+        assert!(f.availability(NodeId::new(42)).is_err());
+    }
+
+    #[test]
+    fn timing_scales_with_size() {
+        let (mut f, user, server, _) = three_nodes();
+        let mr = f.register(server, Bytes::mib(64)).unwrap();
+        let small = f.read_timed(user, mr, Bytes::ZERO, Bytes::kib(4)).unwrap();
+        let large = f.read_timed(user, mr, Bytes::ZERO, Bytes::mib(4)).unwrap();
+        assert!(large > small * 100, "large {large}, small {small}");
+        // A 4 KiB page read lands in the low-microsecond range.
+        assert!(small.as_micros() >= 1 && small.as_micros() < 10, "{small}");
+    }
+
+    #[test]
+    fn batched_reads_pipeline() {
+        let (mut f, user, server, _) = three_nodes();
+        let mr = f.register(server, Bytes::mib(64)).unwrap();
+        let page = Bytes::kib(4);
+        let batch: Vec<(MrKey, Bytes, Bytes)> =
+            (0..8).map(|i| (mr, Bytes::new(i * 4096), page)).collect();
+        let batched = f.read_batch_timed(user, &batch).unwrap();
+        let mut serial = SimDuration::ZERO;
+        for _ in 0..8 {
+            serial += f.read_timed(user, mr, Bytes::ZERO, page).unwrap();
+        }
+        // One base latency instead of eight.
+        assert!(batched < serial / 2, "{batched} vs {serial}");
+        assert!(batched > f.profile().read_time(page));
+        // Empty batch is free.
+        assert_eq!(f.read_batch_timed(user, &[]).unwrap(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn batch_fails_atomically_on_bad_element() {
+        let (mut f, user, server, _) = three_nodes();
+        let mr = f.register(server, Bytes::new(4096)).unwrap();
+        let batch = [
+            (mr, Bytes::ZERO, Bytes::kib(4)),
+            (mr, Bytes::kib(4), Bytes::kib(4)), // Out of bounds.
+        ];
+        assert_eq!(
+            f.read_batch_timed(user, &batch),
+            Err(FabricError::OutOfBounds(mr))
+        );
+    }
+
+    #[test]
+    fn write_cheaper_than_read_cheaper_than_send() {
+        let p = LinkProfile::default();
+        let len = Bytes::kib(4);
+        assert!(p.write_time(len) < p.read_time(len));
+        assert!(p.read_time(len) < p.send_time(len));
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let (mut f, user, server, _) = three_nodes();
+        let mr = f.register(server, Bytes::mib(1)).unwrap();
+        f.write_timed(user, mr, Bytes::ZERO, Bytes::kib(4)).unwrap();
+        f.read_timed(user, mr, Bytes::ZERO, Bytes::kib(4)).unwrap();
+        let s = f.stats(server).unwrap();
+        assert_eq!(s.inbound_writes, 1);
+        assert_eq!(s.inbound_reads, 1);
+        assert_eq!(s.inbound_bytes, Bytes::kib(8));
+        let u = f.stats(user).unwrap();
+        assert_eq!(u.outbound_ops, 2);
+        assert_eq!(u.outbound_bytes, Bytes::kib(8));
+    }
+
+    #[test]
+    fn deregister_frees_key() {
+        let (mut f, user, server, _) = three_nodes();
+        let mr = f.register(server, Bytes::mib(1)).unwrap();
+        f.deregister(mr).unwrap();
+        assert_eq!(
+            f.read_timed(user, mr, Bytes::ZERO, Bytes::new(1)),
+            Err(FabricError::UnknownMr(mr))
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! A simulated RDMA fabric with the semantics Zombieland depends on.
+//!
+//! The paper's central mechanism is that a server suspended in the zombie
+//! (Sz) state still serves its memory: *one-sided* RDMA READ/WRITE verbs
+//! complete purely in the NIC/memory path and need no remote CPU, while
+//! *two-sided* SEND/RECV (and anything RPC-like) needs the remote CPU
+//! running. This crate makes that distinction executable:
+//!
+//! - A node advertises an [`Availability`]: `Full` (S0), `MemoryOnly` (Sz)
+//!   or `Down` (S3/S4/S5).
+//! - [`Fabric::read`]/[`Fabric::write`] succeed against `Full` and
+//!   `MemoryOnly` targets; [`Fabric::send`] only against `Full` ones.
+//! - Every verb returns the simulated time it took, computed from a
+//!   [`LinkProfile`] calibrated to the paper's testbed (Mellanox
+//!   ConnectX-3 on an FDR InfiniBand switch).
+//!
+//! [`rpc`] builds the paper's RPC-over-RDMA layer on top: requests are
+//! RDMA-written into a server ring, responses are *polled* by the client
+//! ("clients poll for the RPC results as RDMA inbound operations are
+//! cheaper than outbound operations", §4.1).
+
+pub mod fabric;
+pub mod mr;
+pub mod node;
+pub mod qp;
+pub mod rpc;
+
+pub use fabric::{Fabric, FabricError, LinkProfile};
+pub use mr::{MemoryRegion, MrKey};
+pub use node::{Availability, NodeId, TrafficStats};

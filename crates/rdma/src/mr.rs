@@ -1,0 +1,188 @@
+//! Registered memory regions.
+
+use core::fmt;
+use std::collections::HashMap;
+
+use zombieland_simcore::{Bytes, PAGE_SIZE};
+
+use crate::node::NodeId;
+
+/// Key identifying a registered memory region on the fabric (the analogue
+/// of an `rkey`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MrKey(u64);
+
+impl MrKey {
+    pub(crate) const fn new(id: u64) -> Self {
+        MrKey(id)
+    }
+
+    /// The raw key.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for MrKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mr:{}", self.0)
+    }
+}
+
+/// Access rights a registration grants to remote peers (the rkey's
+/// permission bits).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MrAccess {
+    /// Remote READ only.
+    ReadOnly,
+    /// Remote READ and WRITE.
+    ReadWrite,
+}
+
+impl MrAccess {
+    /// Whether remote writes are permitted.
+    pub fn allows_write(self) -> bool {
+        matches!(self, MrAccess::ReadWrite)
+    }
+}
+
+/// A registered region of a node's physical memory.
+///
+/// Backing bytes are stored sparsely per page: registering a 64 MiB buffer
+/// costs nothing until someone writes to it, which lets large-scale
+/// simulations register thousands of buffers while correctness tests can
+/// still round-trip real data.
+#[derive(Debug)]
+pub struct MemoryRegion {
+    node: NodeId,
+    len: Bytes,
+    access: MrAccess,
+    pages: HashMap<u64, Box<[u8]>>,
+}
+
+impl MemoryRegion {
+    /// Creates a read-write region of `len` bytes on `node`, zero-filled.
+    pub fn new(node: NodeId, len: Bytes) -> Self {
+        Self::with_access(node, len, MrAccess::ReadWrite)
+    }
+
+    /// Creates a region with explicit remote-access rights.
+    pub fn with_access(node: NodeId, len: Bytes, access: MrAccess) -> Self {
+        MemoryRegion {
+            node,
+            len,
+            access,
+            pages: HashMap::new(),
+        }
+    }
+
+    /// The remote-access rights of this registration.
+    pub fn access(&self) -> MrAccess {
+        self.access
+    }
+
+    /// The node whose memory backs this region.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Region length.
+    pub fn len(&self) -> Bytes {
+        self.len
+    }
+
+    /// Whether the region is zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.len == Bytes::ZERO
+    }
+
+    /// Whether `[offset, offset + len)` is inside the region.
+    pub fn in_bounds(&self, offset: Bytes, len: Bytes) -> bool {
+        offset
+            .get()
+            .checked_add(len.get())
+            .is_some_and(|end| end <= self.len.get())
+    }
+
+    /// Copies `src` into the region at `offset`. Bounds must have been
+    /// checked by the caller (the fabric does).
+    pub(crate) fn write_bytes(&mut self, offset: Bytes, src: &[u8]) {
+        let mut pos = offset.get();
+        let mut remaining = src;
+        while !remaining.is_empty() {
+            let page = pos / PAGE_SIZE;
+            let in_page = (pos % PAGE_SIZE) as usize;
+            let take = remaining.len().min(PAGE_SIZE as usize - in_page);
+            let backing = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            backing[in_page..in_page + take].copy_from_slice(&remaining[..take]);
+            remaining = &remaining[take..];
+            pos += take as u64;
+        }
+    }
+
+    /// Copies `dst.len()` bytes out of the region at `offset`. Unwritten
+    /// pages read as zeros.
+    pub(crate) fn read_bytes(&self, offset: Bytes, dst: &mut [u8]) {
+        let mut pos = offset.get();
+        let mut written = 0usize;
+        while written < dst.len() {
+            let page = pos / PAGE_SIZE;
+            let in_page = (pos % PAGE_SIZE) as usize;
+            let take = (dst.len() - written).min(PAGE_SIZE as usize - in_page);
+            match self.pages.get(&page) {
+                Some(backing) => {
+                    dst[written..written + take].copy_from_slice(&backing[in_page..in_page + take])
+                }
+                None => dst[written..written + take].fill(0),
+            }
+            written += take;
+            pos += take as u64;
+        }
+    }
+
+    /// Number of pages that have been materialized by writes (test/debug
+    /// aid).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_backing_round_trip() {
+        let mut mr = MemoryRegion::new(NodeId::new(0), Bytes::mib(64));
+        assert_eq!(mr.resident_pages(), 0);
+
+        // Write spanning a page boundary.
+        let data: Vec<u8> = (0..8192).map(|i| (i % 251) as u8).collect();
+        mr.write_bytes(Bytes::new(4000), &data);
+        assert_eq!(mr.resident_pages(), 3);
+
+        let mut out = vec![0u8; 8192];
+        mr.read_bytes(Bytes::new(4000), &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn unwritten_reads_as_zero() {
+        let mr = MemoryRegion::new(NodeId::new(0), Bytes::mib(1));
+        let mut out = vec![0xAAu8; 100];
+        mr.read_bytes(Bytes::kib(512), &mut out);
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let mr = MemoryRegion::new(NodeId::new(0), Bytes::new(100));
+        assert!(mr.in_bounds(Bytes::new(0), Bytes::new(100)));
+        assert!(mr.in_bounds(Bytes::new(99), Bytes::new(1)));
+        assert!(!mr.in_bounds(Bytes::new(99), Bytes::new(2)));
+        assert!(!mr.in_bounds(Bytes::new(u64::MAX), Bytes::new(2)));
+    }
+}

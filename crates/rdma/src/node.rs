@@ -1,0 +1,94 @@
+//! Fabric node identity, availability and traffic accounting.
+
+use core::fmt;
+
+use zombieland_simcore::Bytes;
+
+/// Identifier of a node (server) attached to the fabric.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Builds from a raw id.
+    pub const fn new(id: u32) -> Self {
+        NodeId(id)
+    }
+
+    /// The raw id.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node:{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node:{}", self.0)
+    }
+}
+
+/// What the node's power state lets the fabric do with it.
+///
+/// This is the RDMA-visible projection of the ACPI state: the platform
+/// layer maps S0 to `Full`, Sz to `MemoryOnly`, and S3/S4/S5 to `Down`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Availability {
+    /// CPU running (S0): all verbs work, RPC servers respond.
+    #[default]
+    Full,
+    /// Zombie (Sz): memory and the NIC-to-memory path are powered, the CPU
+    /// is not. One-sided READ/WRITE work; SEND/RECV and RPC do not.
+    MemoryOnly,
+    /// Suspended or off (S3/S4/S5): only Wake-on-LAN reaches the node.
+    Down,
+}
+
+impl Availability {
+    /// Whether one-sided verbs (READ/WRITE) can target this node.
+    pub fn serves_memory(self) -> bool {
+        matches!(self, Availability::Full | Availability::MemoryOnly)
+    }
+
+    /// Whether two-sided verbs (SEND/RECV) and RPC can target this node.
+    pub fn serves_cpu(self) -> bool {
+        matches!(self, Availability::Full)
+    }
+}
+
+/// Per-node byte/operation counters, split by direction.
+///
+/// "Inbound" means operations *initiated elsewhere* that target this node's
+/// memory; "outbound" means operations this node initiated.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrafficStats {
+    /// One-sided reads served from this node's memory.
+    pub inbound_reads: u64,
+    /// One-sided writes landed into this node's memory.
+    pub inbound_writes: u64,
+    /// Bytes served/absorbed by this node's memory.
+    pub inbound_bytes: Bytes,
+    /// Verbs this node initiated.
+    pub outbound_ops: u64,
+    /// Bytes this node pushed/pulled over the fabric.
+    pub outbound_bytes: Bytes,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_semantics() {
+        assert!(Availability::Full.serves_memory());
+        assert!(Availability::Full.serves_cpu());
+        assert!(Availability::MemoryOnly.serves_memory());
+        assert!(!Availability::MemoryOnly.serves_cpu());
+        assert!(!Availability::Down.serves_memory());
+        assert!(!Availability::Down.serves_cpu());
+    }
+}

@@ -1,0 +1,293 @@
+//! Queue pairs and completion queues: the posted-verb programming model.
+//!
+//! [`crate::Fabric`]'s direct methods are convenient for single verbs; real
+//! RDMA code posts batches of work requests on a queue pair and polls a
+//! completion queue. This module models that discipline, including the
+//! property batch users rely on — *pipelining* (one wire latency for the
+//! whole batch) — and the one they fear: after a failed work request the
+//! QP enters the error state and flushes everything behind it.
+
+use std::collections::VecDeque;
+
+use zombieland_simcore::{Bytes, SimDuration};
+
+use crate::fabric::{Fabric, FabricError};
+use crate::mr::MrKey;
+use crate::node::NodeId;
+
+/// A posted (not yet executed) one-sided work request.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkRequest {
+    /// Caller-chosen id, echoed in the completion.
+    pub wr_id: u64,
+    /// Verb direction.
+    pub kind: WrKind,
+    /// Target region.
+    pub mr: MrKey,
+    /// Offset within the region.
+    pub offset: Bytes,
+    /// Payload length.
+    pub len: Bytes,
+}
+
+/// One-sided verb kinds a QP posts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WrKind {
+    /// RDMA READ.
+    Read,
+    /// RDMA WRITE (timing only; use the fabric directly for payloads).
+    Write,
+}
+
+/// Completion status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WcStatus {
+    /// Completed successfully.
+    Success,
+    /// This work request failed.
+    Error(FabricError),
+    /// Flushed: an earlier request failed and the QP entered the error
+    /// state before this one executed.
+    WrFlushErr,
+}
+
+/// A completion-queue entry.
+#[derive(Clone, Copy, Debug)]
+pub struct Completion {
+    /// The posted id.
+    pub wr_id: u64,
+    /// Status.
+    pub status: WcStatus,
+    /// Time from flush start until this request's completion (pipelined;
+    /// zero for flushed entries).
+    pub completed_at: SimDuration,
+}
+
+/// Errors of the posting interface itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QpError {
+    /// The send queue is full; poll completions first.
+    QueueFull,
+    /// The QP is in the error state and must be re-created.
+    ErrorState,
+}
+
+impl core::fmt::Display for QpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            QpError::QueueFull => write!(f, "send queue full"),
+            QpError::ErrorState => write!(f, "queue pair in error state"),
+        }
+    }
+}
+
+impl std::error::Error for QpError {}
+
+/// A (simulated) reliable-connected queue pair.
+pub struct QueuePair {
+    initiator: NodeId,
+    depth: usize,
+    posted: VecDeque<WorkRequest>,
+    cq: VecDeque<Completion>,
+    errored: bool,
+}
+
+impl QueuePair {
+    /// Creates a QP for `initiator` with the given send-queue depth.
+    pub fn new(initiator: NodeId, depth: usize) -> Self {
+        QueuePair {
+            initiator,
+            depth: depth.max(1),
+            posted: VecDeque::new(),
+            cq: VecDeque::new(),
+            errored: false,
+        }
+    }
+
+    /// The initiating node.
+    pub fn initiator(&self) -> NodeId {
+        self.initiator
+    }
+
+    /// Whether the QP is unusable until re-created.
+    pub fn in_error_state(&self) -> bool {
+        self.errored
+    }
+
+    /// Posts a work request.
+    pub fn post(&mut self, wr: WorkRequest) -> Result<(), QpError> {
+        if self.errored {
+            return Err(QpError::ErrorState);
+        }
+        if self.posted.len() >= self.depth {
+            return Err(QpError::QueueFull);
+        }
+        self.posted.push_back(wr);
+        Ok(())
+    }
+
+    /// Executes every posted request against the fabric, pipelined:
+    /// completion `i` lands at `base_latency + Σ serialize(len_0..=i)`.
+    /// On the first failure the QP enters the error state and the rest
+    /// flush with [`WcStatus::WrFlushErr`]. Returns the wall time until
+    /// the last successful completion.
+    pub fn flush(&mut self, fabric: &mut Fabric) -> SimDuration {
+        let mut elapsed = SimDuration::ZERO;
+        let mut base_paid = false;
+        while let Some(wr) = self.posted.pop_front() {
+            if self.errored {
+                self.cq.push_back(Completion {
+                    wr_id: wr.wr_id,
+                    status: WcStatus::WrFlushErr,
+                    completed_at: SimDuration::ZERO,
+                });
+                continue;
+            }
+            let result = match wr.kind {
+                WrKind::Read => fabric.read_timed(self.initiator, wr.mr, wr.offset, wr.len),
+                WrKind::Write => fabric.write_timed(self.initiator, wr.mr, wr.offset, wr.len),
+            };
+            match result {
+                Ok(cost) => {
+                    // Pipelining: the base latency is paid once; each
+                    // request then adds only its serialization time.
+                    let serialize = cost.saturating_sub(match wr.kind {
+                        WrKind::Read => fabric.profile().read_time(Bytes::ZERO),
+                        WrKind::Write => fabric.profile().write_time(Bytes::ZERO),
+                    });
+                    if !base_paid {
+                        elapsed += cost;
+                        base_paid = true;
+                    } else {
+                        elapsed += serialize;
+                    }
+                    self.cq.push_back(Completion {
+                        wr_id: wr.wr_id,
+                        status: WcStatus::Success,
+                        completed_at: elapsed,
+                    });
+                }
+                Err(e) => {
+                    self.errored = true;
+                    self.cq.push_back(Completion {
+                        wr_id: wr.wr_id,
+                        status: WcStatus::Error(e),
+                        completed_at: elapsed,
+                    });
+                }
+            }
+        }
+        elapsed
+    }
+
+    /// Polls up to `max` completions, oldest first.
+    pub fn poll_cq(&mut self, max: usize) -> Vec<Completion> {
+        let n = max.min(self.cq.len());
+        self.cq.drain(..n).collect()
+    }
+
+    /// Pending (posted, unflushed) requests.
+    pub fn posted(&self) -> usize {
+        self.posted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Availability;
+
+    fn setup() -> (Fabric, NodeId, MrKey) {
+        let mut f = Fabric::new();
+        let user = f.attach();
+        let server = f.attach();
+        let mr = f.register(server, Bytes::mib(4)).unwrap();
+        (f, user, mr)
+    }
+
+    fn read_wr(id: u64, mr: MrKey, off: u64) -> WorkRequest {
+        WorkRequest {
+            wr_id: id,
+            kind: WrKind::Read,
+            mr,
+            offset: Bytes::new(off),
+            len: Bytes::kib(4),
+        }
+    }
+
+    #[test]
+    fn batch_pipelines_and_completes_in_order() {
+        let (mut f, user, mr) = setup();
+        let mut qp = QueuePair::new(user, 32);
+        for i in 0..8 {
+            qp.post(read_wr(i, mr, i * 4096)).unwrap();
+        }
+        let elapsed = qp.flush(&mut f);
+        let serial = f.profile().read_time(Bytes::kib(4)) * 8;
+        assert!(elapsed < serial / 2, "{elapsed} vs serial {serial}");
+        let wc = qp.poll_cq(100);
+        assert_eq!(wc.len(), 8);
+        let ids: Vec<u64> = wc.iter().map(|c| c.wr_id).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>());
+        assert!(wc
+            .windows(2)
+            .all(|w| w[0].completed_at <= w[1].completed_at));
+        assert!(wc.iter().all(|c| c.status == WcStatus::Success));
+    }
+
+    #[test]
+    fn queue_depth_enforced() {
+        let (_, user, mr) = setup();
+        let mut qp = QueuePair::new(user, 2);
+        qp.post(read_wr(0, mr, 0)).unwrap();
+        qp.post(read_wr(1, mr, 0)).unwrap();
+        assert_eq!(qp.post(read_wr(2, mr, 0)), Err(QpError::QueueFull));
+    }
+
+    #[test]
+    fn failure_flushes_the_rest() {
+        let (mut f, user, mr) = setup();
+        let mut qp = QueuePair::new(user, 8);
+        qp.post(read_wr(0, mr, 0)).unwrap();
+        // Out of bounds: fails.
+        qp.post(WorkRequest {
+            wr_id: 1,
+            kind: WrKind::Read,
+            mr,
+            offset: Bytes::mib(4),
+            len: Bytes::kib(4),
+        })
+        .unwrap();
+        qp.post(read_wr(2, mr, 0)).unwrap();
+        qp.flush(&mut f);
+        let wc = qp.poll_cq(10);
+        assert_eq!(wc[0].status, WcStatus::Success);
+        assert!(matches!(wc[1].status, WcStatus::Error(_)));
+        assert_eq!(wc[2].status, WcStatus::WrFlushErr);
+        assert!(qp.in_error_state());
+        assert_eq!(qp.post(read_wr(3, mr, 0)), Err(QpError::ErrorState));
+    }
+
+    #[test]
+    fn reads_from_a_zombie_work_on_qps_too() {
+        let (mut f, user, mr) = setup();
+        f.set_availability(NodeId::new(1), Availability::MemoryOnly);
+        let mut qp = QueuePair::new(user, 4);
+        qp.post(read_wr(0, mr, 0)).unwrap();
+        qp.flush(&mut f);
+        assert_eq!(qp.poll_cq(1)[0].status, WcStatus::Success);
+    }
+
+    #[test]
+    fn poll_respects_max() {
+        let (mut f, user, mr) = setup();
+        let mut qp = QueuePair::new(user, 8);
+        for i in 0..5 {
+            qp.post(read_wr(i, mr, 0)).unwrap();
+        }
+        qp.flush(&mut f);
+        assert_eq!(qp.poll_cq(2).len(), 2);
+        assert_eq!(qp.poll_cq(10).len(), 3);
+        assert!(qp.poll_cq(10).is_empty());
+    }
+}

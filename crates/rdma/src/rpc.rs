@@ -1,0 +1,234 @@
+//! RPC over RDMA, the control-plane transport of the rack (§4.1).
+//!
+//! Following the paper (which cites RFP \[48\]), both directions of an RPC
+//! are *server-inbound* RDMA operations, because an RDMA NIC serves
+//! inbound operations more cheaply than it can initiate outbound ones:
+//!
+//! 1. the client RDMA-WRITEs the request into the server's request ring;
+//! 2. the server's daemon (CPU required — this is why RPC cannot target a
+//!    zombie) processes it and deposits the response in its response
+//!    buffer;
+//! 3. the client *polls* the response slot with small RDMA READs until the
+//!    response appears, then READs the full payload.
+
+use zombieland_simcore::{Bytes, SimDuration};
+
+use crate::fabric::{Fabric, FabricError};
+use crate::mr::MrKey;
+use crate::node::NodeId;
+
+/// Size of the polled completion flag.
+const POLL_PROBE: Bytes = Bytes::new(8);
+
+/// An established RPC channel between one client and one server.
+#[derive(Debug)]
+pub struct RpcLink {
+    client: NodeId,
+    server: NodeId,
+    request_ring: MrKey,
+    response_buf: MrKey,
+    /// How often the client re-polls while the server is processing.
+    poll_interval: SimDuration,
+}
+
+/// Timing breakdown of one RPC call, so experiments can attribute costs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RpcTiming {
+    /// Request transfer (client → server ring).
+    pub request: SimDuration,
+    /// Server-side processing time (supplied by the caller).
+    pub processing: SimDuration,
+    /// Total time spent polling, including the final payload READ.
+    pub response: SimDuration,
+    /// Number of poll probes issued.
+    pub polls: u64,
+}
+
+impl RpcTiming {
+    /// End-to-end latency of the call.
+    pub fn total(&self) -> SimDuration {
+        self.request + self.processing + self.response
+    }
+}
+
+impl RpcLink {
+    /// Establishes a channel: registers the server-side request ring and
+    /// response buffer. Both ends must be fully available.
+    pub fn establish(
+        fabric: &mut Fabric,
+        client: NodeId,
+        server: NodeId,
+    ) -> Result<Self, FabricError> {
+        let request_ring = fabric.register(server, Bytes::mib(1))?;
+        let response_buf = fabric.register(server, Bytes::mib(1))?;
+        // Make sure the *client* is alive too; registering 0 bytes would be
+        // silly, so probe via availability.
+        if !fabric.availability(client)?.serves_cpu() {
+            return Err(FabricError::InitiatorSuspended(client));
+        }
+        Ok(RpcLink {
+            client,
+            server,
+            request_ring,
+            response_buf,
+            poll_interval: SimDuration::from_nanos(800),
+        })
+    }
+
+    /// The client end.
+    pub fn client(&self) -> NodeId {
+        self.client
+    }
+
+    /// The server end.
+    pub fn server(&self) -> NodeId {
+        self.server
+    }
+
+    /// Performs one call, returning its timing breakdown.
+    ///
+    /// `server_time` is how long the server daemon takes to execute the
+    /// operation (the caller models that; controller operations are
+    /// in-memory-database lookups in the tens of microseconds).
+    ///
+    /// Fails with [`FabricError::Unreachable`] (`needs_cpu: true`) when the
+    /// server is a zombie or down — the paper's reason why controllers and
+    /// managers must live on active servers.
+    pub fn call(
+        &self,
+        fabric: &mut Fabric,
+        request_len: Bytes,
+        response_len: Bytes,
+        server_time: SimDuration,
+    ) -> Result<RpcTiming, FabricError> {
+        // The RPC daemon needs the server CPU: enforce before any verbs.
+        if !fabric.availability(self.server)?.serves_cpu() {
+            return Err(FabricError::Unreachable {
+                node: self.server,
+                needs_cpu: true,
+            });
+        }
+        let request =
+            fabric.write_timed(self.client, self.request_ring, Bytes::ZERO, request_len)?;
+
+        // Client polls while the server processes. The first probe happens
+        // immediately after the request lands; one extra probe observes the
+        // completed flag.
+        let probe_cost = fabric.profile().read_time(POLL_PROBE);
+        let cycle = self.poll_interval.max(probe_cost);
+        let polls = server_time.as_nanos().div_ceil(cycle.as_nanos().max(1)) + 1;
+        let mut response = SimDuration::ZERO;
+        for _ in 0..polls {
+            response +=
+                fabric.read_timed(self.client, self.response_buf, Bytes::ZERO, POLL_PROBE)?;
+        }
+        response += fabric.read_timed(self.client, self.response_buf, Bytes::ZERO, response_len)?;
+
+        Ok(RpcTiming {
+            request,
+            processing: server_time,
+            response,
+            polls,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Availability;
+
+    fn setup() -> (Fabric, RpcLink) {
+        let mut f = Fabric::new();
+        let client = f.attach();
+        let server = f.attach();
+        let link = RpcLink::establish(&mut f, client, server).unwrap();
+        (f, link)
+    }
+
+    #[test]
+    fn call_produces_sane_timing() {
+        let (mut f, link) = setup();
+        let t = link
+            .call(
+                &mut f,
+                Bytes::new(256),
+                Bytes::new(512),
+                SimDuration::from_micros(20),
+            )
+            .unwrap();
+        assert_eq!(t.processing, SimDuration::from_micros(20));
+        assert!(t.polls >= 2, "at least an initial and a final poll");
+        assert!(t.total() > SimDuration::from_micros(20));
+        // Control-plane calls stay well under a millisecond.
+        assert!(t.total() < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn longer_processing_means_more_polls() {
+        let (mut f, link) = setup();
+        let short = link
+            .call(
+                &mut f,
+                Bytes::new(64),
+                Bytes::new(64),
+                SimDuration::from_micros(5),
+            )
+            .unwrap();
+        let long = link
+            .call(
+                &mut f,
+                Bytes::new(64),
+                Bytes::new(64),
+                SimDuration::from_micros(100),
+            )
+            .unwrap();
+        assert!(long.polls > short.polls);
+    }
+
+    #[test]
+    fn rpc_needs_server_cpu() {
+        let (mut f, link) = setup();
+        f.set_availability(link.server(), Availability::MemoryOnly);
+        let err = link
+            .call(&mut f, Bytes::new(64), Bytes::new(64), SimDuration::ZERO)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FabricError::Unreachable {
+                node: link.server(),
+                needs_cpu: true
+            }
+        );
+    }
+
+    #[test]
+    fn establish_needs_both_ends_alive() {
+        let mut f = Fabric::new();
+        let client = f.attach();
+        let server = f.attach();
+        f.set_availability(server, Availability::Down);
+        assert!(RpcLink::establish(&mut f, client, server).is_err());
+        f.set_availability(server, Availability::Full);
+        f.set_availability(client, Availability::Down);
+        assert!(RpcLink::establish(&mut f, client, server).is_err());
+    }
+
+    #[test]
+    fn polling_is_server_inbound() {
+        let (mut f, link) = setup();
+        link.call(
+            &mut f,
+            Bytes::new(64),
+            Bytes::new(64),
+            SimDuration::from_micros(10),
+        )
+        .unwrap();
+        let s = f.stats(link.server()).unwrap();
+        // One inbound write (the request) and several inbound reads (the
+        // polls + payload): the server NIC serves everything.
+        assert_eq!(s.inbound_writes, 1);
+        assert!(s.inbound_reads >= 3);
+        assert_eq!(s.outbound_ops, 0, "server initiates nothing");
+    }
+}

@@ -1,0 +1,130 @@
+//! Plain-text table rendering for the benchmark harnesses.
+//!
+//! Every table/figure harness in `zombieland-bench` prints its rows through
+//! this module so the output visually matches the paper's tables and can be
+//! diffed between runs.
+
+use std::fmt::Write as _;
+
+/// A column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use zombieland_simcore::report::Table;
+///
+/// let mut t = Table::new("Demo", &["k", "v"]);
+/// t.row(&["a".into(), "1".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Demo"));
+/// assert!(s.contains('a'));
+/// ```
+#[derive(Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let sep = if i + 1 == ncols { "\n" } else { "  " };
+                let _ = write!(out, "{:<width$}{}", cell, sep, width = widths[i]);
+            }
+        };
+        line(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(rule));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a percentage the way the paper's tables do: `∞` for effectively
+/// unusable configurations, `Nk%` for thousands of percent, plain otherwise.
+pub fn fmt_penalty(pct: f64) -> String {
+    if !pct.is_finite() || pct >= 100_000.0 {
+        "inf".to_string()
+    } else if pct >= 1_000.0 {
+        format!("{:.0}k%", pct / 1_000.0)
+    } else if pct >= 10.0 {
+        format!("{pct:.1}%")
+    } else {
+        format!("{pct:.2}%")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T", &["name", "value"]);
+        t.row(&["short".into(), "1".into()]);
+        t.row(&["a-much-longer-name".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("T"));
+        // Header and both rows align on the second column.
+        let col = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].chars().nth(col - 1), Some(' '));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn penalty_formatting() {
+        assert_eq!(fmt_penalty(f64::INFINITY), "inf");
+        assert_eq!(fmt_penalty(9_000.0), "9k%");
+        assert_eq!(fmt_penalty(15.6), "15.6%");
+        assert_eq!(fmt_penalty(0.04), "0.04%");
+    }
+}

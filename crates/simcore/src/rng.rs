@@ -1,0 +1,309 @@
+//! A small, dependency-free, deterministic random number generator.
+//!
+//! Experiments must be reproducible bit-for-bit across runs and platforms,
+//! so the workspace uses this xoshiro256**-based generator (seeded through
+//! SplitMix64) rather than OS entropy. The distributions implemented here
+//! are the ones the workload and trace generators need: uniform, Zipf
+//! (skewed key popularity, used by the Data Caching workload model),
+//! exponential (inter-arrival times) and Pareto (heavy-tailed task
+//! durations).
+
+/// Deterministic RNG (xoshiro256** seeded via SplitMix64).
+///
+/// # Examples
+///
+/// ```
+/// use zombieland_simcore::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Creates a generator from a seed. Any seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion ensures a zero seed does not produce the
+        // all-zero (invalid) xoshiro state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        DetRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Derives an independent child generator; useful to give each simulated
+    /// entity its own stream without coupling their sequences.
+    pub fn fork(&mut self) -> DetRng {
+        DetRng::new(self.next_u64())
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        // 53 high bits give a uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Lemire's multiply-shift rejection method: unbiased.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let low = m as u64;
+            if low >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// A uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// An exponentially distributed float with the given rate parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive");
+        let u = 1.0 - self.f64(); // In (0, 1]: ln is finite.
+        -u.ln() / rate
+    }
+
+    /// A Pareto-distributed float with scale `xm > 0` and shape
+    /// `alpha > 0` (heavy-tailed; small `alpha` means heavier tail).
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        assert!(xm > 0.0 && alpha > 0.0);
+        let u = 1.0 - self.f64(); // In (0, 1].
+        xm / u.powf(1.0 / alpha)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element, or `None` when empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.below(items.len() as u64) as usize])
+        }
+    }
+}
+
+/// A Zipf(θ) sampler over ranks `0..n`, using the rejection-inversion
+/// method so construction is O(1) and sampling O(1) expected.
+///
+/// Rank 0 is the most popular item. `theta` near 0 approaches uniform;
+/// `theta` near 1 is the classic web/memcached skew.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    h_x1: f64,
+    h_n: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or if `theta` is not in `(0, 1) ∪ (1, ∞)`
+    /// (the harmonic integral below is undefined at exactly 1; use e.g.
+    /// 0.99).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(theta > 0.0 && theta != 1.0, "theta must be > 0 and != 1");
+        let h = |x: f64| (x.powf(1.0 - theta) - 1.0) / (1.0 - theta);
+        Zipf {
+            n,
+            theta,
+            h_x1: h(1.5) - 1.0,
+            h_n: h(n as f64 + 0.5),
+        }
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        let h_inv = |x: f64| (1.0 + x * (1.0 - self.theta)).powf(1.0 / (1.0 - self.theta));
+        loop {
+            let u = self.h_x1 + rng.f64() * (self.h_n - self.h_x1);
+            let x = h_inv(u);
+            let k = (x + 0.5).floor().max(1.0).min(self.n as f64);
+            // Accept with the ratio of the true mass to the envelope.
+            let h = |y: f64| (y.powf(1.0 - self.theta) - 1.0) / (1.0 - self.theta);
+            let left = h(k - 0.5);
+            let right = h(k + 0.5);
+            if u >= left && u <= right || rng.f64() < (right - left) / (k.powf(-self.theta)) {
+                return k as u64 - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = DetRng::new(8);
+        assert_ne!(DetRng::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = DetRng::new(0);
+        // The all-zero state would yield only zeros; SplitMix prevents it.
+        assert!((0..8).map(|_| r.next_u64()).any(|v| v != 0));
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = DetRng::new(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let v = r.below(8);
+            assert!(v < 8);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_bounds_and_mean() {
+        let mut r = DetRng::new(2);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = DetRng::new(3);
+        let rate = 2.0;
+        let mean: f64 = (0..20_000).map(|_| r.exponential(rate)).sum::<f64>() / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_above_scale() {
+        let mut r = DetRng::new(4);
+        for _ in 0..1_000 {
+            assert!(r.pareto(3.0, 1.5) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn zipf_rank0_is_most_popular() {
+        let mut r = DetRng::new(5);
+        let z = Zipf::new(1_000, 0.99);
+        let mut counts = vec![0u32; 1_000];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r) as usize] += 1;
+        }
+        // Rank 0 should dominate rank 100 by a wide margin under theta=0.99.
+        assert!(
+            counts[0] > counts[100] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[100]
+        );
+        // And the head should hold most of the mass.
+        let head: u32 = counts[..100].iter().sum();
+        assert!(head as f64 > 0.5 * 50_000.0);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = DetRng::new(6);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle left the slice sorted (astronomically unlikely)"
+        );
+    }
+
+    #[test]
+    fn fork_streams_diverge() {
+        let mut parent = DetRng::new(9);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut r = DetRng::new(10);
+        let empty: [u8; 0] = [];
+        assert!(r.choose(&empty).is_none());
+        assert_eq!(r.choose(&[42]), Some(&42));
+    }
+}

@@ -1,0 +1,254 @@
+//! Small statistics helpers used when aggregating experiment runs.
+
+/// Running summary of a stream of samples (count, mean, min, max and
+/// variance via Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use zombieland_simcore::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [1.0, 2.0, 3.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (0 with fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// A fixed-size log₂ histogram of nanosecond-scale durations.
+///
+/// Buckets are powers of two from 1 ns to ~17 minutes (2⁰..2⁴⁰ ns), which
+/// covers everything from cache hits to HDD seeks. `Copy` and allocation
+/// free, so hot paths can record into it unconditionally.
+///
+/// # Examples
+///
+/// ```
+/// use zombieland_simcore::stats::LatencyHistogram;
+/// use zombieland_simcore::SimDuration;
+///
+/// let mut h = LatencyHistogram::new();
+/// h.record(SimDuration::from_micros(3));
+/// h.record(SimDuration::from_micros(5));
+/// h.record(SimDuration::from_millis(11));
+/// assert_eq!(h.count(), 3);
+/// let p50 = h.quantile(0.5).unwrap();
+/// assert!(p50 >= SimDuration::from_micros(2) && p50 <= SimDuration::from_micros(10));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 41],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; 41],
+            count: 0,
+        }
+    }
+
+    fn bucket_of(d: crate::SimDuration) -> usize {
+        let ns = d.as_nanos();
+        if ns == 0 {
+            0
+        } else {
+            (63 - ns.leading_zeros() as usize).min(40)
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: crate::SimDuration) {
+        self.buckets[Self::bucket_of(d)] += 1;
+        self.count += 1;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile, resolved to the upper edge of its bucket
+    /// (`None` when empty).
+    pub fn quantile(&self, q: f64) -> Option<crate::SimDuration> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(crate::SimDuration::from_nanos(1u64 << (i + 1).min(63)));
+            }
+        }
+        None
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+}
+
+/// The `q`-quantile (`0 ≤ q ≤ 1`) of `samples` by linear interpolation.
+/// Sorts a copy; intended for end-of-run reporting, not hot paths.
+///
+/// Returns `None` when `samples` is empty.
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_moments() {
+        let mut s = Summary::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn histogram_quantiles_and_merge() {
+        use crate::SimDuration;
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(SimDuration::from_micros(2)); // ~2^11 ns.
+        }
+        for _ in 0..10 {
+            h.record(SimDuration::from_millis(10)); // ~2^23 ns.
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 <= SimDuration::from_micros(8), "{p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= SimDuration::from_millis(8), "{p99}");
+
+        let mut other = LatencyHistogram::new();
+        other.record(SimDuration::from_nanos(1));
+        other.merge(&h);
+        assert_eq!(other.count(), 101);
+        assert_eq!(LatencyHistogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_extremes() {
+        use crate::SimDuration;
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::ZERO);
+        h.record(SimDuration::from_secs(100_000)); // Beyond the top bucket.
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+}

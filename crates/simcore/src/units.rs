@@ -1,0 +1,395 @@
+//! Physical units used across the workspace: memory sizes, CPU cycles and
+//! energy.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Size of a memory page in bytes (4 KiB, matching the paper's
+/// micro-benchmark entries and the x86-64 base page size).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A byte count.
+///
+/// # Examples
+///
+/// ```
+/// use zombieland_simcore::Bytes;
+///
+/// let vm = Bytes::gib(7);
+/// assert_eq!(vm.pages().count(), 7 * 262_144);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Builds from a raw byte count.
+    pub const fn new(b: u64) -> Self {
+        Bytes(b)
+    }
+
+    /// Builds from kibibytes.
+    pub const fn kib(k: u64) -> Self {
+        Bytes(k * 1024)
+    }
+
+    /// Builds from mebibytes.
+    pub const fn mib(m: u64) -> Self {
+        Bytes(m * 1024 * 1024)
+    }
+
+    /// Builds from gibibytes.
+    pub const fn gib(g: u64) -> Self {
+        Bytes(g * 1024 * 1024 * 1024)
+    }
+
+    /// The raw byte count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The count as fractional GiB (for reporting).
+    pub fn as_gib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Number of whole pages this many bytes spans, rounding up.
+    pub const fn pages(self) -> Pages {
+        Pages(self.0.div_ceil(PAGE_SIZE))
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    pub const fn checked_sub(self, rhs: Bytes) -> Option<Bytes> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Bytes(v)),
+            None => None,
+        }
+    }
+
+    /// Scales by a non-negative float, rounding to the nearest byte.
+    pub fn mul_f64(self, k: f64) -> Bytes {
+        debug_assert!(k >= 0.0);
+        Bytes((self.0 as f64 * k).round() as u64)
+    }
+
+    /// The smaller of two sizes.
+    pub fn min(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.min(rhs.0))
+    }
+
+    /// The larger of two sizes.
+    pub fn max(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.max(rhs.0))
+    }
+}
+
+/// A page count.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pages(u64);
+
+impl Pages {
+    /// Zero pages.
+    pub const ZERO: Pages = Pages(0);
+
+    /// Builds from a raw page count.
+    pub const fn new(p: u64) -> Self {
+        Pages(p)
+    }
+
+    /// The raw page count.
+    pub const fn count(self) -> u64 {
+        self.0
+    }
+
+    /// Total size in bytes.
+    pub const fn bytes(self) -> Bytes {
+        Bytes(self.0 * PAGE_SIZE)
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: Pages) -> Pages {
+        Pages(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The smaller of two counts.
+    pub fn min(self, rhs: Pages) -> Pages {
+        Pages(self.0.min(rhs.0))
+    }
+}
+
+/// A CPU cycle count (used to report replacement-policy costs as the paper
+/// does in Fig. 8 bottom).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Builds from a raw cycle count.
+    pub const fn new(c: u64) -> Self {
+        Cycles(c)
+    }
+
+    /// The raw cycle count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to a duration assuming the given core frequency in GHz.
+    pub fn at_ghz(self, ghz: f64) -> crate::SimDuration {
+        crate::SimDuration::from_secs_f64(self.0 as f64 / (ghz * 1e9))
+    }
+}
+
+/// Electrical power in Watts.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Watts(f64);
+
+impl Watts {
+    /// Zero power.
+    pub const ZERO: Watts = Watts(0.0);
+
+    /// Builds from a raw Watt value.
+    pub fn new(w: f64) -> Self {
+        debug_assert!(w.is_finite() && w >= 0.0, "power must be non-negative");
+        Watts(w)
+    }
+
+    /// The raw Watt value.
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Energy dissipated by drawing this power for `d`.
+    pub fn over(self, d: crate::SimDuration) -> Joules {
+        Joules(self.0 * d.as_secs_f64())
+    }
+}
+
+/// Energy in Joules.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Joules(f64);
+
+impl Joules {
+    /// Zero energy.
+    pub const ZERO: Joules = Joules(0.0);
+
+    /// Builds from a raw Joule value.
+    pub fn new(j: f64) -> Self {
+        debug_assert!(j.is_finite() && j >= 0.0, "energy must be non-negative");
+        Joules(j)
+    }
+
+    /// The raw Joule value.
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The value in kilowatt-hours (for datacenter-scale reporting).
+    pub fn as_kwh(self) -> f64 {
+        self.0 / 3.6e6
+    }
+}
+
+macro_rules! impl_u64_arith {
+    ($ty:ident) => {
+        impl Add for $ty {
+            type Output = $ty;
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+        impl AddAssign for $ty {
+            fn add_assign(&mut self, rhs: $ty) {
+                self.0 += rhs.0;
+            }
+        }
+        impl Sub for $ty {
+            type Output = $ty;
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+        impl SubAssign for $ty {
+            fn sub_assign(&mut self, rhs: $ty) {
+                self.0 -= rhs.0;
+            }
+        }
+        impl Mul<u64> for $ty {
+            type Output = $ty;
+            fn mul(self, rhs: u64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+        impl Div<u64> for $ty {
+            type Output = $ty;
+            fn div(self, rhs: u64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+        impl Sum for $ty {
+            fn sum<I: Iterator<Item = $ty>>(iter: I) -> $ty {
+                iter.fold($ty(0), |a, b| a + b)
+            }
+        }
+    };
+}
+
+macro_rules! impl_f64_arith {
+    ($ty:ident) => {
+        impl Add for $ty {
+            type Output = $ty;
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+        impl AddAssign for $ty {
+            fn add_assign(&mut self, rhs: $ty) {
+                self.0 += rhs.0;
+            }
+        }
+        impl Sub for $ty {
+            type Output = $ty;
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+        impl Mul<f64> for $ty {
+            type Output = $ty;
+            fn mul(self, rhs: f64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+        impl Div<f64> for $ty {
+            type Output = $ty;
+            fn div(self, rhs: f64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+        impl Div<$ty> for $ty {
+            type Output = f64;
+            fn div(self, rhs: $ty) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+        impl Sum for $ty {
+            fn sum<I: Iterator<Item = $ty>>(iter: I) -> $ty {
+                iter.fold($ty(0.0), |a, b| a + b)
+            }
+        }
+    };
+}
+
+impl_u64_arith!(Bytes);
+impl_u64_arith!(Pages);
+impl_u64_arith!(Cycles);
+impl_f64_arith!(Watts);
+impl_f64_arith!(Joules);
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= 1 << 30 {
+            write!(f, "{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+        } else if b >= 1 << 20 {
+            write!(f, "{:.2}MiB", b as f64 / (1u64 << 20) as f64)
+        } else if b >= 1 << 10 {
+            write!(f, "{:.2}KiB", b as f64 / 1024.0)
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+impl fmt::Debug for Pages {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}pg", self.0)
+    }
+}
+
+impl fmt::Debug for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl fmt::Debug for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}W", self.0)
+    }
+}
+
+impl fmt::Debug for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}J", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[test]
+    fn byte_constructors() {
+        assert_eq!(Bytes::kib(1).get(), 1024);
+        assert_eq!(Bytes::mib(1).get(), 1024 * 1024);
+        assert_eq!(Bytes::gib(1).get(), 1 << 30);
+    }
+
+    #[test]
+    fn page_rounding() {
+        assert_eq!(Bytes::new(1).pages().count(), 1);
+        assert_eq!(Bytes::new(4096).pages().count(), 1);
+        assert_eq!(Bytes::new(4097).pages().count(), 2);
+        assert_eq!(Bytes::ZERO.pages().count(), 0);
+        assert_eq!(Pages::new(3).bytes().get(), 3 * 4096);
+    }
+
+    #[test]
+    fn power_over_time_is_energy() {
+        let e = Watts::new(100.0).over(SimDuration::from_secs(60));
+        assert!((e.get() - 6_000.0).abs() < 1e-9);
+        assert!((Joules::new(3.6e6).as_kwh() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_at_frequency() {
+        // 3 GHz: 3e9 cycles per second.
+        let d = Cycles::new(3_000).at_ghz(3.0);
+        assert_eq!(d.as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Bytes::mib(2) + Bytes::mib(3), Bytes::mib(5));
+        assert_eq!(Bytes::mib(5) - Bytes::mib(3), Bytes::mib(2));
+        assert_eq!(Bytes::mib(2) * 3, Bytes::mib(6));
+        assert_eq!(Bytes::mib(6) / 2, Bytes::mib(3));
+        assert_eq!(Bytes::mib(1).mul_f64(0.5), Bytes::kib(512));
+        assert_eq!(Bytes::mib(1).saturating_sub(Bytes::mib(2)), Bytes::ZERO);
+        assert_eq!(Bytes::mib(1).checked_sub(Bytes::mib(2)), None);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Bytes::new(12).to_string(), "12B");
+        assert_eq!(Bytes::kib(2).to_string(), "2.00KiB");
+        assert_eq!(Bytes::gib(16).to_string(), "16.00GiB");
+    }
+}

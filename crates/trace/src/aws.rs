@@ -1,0 +1,194 @@
+//! AWS `m`-family instance dataset (Fig. 2).
+//!
+//! The paper plots the memory (GiB) : CPU (GHz) ratio of every
+//! `m<n>.<size>` instance AWS introduced between 2006 and 2016 and reads
+//! off a clear trend: memory demand grew roughly twice as fast as CPU
+//! demand. The table below reconstructs that dataset from the public
+//! launch history of the general-purpose family (CPU GHz taken as
+//! vCPUs × sustained clock of the launch-generation part, the same
+//! normalization the figure uses). Entries are approximate where AWS
+//! never published exact clocks; the *trend* is what Fig. 2 argues from.
+
+use serde::Serialize;
+
+/// One `m`-family instance type at its introduction.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Instance {
+    /// Introduction year.
+    pub year: u16,
+    /// Instance name.
+    pub name: &'static str,
+    /// Memory in GiB.
+    pub memory_gib: f64,
+    /// Aggregate CPU in GHz (vCPUs × clock).
+    pub cpu_ghz: f64,
+}
+
+impl Instance {
+    /// The Fig. 2 metric.
+    pub fn mem_cpu_ratio(&self) -> f64 {
+        self.memory_gib / self.cpu_ghz
+    }
+}
+
+/// The reconstructed `m<n>.<size>` launch dataset, 2006–2016.
+pub const INSTANCES: [Instance; 16] = [
+    Instance {
+        year: 2006,
+        name: "m1.small",
+        memory_gib: 1.7,
+        cpu_ghz: 1.7,
+    },
+    Instance {
+        year: 2007,
+        name: "m1.large",
+        memory_gib: 7.5,
+        cpu_ghz: 6.8,
+    },
+    Instance {
+        year: 2007,
+        name: "m1.xlarge",
+        memory_gib: 15.0,
+        cpu_ghz: 13.6,
+    },
+    Instance {
+        year: 2009,
+        name: "m2.xlarge",
+        memory_gib: 17.1,
+        cpu_ghz: 8.8,
+    },
+    Instance {
+        year: 2009,
+        name: "m2.2xlarge",
+        memory_gib: 34.2,
+        cpu_ghz: 17.6,
+    },
+    Instance {
+        year: 2010,
+        name: "m2.4xlarge",
+        memory_gib: 68.4,
+        cpu_ghz: 35.2,
+    },
+    Instance {
+        year: 2012,
+        name: "m1.medium",
+        memory_gib: 3.75,
+        cpu_ghz: 2.0,
+    },
+    Instance {
+        year: 2012,
+        name: "m3.xlarge",
+        memory_gib: 15.0,
+        cpu_ghz: 10.0,
+    },
+    Instance {
+        year: 2012,
+        name: "m3.2xlarge",
+        memory_gib: 30.0,
+        cpu_ghz: 20.0,
+    },
+    Instance {
+        year: 2014,
+        name: "m3.medium",
+        memory_gib: 3.75,
+        cpu_ghz: 2.5,
+    },
+    Instance {
+        year: 2014,
+        name: "m3.large",
+        memory_gib: 7.5,
+        cpu_ghz: 5.0,
+    },
+    Instance {
+        year: 2015,
+        name: "m4.large",
+        memory_gib: 8.0,
+        cpu_ghz: 4.8,
+    },
+    Instance {
+        year: 2015,
+        name: "m4.xlarge",
+        memory_gib: 16.0,
+        cpu_ghz: 9.6,
+    },
+    Instance {
+        year: 2015,
+        name: "m4.4xlarge",
+        memory_gib: 64.0,
+        cpu_ghz: 38.4,
+    },
+    Instance {
+        year: 2016,
+        name: "m4.16xlarge",
+        memory_gib: 256.0,
+        cpu_ghz: 147.2,
+    },
+    Instance {
+        year: 2016,
+        name: "m4.10xlarge",
+        memory_gib: 160.0,
+        cpu_ghz: 96.0,
+    },
+];
+
+/// `(year, mean ratio of instances introduced that year)`, sorted — the
+/// Fig. 2 series.
+pub fn figure2() -> Vec<(u16, f64)> {
+    let mut years: Vec<u16> = INSTANCES.iter().map(|i| i.year).collect();
+    years.sort_unstable();
+    years.dedup();
+    years
+        .into_iter()
+        .map(|y| {
+            let group: Vec<f64> = INSTANCES
+                .iter()
+                .filter(|i| i.year == y)
+                .map(Instance::mem_cpu_ratio)
+                .collect();
+            (y, group.iter().sum::<f64>() / group.len() as f64)
+        })
+        .collect()
+}
+
+/// Least-squares slope of the Fig. 2 series in ratio/year.
+pub fn trend_slope() -> f64 {
+    let pts = figure2();
+    let n = pts.len() as f64;
+    let mx = pts.iter().map(|(y, _)| *y as f64).sum::<f64>() / n;
+    let my = pts.iter().map(|(_, r)| r).sum::<f64>() / n;
+    let cov: f64 = pts.iter().map(|(y, r)| (*y as f64 - mx) * (r - my)).sum();
+    let var: f64 = pts.iter().map(|(y, _)| (*y as f64 - mx).powi(2)).sum();
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_positive_and_sane() {
+        for i in INSTANCES {
+            let r = i.mem_cpu_ratio();
+            assert!(r > 0.2 && r < 5.0, "{}: {r}", i.name);
+        }
+    }
+
+    #[test]
+    fn memory_demand_outpaces_cpu() {
+        // The paper's claim: "the rate of growth for memory demand has
+        // been approximately 2X of CPU demand". The late-period ratio is
+        // at least ~1.7× the early-period ratio.
+        let pts = figure2();
+        let early = pts[0].1;
+        let late = pts.last().unwrap().1;
+        assert!(late / early > 1.5, "early {early}, late {late}");
+        assert!(trend_slope() > 0.0);
+    }
+
+    #[test]
+    fn figure2_is_sorted_by_year() {
+        let pts = figure2();
+        assert!(pts.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(pts.len() >= 7);
+    }
+}

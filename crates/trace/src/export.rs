@@ -1,0 +1,186 @@
+//! Trace interchange: save and reload cluster traces as JSON.
+//!
+//! Synthetic traces are deterministic from a seed, but exporting lets a
+//! run be archived with its exact inputs, edited by hand for what-if
+//! experiments, or replaced wholesale by a trace converted from the real
+//! Google dataset.
+
+use serde::{Deserialize, Serialize};
+use zombieland_simcore::{SimDuration, SimTime};
+
+use crate::google::{ClusterTrace, TaskSpec, TraceConfig};
+
+#[derive(Serialize, Deserialize)]
+struct TaskDto {
+    job: u32,
+    index: u32,
+    start_ns: u64,
+    end_ns: u64,
+    cpu_booked: f64,
+    mem_booked: f64,
+    cpu_used: f64,
+    mem_used: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct TraceDto {
+    servers: u32,
+    duration_ns: u64,
+    seed: u64,
+    mem_cpu_ratio: f64,
+    avg_utilization: f64,
+    tasks: Vec<TaskDto>,
+}
+
+/// Errors when reloading a trace.
+#[derive(Debug)]
+pub enum ImportError {
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// Structurally valid but semantically impossible (negative demand,
+    /// tasks ending before they start, ...).
+    Invalid(&'static str),
+}
+
+impl core::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ImportError::Json(e) => write!(f, "json: {e}"),
+            ImportError::Invalid(why) => write!(f, "invalid trace: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+impl From<serde_json::Error> for ImportError {
+    fn from(e: serde_json::Error) -> Self {
+        ImportError::Json(e)
+    }
+}
+
+impl ClusterTrace {
+    /// Serializes the trace (config + every task) to JSON.
+    pub fn to_json(&self) -> String {
+        let dto = TraceDto {
+            servers: self.config().servers,
+            duration_ns: self.config().duration.as_nanos(),
+            seed: self.config().seed,
+            mem_cpu_ratio: self.config().mem_cpu_ratio,
+            avg_utilization: self.config().avg_utilization,
+            tasks: self
+                .tasks()
+                .iter()
+                .map(|t| TaskDto {
+                    job: t.job,
+                    index: t.index,
+                    start_ns: t.start.as_nanos(),
+                    end_ns: t.end.as_nanos(),
+                    cpu_booked: t.cpu_booked,
+                    mem_booked: t.mem_booked,
+                    cpu_used: t.cpu_used,
+                    mem_used: t.mem_used,
+                })
+                .collect(),
+        };
+        serde_json::to_string_pretty(&dto).expect("plain data serializes")
+    }
+
+    /// Reloads a trace from [`ClusterTrace::to_json`] output (or any
+    /// hand-written/converted trace in the same format), validating it.
+    pub fn from_json(json: &str) -> Result<ClusterTrace, ImportError> {
+        let dto: TraceDto = serde_json::from_str(json)?;
+        if dto.servers == 0 {
+            return Err(ImportError::Invalid("zero servers"));
+        }
+        if dto.duration_ns == 0 {
+            return Err(ImportError::Invalid("zero duration"));
+        }
+        let mut tasks = Vec::with_capacity(dto.tasks.len());
+        for t in dto.tasks {
+            if t.end_ns <= t.start_ns {
+                return Err(ImportError::Invalid("task ends before it starts"));
+            }
+            if !(0.0..=1.0).contains(&t.cpu_booked) || !(0.0..=1.0).contains(&t.mem_booked) {
+                return Err(ImportError::Invalid("booking outside one machine"));
+            }
+            if t.cpu_used > t.cpu_booked + 1e-9 || t.mem_used > t.mem_booked + 1e-9 {
+                return Err(ImportError::Invalid("usage exceeds booking"));
+            }
+            tasks.push(TaskSpec {
+                job: t.job,
+                index: t.index,
+                start: SimTime::from_nanos(t.start_ns),
+                end: SimTime::from_nanos(t.end_ns),
+                cpu_booked: t.cpu_booked,
+                mem_booked: t.mem_booked,
+                cpu_used: t.cpu_used,
+                mem_used: t.mem_used,
+            });
+        }
+        Ok(ClusterTrace::from_parts(
+            TraceConfig {
+                servers: dto.servers,
+                duration: SimDuration::from_nanos(dto.duration_ns),
+                seed: dto.seed,
+                mem_cpu_ratio: dto.mem_cpu_ratio,
+                avg_utilization: dto.avg_utilization,
+            },
+            tasks,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let trace = ClusterTrace::generate(TraceConfig::small(3));
+        let json = trace.to_json();
+        let back = ClusterTrace::from_json(&json).unwrap();
+        assert_eq!(back.tasks().len(), trace.tasks().len());
+        assert_eq!(back.config().servers, trace.config().servers);
+        for (a, b) in trace.tasks().iter().zip(back.tasks()) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.end, b.end);
+            assert_eq!(a.cpu_booked, b.cpu_booked);
+            assert_eq!(a.mem_used, b.mem_used);
+        }
+        // And it drives the same events.
+        assert_eq!(trace.events().len(), back.events().len());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let trace = ClusterTrace::generate(TraceConfig::small(4));
+        let mut json = trace.to_json();
+        json = json.replacen("\"servers\": 100", "\"servers\": 0", 1);
+        assert!(matches!(
+            ClusterTrace::from_json(&json),
+            Err(ImportError::Invalid("zero servers"))
+        ));
+        assert!(matches!(
+            ClusterTrace::from_json("{not json"),
+            Err(ImportError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_usage_above_booking() {
+        let json = r#"{
+            "servers": 1, "duration_ns": 1000, "seed": 0,
+            "mem_cpu_ratio": 1.0, "avg_utilization": 0.5,
+            "tasks": [{
+                "job": 0, "index": 0, "start_ns": 0, "end_ns": 10,
+                "cpu_booked": 0.1, "mem_booked": 0.1,
+                "cpu_used": 0.5, "mem_used": 0.05
+            }]
+        }"#;
+        assert!(matches!(
+            ClusterTrace::from_json(json),
+            Err(ImportError::Invalid("usage exceeds booking"))
+        ));
+    }
+}

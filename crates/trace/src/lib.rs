@@ -1,0 +1,24 @@
+//! Workload traces and the motivation datasets.
+//!
+//! Three data sources feed the paper's evaluation and motivation:
+//!
+//! - [`aws`] — the memory:CPU ratio of AWS `m<n>.<size>` instances over
+//!   2006–2016 (Fig. 2): *demand* for memory grew ~2× faster than for CPU.
+//! - [`generations`] — normalized memory:CPU *capacity* ratio of server
+//!   generations 2005–2013 (Fig. 3): *supply* moved the opposite way.
+//! - [`google`] — a synthetic generator statistically shaped like the
+//!   Google cluster traces the paper replays (12 583 servers, 29 days;
+//!   jobs → tasks with booked vs. used CPU/memory), plus the paper's
+//!   "modified" transform where memory demand is twice CPU demand.
+//!
+//! The real Google traces are hundreds of gigabytes and not redistributable
+//! here; the generator reproduces the properties the energy evaluation is
+//! sensitive to — heavy-tailed task durations, booked-vs-used gaps, diurnal
+//! load, and the memory:CPU demand ratio — with a deterministic seed.
+
+pub mod aws;
+pub mod export;
+pub mod generations;
+pub mod google;
+
+pub use google::{ClusterTrace, TaskSpec, TraceConfig};

@@ -1,0 +1,50 @@
+//! Property tests: every workload generator stays in bounds, is
+//! deterministic per seed, and keeps its documented character for
+//! arbitrary working-set sizes.
+
+use proptest::prelude::*;
+use zombieland_simcore::Pages;
+use zombieland_workloads::{by_name, WORKLOAD_NAMES};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn always_in_bounds(
+        wss in 1u64..50_000,
+        seed in any::<u64>(),
+        which in 0usize..4,
+    ) {
+        let name = WORKLOAD_NAMES[which];
+        let mut w = by_name(name, Pages::new(wss), seed).expect("known");
+        prop_assert_eq!(w.wss().count(), wss);
+        for _ in 0..2_000 {
+            let a = w.next_access();
+            prop_assert!(a.page < wss, "{} emitted {} (wss {})", name, a.page, wss);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed(
+        wss in 16u64..5_000,
+        seed in any::<u64>(),
+        which in 0usize..4,
+    ) {
+        let name = WORKLOAD_NAMES[which];
+        let mut a = by_name(name, Pages::new(wss), seed).expect("known");
+        let mut b = by_name(name, Pages::new(wss), seed).expect("known");
+        for _ in 0..500 {
+            prop_assert_eq!(a.next_access(), b.next_access());
+        }
+    }
+
+    #[test]
+    fn op_counts_and_costs_positive(
+        wss in 1u64..10_000,
+        which in 0usize..4,
+    ) {
+        let w = by_name(WORKLOAD_NAMES[which], Pages::new(wss), 1).expect("known");
+        prop_assert!(w.suggested_ops() > 0);
+        prop_assert!(w.base_op_cost().as_nanos() > 0);
+    }
+}

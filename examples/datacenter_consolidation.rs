@@ -1,0 +1,65 @@
+//! Datacenter-scale energy comparison: Neat vs Oasis vs ZombieStack on a
+//! synthetic Google-style trace (a small Fig. 10).
+//!
+//! Run with `cargo run --release --example datacenter_consolidation`.
+
+use zombieland::energy::MachineProfile;
+use zombieland::simcore::report::Table;
+use zombieland::simcore::SimDuration;
+use zombieland::simulator::{simulate, PolicyKind, SimConfig};
+use zombieland::trace::{ClusterTrace, TraceConfig};
+
+fn main() {
+    let trace = ClusterTrace::generate(TraceConfig {
+        servers: 200,
+        duration: SimDuration::from_days(1),
+        seed: 42,
+        mem_cpu_ratio: 1.0,
+        avg_utilization: 0.25,
+    });
+    let modified = trace.modified();
+    println!(
+        "trace: {} servers, {} tasks, avg booked cpu {:.2}/server",
+        trace.config().servers,
+        trace.tasks().len(),
+        trace.avg_booked_cpu() / trace.config().servers as f64
+    );
+
+    let mut table = Table::new(
+        "Energy saving vs an always-on fleet (HP profile)",
+        &["trace", "Neat", "Oasis", "ZombieStack"],
+    );
+    for (label, t) in [("original", &trace), ("modified (mem=2x cpu)", &modified)] {
+        let run = |p: PolicyKind| simulate(t, &SimConfig::new(p, MachineProfile::hp()));
+        let base = run(PolicyKind::AlwaysOn);
+        let pct = |p: PolicyKind| format!("{:.0}%", run(p).savings_pct(&base));
+        table.row(&[
+            label.to_string(),
+            pct(PolicyKind::Neat),
+            pct(PolicyKind::Oasis),
+            pct(PolicyKind::ZombieStack),
+        ]);
+    }
+    table.print();
+
+    let base = simulate(
+        &modified,
+        &SimConfig::new(PolicyKind::AlwaysOn, MachineProfile::hp()),
+    );
+    let z = simulate(
+        &modified,
+        &SimConfig::new(PolicyKind::ZombieStack, MachineProfile::hp()),
+    );
+    let total: f64 = z.state_seconds.iter().sum();
+    println!(
+        "ZombieStack on the modified trace: {:.0}% of host-time active, \
+         {:.0}% zombie, {:.0}% asleep; {} migrations, {} wake-ups, \
+         {:.0}% energy saved.",
+        100.0 * z.state_seconds[0] / total,
+        100.0 * z.state_seconds[1] / total,
+        100.0 * z.state_seconds[2] / total,
+        z.migrations,
+        z.wakeups,
+        z.savings_pct(&base)
+    );
+}

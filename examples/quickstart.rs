@@ -1,0 +1,64 @@
+//! Quickstart: the zombie state and the remote-memory data path in one
+//! tour.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use zombieland::acpi::{Platform, SleepState};
+use zombieland::core::manager::PoolKind;
+use zombieland::core::{Rack, RackConfig};
+use zombieland::simcore::Bytes;
+
+fn main() {
+    // --- 1. The Sz state on a single platform -------------------------
+    println!("=== 1. Suspending a server into the zombie (Sz) state ===");
+    let mut platform = Platform::sz_capable();
+    let outcome = platform.suspend("zom").expect("Sz-capable board");
+    println!("state: {}", platform.state());
+    println!(
+        "memory remotely accessible: {}",
+        platform.memory_remotely_accessible()
+    );
+    println!("devices kept awake: {:?}", outcome.report.kept_awake());
+    println!("kernel path: {}", outcome.report.call_trace.join(" -> "));
+    println!("enter latency: {}\n", outcome.latency);
+    platform.wake().expect("was suspended");
+    assert_eq!(platform.state(), SleepState::S0);
+
+    // --- 2. A disaggregated rack --------------------------------------
+    println!("=== 2. A rack with one zombie serving memory ===");
+    let mut rack = Rack::new(RackConfig::default());
+    let ids = rack.server_ids();
+    let (user, zombie) = (ids[0], ids[1]);
+
+    let z = rack.goto_zombie(zombie).expect("idle server");
+    println!(
+        "{zombie} lent {} buffers ({}) and entered Sz in {}",
+        z.buffers.len(),
+        Bytes::mib(64) * z.buffers.len() as u64,
+        z.suspend_latency
+    );
+
+    // --- 3. Guaranteed RAM-Extension allocation -----------------------
+    let alloc = rack
+        .alloc_ext(user, Bytes::gib(2))
+        .expect("admission control passes");
+    println!(
+        "{user} allocated {} RAM-Ext buffers (control plane: {})",
+        alloc.buffers.len(),
+        alloc.control
+    );
+
+    // --- 4. The data path: page out, page in --------------------------
+    let (handle, out_cost) = rack.place_page(user, PoolKind::Ext).expect("slots free");
+    let in_cost = rack.fetch_page(user, handle, true).expect("page exists");
+    println!("page-out (one-sided RDMA write to the zombie): {out_cost}");
+    println!("page-in  (one-sided RDMA read from the zombie): {in_cost}");
+
+    // --- 5. Waking the zombie reclaims its memory ---------------------
+    let wake = rack.wake(zombie, None).expect("zombie sleeps");
+    println!(
+        "wake: {} free buffers returned, {} revoked from users, latency {}",
+        wake.reclaimed_free, wake.revoked, wake.wake_latency
+    );
+    println!("\nDone: the rack served memory from a CPU-dead server.");
+}

@@ -1,0 +1,151 @@
+//! Reduced-scale runs of the paper's experiments asserting the
+//! qualitative results the figures and tables report. `cargo bench`
+//! regenerates the full outputs; these tests keep the shapes pinned in CI.
+
+use zombieland::energy::MachineProfile;
+use zombieland::hypervisor::{Policy, SwapBackend};
+use zombieland::simcore::SimDuration;
+use zombieland::simulator::{simulate, PolicyKind, SimConfig};
+use zombieland_bench::experiments::{self, VmGeometry};
+
+const SCALE: f64 = 0.06; // ~430 MiB VM: fast enough for CI.
+
+/// Table 1's two headline shapes: the micro-benchmark cliff between 40 %
+/// and 50 % local, and monotonically decreasing penalties for everything.
+#[test]
+fn table1_shapes() {
+    let rows = experiments::table1(SCALE);
+    for row in &rows {
+        // Penalty at 20 % local exceeds penalty at 80 % local.
+        let first = row.penalties.first().unwrap().1;
+        let last = row.penalties.last().unwrap().1;
+        assert!(first > last, "{}: {first} > {last}", row.workload);
+    }
+    let micro = &rows[0];
+    assert_eq!(micro.workload, "micro-bench");
+    let p40 = micro.penalties[1].1;
+    let p50 = micro.penalties[2].1;
+    assert!(
+        p40 > 500.0 && p50 < 60.0,
+        "the 40->50 cliff: {p40}% -> {p50}%"
+    );
+}
+
+/// Table 2's two observations: (1) RAM Ext beats Explicit SD at the same
+/// split; (2) remote RAM beats local storage, even fast SSDs.
+#[test]
+fn table2_orderings() {
+    let geo = VmGeometry::at_scale(SCALE);
+    let local = geo.reserved.mul_f64(0.5);
+    let re = experiments::run_ram_ext("micro-bench", geo, local, Policy::MIXED_DEFAULT);
+    let esd = experiments::run_explicit_sd("micro-bench", geo, local, SwapBackend::RemoteRam);
+    let lfsd = experiments::run_explicit_sd("micro-bench", geo, local, SwapBackend::LocalSsd);
+    let lssd = experiments::run_explicit_sd("micro-bench", geo, local, SwapBackend::LocalHdd);
+    assert!(re.exec_time <= esd.exec_time, "v1 <= v2-ESD");
+    assert!(esd.exec_time < lfsd.exec_time, "remote RAM < local SSD");
+    assert!(lfsd.exec_time < lssd.exec_time, "SSD < HDD");
+}
+
+/// Fig. 8's orderings: Clock faults least and costs the most per
+/// eviction; FIFO is the cheapest and faults the most; Mixed is bounded
+/// in between on cost.
+#[test]
+fn fig8_orderings() {
+    let geo = VmGeometry::at_scale(SCALE);
+    let local = geo.reserved.mul_f64(0.4);
+    let fifo = experiments::run_ram_ext("micro-bench", geo, local, Policy::Fifo);
+    let clock = experiments::run_ram_ext("micro-bench", geo, local, Policy::Clock);
+    let mixed = experiments::run_ram_ext("micro-bench", geo, local, Policy::MIXED_DEFAULT);
+    assert!(clock.remote_faults < fifo.remote_faults, "clock protects");
+    assert!(
+        mixed.remote_faults <= fifo.remote_faults,
+        "mixed >= fifo quality"
+    );
+    assert!(
+        fifo.cycles_per_eviction() < mixed.cycles_per_eviction()
+            && mixed.cycles_per_eviction() < clock.cycles_per_eviction(),
+        "cost ordering: {} < {} < {}",
+        fifo.cycles_per_eviction(),
+        mixed.cycles_per_eviction(),
+        clock.cycles_per_eviction()
+    );
+    // And the headline: Mixed's execution beats FIFO's.
+    assert!(mixed.exec_time <= fifo.exec_time);
+}
+
+/// Fig. 9: ZombieStack migration beats native pre-copy at every WSS
+/// ratio, most at the smallest.
+#[test]
+fn fig9_zombiestack_migrates_faster() {
+    let pts = experiments::figure9();
+    for (pct, native, zombie) in &pts {
+        assert!(zombie < native, "at {pct}%: {zombie} < {native}");
+    }
+    let advantage_low = pts.first().unwrap().1 / pts.first().unwrap().2;
+    let advantage_high = pts.last().unwrap().1 / pts.last().unwrap().2;
+    assert!(advantage_low > advantage_high, "advantage shrinks with WSS");
+}
+
+/// Fig. 10 at reduced scale: ZombieStack saves the most energy, and its
+/// lead grows on the modified (memory-doubled) traces.
+#[test]
+fn fig10_orderings() {
+    let trace = experiments::fig10_trace(120, 1, 3);
+    let modified = trace.modified();
+    let gap = |t: &zombieland::trace::ClusterTrace| {
+        let run = |p| simulate(t, &SimConfig::new(p, MachineProfile::hp()));
+        let base = run(PolicyKind::AlwaysOn);
+        let neat = run(PolicyKind::Neat).savings_pct(&base);
+        let zombie = run(PolicyKind::ZombieStack).savings_pct(&base);
+        assert!(zombie > neat, "zombie {zombie} > neat {neat}");
+        zombie - neat
+    };
+    assert!(
+        gap(&modified) > gap(&trace),
+        "gap widens under memory pressure"
+    );
+}
+
+/// Table 3: the Eq. 1 derivation reproduces the paper's Sz numbers
+/// exactly (12.67 % HP, 11.15 % Dell).
+#[test]
+fn table3_exact() {
+    assert!((MachineProfile::hp().sz_fraction() - 0.1267).abs() < 1e-9);
+    assert!((MachineProfile::dell().sz_fraction() - 0.1115).abs() < 1e-9);
+}
+
+/// Fig. 4: architecture ordering and rough magnitudes.
+#[test]
+fn fig4_ordering() {
+    let [sc, ideal, micro, zombie] = experiments::figure4_data();
+    assert!(ideal.total_emax < zombie.total_emax);
+    assert!(zombie.total_emax < micro.total_emax);
+    assert!(micro.total_emax < sc.total_emax);
+    assert!((zombie.total_emax - 1.2).abs() < 0.15);
+}
+
+/// Figs. 1–3 datasets keep their motivating shapes.
+#[test]
+fn motivation_figures() {
+    // Fig 1: actual power dominates ideal everywhere.
+    let hp = MachineProfile::hp();
+    for p in zombieland::energy::curve::figure1(&hp, 20) {
+        assert!(p.actual_pct >= p.ideal_pct);
+    }
+    // Fig 2: demand ratio rises.
+    assert!(zombieland::trace::aws::trend_slope() > 0.0);
+    // Fig 3: capacity ratio falls below 0.4.
+    assert!(zombieland::trace::generations::figure3().last().unwrap().1 < 0.4);
+}
+
+/// The suspend path printed for Fig. 6 matches the paper's function list.
+#[test]
+fn fig6_call_path() {
+    let mut p = zombieland::acpi::Platform::sz_capable();
+    let outcome = p.suspend("zom").unwrap();
+    assert_eq!(
+        outcome.report.call_trace,
+        zombieland::acpi::ospm::SUSPEND_PATH
+    );
+    assert!(outcome.latency > SimDuration::from_secs(1));
+}

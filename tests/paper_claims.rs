@@ -1,0 +1,140 @@
+//! Cross-crate integration tests pinning the paper's central claims.
+
+use zombieland::acpi::{Platform, SleepState};
+use zombieland::core::manager::PoolKind;
+use zombieland::core::{Rack, RackConfig};
+use zombieland::energy::MachineProfile;
+use zombieland::rdma::{Availability, Fabric, FabricError};
+use zombieland::simcore::{Bytes, SimDuration, SimTime};
+
+/// §1: "a server in Sz state is a Zombie as it is brain-dead (CPU-dead),
+/// limps along consuming minimal resources (low-energy), but still has
+/// basic motor functions such as serving memory (memory-alive)."
+#[test]
+fn zombie_is_cpu_dead_memory_alive_low_energy() {
+    // CPU-dead + memory-alive at the platform level.
+    let mut p = Platform::sz_capable();
+    p.suspend("zom").unwrap();
+    assert!(!p.state().cpu_alive());
+    assert!(p.memory_remotely_accessible());
+
+    // Low-energy at the model level: Sz ≈ an eighth of idle-S0.
+    for profile in [MachineProfile::hp(), MachineProfile::dell()] {
+        assert!(profile.sz_fraction() < profile.s0_idle_fraction() / 3.0);
+    }
+
+    // Memory-alive at the fabric level: one-sided verbs work, CPU verbs
+    // do not.
+    let mut fabric = Fabric::new();
+    let user = fabric.attach();
+    let zombie = fabric.attach();
+    let mr = fabric.register(zombie, Bytes::mib(1)).unwrap();
+    fabric.set_availability(zombie, Availability::MemoryOnly);
+    assert!(fabric.write(user, mr, Bytes::ZERO, b"alive").is_ok());
+    assert!(matches!(
+        fabric.send(user, zombie, Bytes::kib(1)),
+        Err(FabricError::Unreachable {
+            needs_cpu: true,
+            ..
+        })
+    ));
+}
+
+/// §3: Sz differs from S3 exactly by keeping memory remotely usable —
+/// and S3/S4 do not serve memory.
+#[test]
+fn only_s0_and_sz_serve_memory() {
+    for (kw, serves) in [("mem", false), ("disk", false), ("zom", true)] {
+        let mut p = Platform::sz_capable();
+        p.suspend(kw).unwrap();
+        assert_eq!(p.memory_remotely_accessible(), serves, "{kw}");
+    }
+}
+
+/// §4.4: zombie memory has priority over active-server memory, and
+/// `GS_alloc_ext` is admission-controlled while `GS_alloc_swap` is
+/// best-effort.
+#[test]
+fn allocation_semantics() {
+    let mut rack = Rack::new(RackConfig::default());
+    let ids = rack.server_ids();
+    let (user, zombie, active) = (ids[0], ids[1], ids[2]);
+    rack.goto_zombie(zombie).unwrap();
+    rack.lend_active(active, 4).unwrap();
+
+    // Zombie-first.
+    let alloc = rack.alloc_ext(user, Bytes::gib(1)).unwrap();
+    for b in &alloc.buffers {
+        assert_eq!(
+            rack.db().record(*b).unwrap().kind,
+            zombieland::core::db::BufferKind::Zombie
+        );
+    }
+
+    // Swap is best-effort: asking for the impossible returns what exists.
+    let huge = rack.alloc_swap(user, Bytes::gib(500)).unwrap();
+    assert!(!huge.buffers.is_empty());
+}
+
+/// §4.3: after a zombie reclaims memory that users had data on, every
+/// page remains reachable (relocated or via the local backup).
+#[test]
+fn reclaim_never_loses_pages() {
+    let mut rack = Rack::new(RackConfig::default());
+    let ids = rack.server_ids();
+    let (user, z1, z2) = (ids[0], ids[1], ids[2]);
+    rack.goto_zombie(z1).unwrap();
+    rack.goto_zombie(z2).unwrap();
+    rack.alloc_ext(user, Bytes::gib(20)).unwrap();
+    let mut handles = Vec::new();
+    for _ in 0..200 {
+        handles.push(rack.place_page(user, PoolKind::Ext).unwrap().0);
+    }
+    rack.wake(z1, None).unwrap();
+    for h in &handles {
+        assert!(rack.fetch_page(user, *h, false).is_ok());
+    }
+    // And again after the second zombie wakes (only backups remain).
+    rack.wake(z2, None).unwrap();
+    for h in &handles {
+        assert!(rack.fetch_page(user, *h, false).is_ok());
+    }
+}
+
+/// §4.1–4.2: controller failover is transparent; the heartbeat monitor
+/// promotes the secondary and operations continue on mirrored state.
+#[test]
+fn controller_failover_is_transparent_end_to_end() {
+    let mut rack = Rack::new(RackConfig::default());
+    let ids = rack.server_ids();
+    let (user, zombie) = (ids[0], ids[1]);
+    rack.goto_zombie(zombie).unwrap();
+    let before = rack.db().free_buffers();
+
+    rack.heartbeat(SimTime::ZERO + SimDuration::from_secs(1));
+    rack.crash_primary();
+    assert!(!rack.check_failover(SimTime::ZERO + SimDuration::from_secs(2)));
+    assert!(rack.check_failover(SimTime::ZERO + SimDuration::from_secs(30)));
+
+    let alloc = rack.alloc_ext(user, Bytes::gib(1)).unwrap();
+    assert_eq!(
+        rack.db().free_buffers(),
+        before - alloc.buffers.len() as u64
+    );
+    rack.release(user, &alloc.buffers).unwrap();
+    assert_eq!(rack.db().free_buffers(), before);
+}
+
+/// Fig. 5 semantics: suspend/wake round trips through every sleep state
+/// keep the platform usable.
+#[test]
+fn sleep_state_round_trips() {
+    let mut p = Platform::sz_capable();
+    for kw in ["mem", "disk", "zom", "zom", "mem"] {
+        p.suspend(kw).unwrap();
+        assert!(p.state().is_sleeping());
+        p.wake().unwrap();
+        assert_eq!(p.state(), SleepState::S0);
+    }
+    assert_eq!(p.suspend_count(), 5);
+}

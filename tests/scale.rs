@@ -1,0 +1,57 @@
+//! Paper-scale runs, `#[ignore]`d by default (minutes each):
+//! `cargo test --release -- --ignored`.
+
+use zombieland::energy::MachineProfile;
+use zombieland::hypervisor::Policy;
+use zombieland::simulator::{simulate, PolicyKind, SimConfig};
+use zombieland_bench::experiments::{self, VmGeometry};
+
+/// The paper's exact memory geometry: a 7 GiB VM with a 6 GiB working
+/// set, micro-benchmark, full Table 1 column.
+#[test]
+#[ignore = "paper-geometry run: ~a minute in release"]
+fn table1_micro_at_full_scale() {
+    let geo = VmGeometry::at_scale(1.0);
+    let base = experiments::baseline("micro-bench", geo);
+    let p40 = experiments::run_ram_ext(
+        "micro-bench",
+        geo,
+        geo.reserved.mul_f64(0.4),
+        Policy::MIXED_DEFAULT,
+    )
+    .penalty_pct(&base);
+    let p50 = experiments::run_ram_ext(
+        "micro-bench",
+        geo,
+        geo.reserved.mul_f64(0.5),
+        Policy::MIXED_DEFAULT,
+    )
+    .penalty_pct(&base);
+    // The cliff survives at full scale.
+    assert!(p40 > 500.0, "40% local: {p40}%");
+    assert!(p50 < 60.0, "50% local: {p50}%");
+}
+
+/// A datacenter run 4x the bench default on both axes.
+#[test]
+#[ignore = "1200 servers x 2 days: a few minutes in release"]
+fn fig10_at_larger_scale() {
+    let trace = experiments::fig10_trace(1_200, 2, 11);
+    let modified = trace.modified();
+    let run = |t: &zombieland::trace::ClusterTrace, p| {
+        simulate(t, &SimConfig::new(p, MachineProfile::hp()))
+    };
+    let base = run(&trace, PolicyKind::AlwaysOn);
+    let neat = run(&trace, PolicyKind::Neat).savings_pct(&base);
+    let zombie = run(&trace, PolicyKind::ZombieStack).savings_pct(&base);
+    assert!(zombie > neat, "{zombie} > {neat}");
+    assert!(zombie > 40.0, "headline saving holds at scale: {zombie}");
+
+    let base_m = run(&modified, PolicyKind::AlwaysOn);
+    let neat_m = run(&modified, PolicyKind::Neat).savings_pct(&base_m);
+    let zombie_m = run(&modified, PolicyKind::ZombieStack).savings_pct(&base_m);
+    assert!(
+        zombie_m - neat_m > zombie - neat,
+        "the gap widens under memory pressure at scale too"
+    );
+}
