@@ -10,50 +10,45 @@
 //!
 //! Run: `cargo bench -p zombieland-bench --bench ablations`.
 
-use zombieland_bench::experiments::{fig10_trace, run_ram_ext, VmGeometry};
+use zombieland_bench::experiments::{fig10_trace, jobs_from_env, run_ram_ext, VmGeometry};
 use zombieland_core::manager::PoolKind;
 use zombieland_core::{Rack, RackConfig};
 use zombieland_energy::MachineProfile;
 use zombieland_hypervisor::Policy;
 use zombieland_simcore::report::Table;
-use zombieland_simcore::{Bytes, SimDuration};
+use zombieland_simcore::{run_indexed, Bytes, SimDuration};
 use zombieland_simulator::{simulate, PolicyKind, SimConfig};
 
-fn ablate_mixed_x() {
+fn ablate_mixed_x(jobs: usize) {
     let geo = VmGeometry::at_scale(0.25);
     let local = geo.reserved.mul_f64(0.40);
+    let mut variants = vec![("FIFO".to_string(), Policy::Fifo)];
+    for x in [5usize, 16, 64, 256] {
+        variants.push((format!("Mixed x={x}"), Policy::Mixed { x }));
+    }
+    variants.push(("Clock".to_string(), Policy::Clock));
+    let stats = run_indexed(jobs, variants.len(), |i| {
+        run_ram_ext("micro-bench", geo, local, variants[i].1)
+    });
     let mut t = Table::new(
         "Ablation: Mixed's clock window x (micro-bench, 40% local)",
         &["policy", "exec time", "remote faults", "cycles/eviction"],
     );
-    let mut run = |label: String, policy: Policy| {
-        let s = run_ram_ext("micro-bench", geo, local, policy);
+    for ((label, _), s) in variants.iter().zip(&stats) {
         t.row(&[
-            label,
+            label.clone(),
             format!("{}", s.exec_time),
             format!("{}", s.remote_faults),
             format!("{:.0}", s.cycles_per_eviction()),
         ]);
-    };
-    run("FIFO".into(), Policy::Fifo);
-    for x in [5usize, 16, 64, 256] {
-        run(format!("Mixed x={x}"), Policy::Mixed { x });
     }
-    run("Clock".into(), Policy::Clock);
     t.print();
 }
 
-fn ablate_striping() {
-    let mut t = Table::new(
-        "Ablation: striping an allocation over N zombies vs one wake-up",
-        &[
-            "zombies",
-            "buffers from woken host",
-            "pages relocated",
-            "pages to backup",
-        ],
-    );
-    for zombies in [1u32, 2, 3] {
+fn ablate_striping(jobs: usize) {
+    const ZOMBIE_COUNTS: [u32; 3] = [1, 2, 3];
+    let rows = run_indexed(jobs, ZOMBIE_COUNTS.len(), |i| {
+        let zombies = ZOMBIE_COUNTS[i];
         let mut rack = Rack::new(RackConfig {
             servers: zombies + 1,
             ..RackConfig::default()
@@ -74,6 +69,18 @@ fn ablate_striping() {
             .map(|b| b.host)
             .unwrap();
         let out = rack.wake(woken, None).unwrap();
+        (zombies, out)
+    });
+    let mut t = Table::new(
+        "Ablation: striping an allocation over N zombies vs one wake-up",
+        &[
+            "zombies",
+            "buffers from woken host",
+            "pages relocated",
+            "pages to backup",
+        ],
+    );
+    for (zombies, out) in &rows {
         t.row(&[
             format!("{zombies}"),
             format!("{}", out.reclaimed_free + out.revoked),
@@ -89,26 +96,23 @@ fn ablate_striping() {
     );
 }
 
-fn ablate_readahead() {
+fn ablate_readahead(jobs: usize) {
     use zombieland_bench::experiments::testbed_rack;
     use zombieland_hypervisor::engine::{self, Backing, EngineConfig};
     use zombieland_workloads::SparkSql;
 
     let geo = VmGeometry::at_scale(0.25);
     let local = geo.reserved.mul_f64(0.4);
-    let mut t = Table::new(
-        "Ablation: swap readahead window (spark-sql, 40% local)",
-        &["window", "exec time", "remote faults", "prefetched"],
-    );
-    for window in [0u32, 2, 8, 32, 128] {
+    const WINDOWS: [u32; 5] = [0, 2, 8, 32, 128];
+    let stats = run_indexed(jobs, WINDOWS.len(), |i| {
         let (mut rack, user) = testbed_rack();
         rack.alloc_ext(user, geo.reserved - local).unwrap();
         let mut w = SparkSql::new(geo.wss.pages(), 42);
         let cfg = EngineConfig {
-            readahead: window,
+            readahead: WINDOWS[i],
             ..EngineConfig::ram_ext(geo.reserved, local)
         };
-        let s = engine::run(
+        engine::run(
             &mut w,
             &cfg,
             Backing::Rack {
@@ -117,7 +121,13 @@ fn ablate_readahead() {
                 pool: PoolKind::Ext,
             },
         )
-        .unwrap();
+        .unwrap()
+    });
+    let mut t = Table::new(
+        "Ablation: swap readahead window (spark-sql, 40% local)",
+        &["window", "exec time", "remote faults", "prefetched"],
+    );
+    for (window, s) in WINDOWS.iter().zip(&stats) {
         t.row(&[
             format!("{window}"),
             format!("{}", s.exec_time),
@@ -128,7 +138,7 @@ fn ablate_readahead() {
     t.print();
 }
 
-fn ablate_network_generation() {
+fn ablate_network_generation(jobs: usize) {
     use zombieland_bench::experiments::{baseline, VmGeometry};
     use zombieland_core::manager::PoolKind;
     use zombieland_hypervisor::engine::{self, Backing, EngineConfig};
@@ -137,21 +147,17 @@ fn ablate_network_generation() {
 
     let geo = VmGeometry::at_scale(0.25);
     let local = geo.reserved.mul_f64(0.5);
-    let base = baseline("data-caching", geo);
-    let mut t = Table::new(
-        "Ablation: interconnect generation (data-caching, 50% local)",
-        &[
-            "fabric",
-            "exec time",
-            "penalty vs all-local",
-            "4K read latency",
-        ],
-    );
-    for (name, link) in [
+    let fabrics = [
         ("FDR InfiniBand (paper)", LinkProfile::fdr()),
         ("EDR InfiniBand", LinkProfile::edr()),
         ("RoCE 10 GbE", LinkProfile::roce_10g()),
-    ] {
+    ];
+    // Slot 0 is the all-local baseline; the fabric runs follow.
+    let stats = run_indexed(jobs, 1 + fabrics.len(), |i| {
+        if i == 0 {
+            return baseline("data-caching", geo);
+        }
+        let link = fabrics[i - 1].1;
         let mut rack = Rack::new(RackConfig {
             link,
             ..RackConfig::default()
@@ -162,7 +168,7 @@ fn ablate_network_generation() {
         rack.alloc_ext(user, geo.reserved - local).unwrap();
         let mut w = DataCaching::new(geo.wss.pages(), 42);
         let cfg = EngineConfig::ram_ext(geo.reserved, local);
-        let s = engine::run(
+        engine::run(
             &mut w,
             &cfg,
             Backing::Rack {
@@ -171,11 +177,23 @@ fn ablate_network_generation() {
                 pool: PoolKind::Ext,
             },
         )
-        .unwrap();
+        .unwrap()
+    });
+    let base = &stats[0];
+    let mut t = Table::new(
+        "Ablation: interconnect generation (data-caching, 50% local)",
+        &[
+            "fabric",
+            "exec time",
+            "penalty vs all-local",
+            "4K read latency",
+        ],
+    );
+    for ((name, link), s) in fabrics.iter().zip(&stats[1..]) {
         t.row(&[
             name.to_string(),
             format!("{}", s.exec_time),
-            format!("{:.2}%", s.penalty_pct(&base)),
+            format!("{:.2}%", s.penalty_pct(base)),
             format!("{}", link.read_time(Bytes::kib(4))),
         ]);
     }
@@ -186,77 +204,84 @@ fn ablate_network_generation() {
     );
 }
 
-fn ablate_dc_knobs() {
+fn ablate_dc_knobs(jobs: usize) {
     let trace = fig10_trace(200, 1, 7);
-    let base = simulate(
-        &trace,
-        &SimConfig::new(PolicyKind::AlwaysOn, MachineProfile::hp()),
-    );
+    let default = || SimConfig::new(PolicyKind::ZombieStack, MachineProfile::hp());
+    // Slot 0 is the always-on baseline the savings are measured against;
+    // the knob variants follow. All are independent runs of one trace.
+    let variants: Vec<(&str, SimConfig)> = vec![
+        (
+            "always-on baseline",
+            SimConfig::new(PolicyKind::AlwaysOn, MachineProfile::hp()),
+        ),
+        ("default (demote>1.0, 5 min)", default()),
+        (
+            "no Sz->S3 demotion",
+            SimConfig {
+                sz_demote_threshold: None,
+                ..default()
+            },
+        ),
+        (
+            "eager demotion (>0.25)",
+            SimConfig {
+                sz_demote_threshold: Some(0.25),
+                ..default()
+            },
+        ),
+        (
+            "slow consolidation (30 min)",
+            SimConfig {
+                consolidation_interval: SimDuration::from_mins(30),
+                ..default()
+            },
+        ),
+        (
+            "fast consolidation (1 min)",
+            SimConfig {
+                consolidation_interval: SimDuration::from_mins(1),
+                ..default()
+            },
+        ),
+        (
+            "rack-local pools (10 racks)",
+            SimConfig {
+                racks: 10,
+                ..default()
+            },
+        ),
+        (
+            "free transitions",
+            SimConfig {
+                transition_costs: false,
+                ..default()
+            },
+        ),
+    ];
+    let reports = run_indexed(jobs, variants.len(), |i| simulate(&trace, &variants[i].1));
+    let base = &reports[0];
 
     let mut t = Table::new(
         "Ablation: ZombieStack pool/consolidation knobs (200 servers x 1 day)",
         &["variant", "saving %", "wakeups", "migrations"],
     );
-    let mut run = |label: &str, cfg: SimConfig| {
-        let r = simulate(&trace, &cfg);
+    for ((label, _), r) in variants.iter().zip(&reports).skip(1) {
         t.row(&[
             label.to_string(),
-            format!("{:.1}", r.savings_pct(&base)),
+            format!("{:.1}", r.savings_pct(base)),
             format!("{}", r.wakeups),
             format!("{}", r.migrations),
         ]);
-    };
-    let default = || SimConfig::new(PolicyKind::ZombieStack, MachineProfile::hp());
-    run("default (demote>1.0, 5 min)", default());
-    run(
-        "no Sz->S3 demotion",
-        SimConfig {
-            sz_demote_threshold: None,
-            ..default()
-        },
-    );
-    run(
-        "eager demotion (>0.25)",
-        SimConfig {
-            sz_demote_threshold: Some(0.25),
-            ..default()
-        },
-    );
-    run(
-        "slow consolidation (30 min)",
-        SimConfig {
-            consolidation_interval: SimDuration::from_mins(30),
-            ..default()
-        },
-    );
-    run(
-        "fast consolidation (1 min)",
-        SimConfig {
-            consolidation_interval: SimDuration::from_mins(1),
-            ..default()
-        },
-    );
-    run(
-        "rack-local pools (10 racks)",
-        SimConfig {
-            racks: 10,
-            ..default()
-        },
-    );
-    run(
-        "free transitions",
-        SimConfig {
-            transition_costs: false,
-            ..default()
-        },
-    );
+    }
     t.print();
 }
 
 fn main() {
-    ablate_mixed_x();
-    ablate_striping();
-    ablate_readahead();
-    ablate_network_generation();
-    ablate_dc_knobs();
+    let jobs = jobs_from_env();
+    println!("ablations on {jobs} worker thread(s)");
+    ablate_mixed_x(jobs);
+    ablate_striping(jobs);
+    ablate_readahead(jobs);
+    ablate_network_generation(jobs);
+    ablate_dc_knobs(jobs);
 }

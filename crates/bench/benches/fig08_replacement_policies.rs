@@ -8,6 +8,7 @@ use zombieland_bench::experiments;
 
 fn main() {
     let scale = experiments::scale_from_env();
-    println!("scale = {scale} (1.0 = paper's 7 GiB VM, 6 GiB WSS)");
-    experiments::print_figure8(scale);
+    let jobs = experiments::jobs_from_env();
+    println!("scale = {scale} (1.0 = paper's 7 GiB VM, 6 GiB WSS), {jobs} worker thread(s)");
+    experiments::print_figure8(scale, jobs);
 }

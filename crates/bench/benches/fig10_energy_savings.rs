@@ -6,17 +6,17 @@
 //! (`ZL_DC_SERVERS=12583 ZL_DC_DAYS=29` for the paper's scale).
 
 use zombieland_bench::experiments;
-use zombieland_energy::MachineProfile;
 
 fn main() {
     let (servers, days) = experiments::dc_scale_from_env();
-    println!("datacenter: {servers} servers x {days} days (paper: 12583 x 29)");
+    let jobs = experiments::jobs_from_env();
+    println!(
+        "datacenter: {servers} servers x {days} days (paper: 12583 x 29), {jobs} worker thread(s)"
+    );
     let trace = experiments::fig10_trace(servers, days, 11);
     let modified = trace.modified();
-    let mut groups = Vec::new();
-    for profile in [MachineProfile::hp(), MachineProfile::dell()] {
-        groups.push(experiments::figure10_group(&trace, profile.clone(), false));
-        groups.push(experiments::figure10_group(&modified, profile, true));
-    }
+    // The 16-cell grid (2 machines x 2 traces x 4 policies) fans out
+    // across the worker threads; outputs are thread-count-invariant.
+    let groups = experiments::figure10_grid(&trace, &modified, jobs);
     experiments::print_figure10(&groups);
 }

@@ -8,7 +8,8 @@ use zombieland_bench::experiments;
 
 fn main() {
     let scale = experiments::scale_from_env();
-    println!("scale = {scale} (1.0 = paper's 7 GiB VM, 6 GiB WSS)");
-    let rows = experiments::table1(scale);
+    let jobs = experiments::jobs_from_env();
+    println!("scale = {scale} (1.0 = paper's 7 GiB VM, 6 GiB WSS), {jobs} worker thread(s)");
+    let rows = experiments::table1_jobs(scale, jobs);
     experiments::print_table1(&rows);
 }

@@ -8,9 +8,10 @@ use zombieland_bench::experiments;
 
 fn main() {
     let scale = experiments::scale_from_env();
-    println!("scale = {scale} (1.0 = paper's 7 GiB VM, 6 GiB WSS)");
+    let jobs = experiments::jobs_from_env();
+    println!("scale = {scale} (1.0 = paper's 7 GiB VM, 6 GiB WSS), {jobs} worker thread(s)");
     for workload in experiments::WORKLOADS {
-        let rows = experiments::table2(workload, scale);
+        let rows = experiments::table2_jobs(workload, scale, jobs);
         experiments::print_table2(workload, &rows);
     }
 }

@@ -2,12 +2,16 @@
 //! ad-hoc datacenter simulations without writing code.
 //!
 //! ```text
-//! zombieland experiment <name|all> [--scale S]
-//! zombieland simulate [--servers N] [--days D] [--policy P] [--modified] [--machine hp|dell] [--trace FILE] [--timeline] [--pue X]
+//! zombieland experiment <name|all> [--scale S] [--jobs N]
+//! zombieland simulate [--servers N] [--days D] [--policy P] [--modified] [--machine hp|dell] [--trace FILE] [--timeline] [--pue X] [--jobs N]
 //! zombieland trace [--servers N] [--days D] [--seed S] --out FILE
 //! zombieland suspend <mem|disk|zom>
 //! zombieland list
 //! ```
+//!
+//! `--jobs N` (default: available parallelism, or `ZL_JOBS`) fans the
+//! independent simulation runs of an experiment across N worker
+//! threads. Results are bit-for-bit identical at any thread count.
 //!
 //! Run via `cargo run --release -p zombieland-bench --bin zombieland-cli -- <args>`.
 
@@ -15,7 +19,7 @@ use std::process::ExitCode;
 
 use zombieland_bench::experiments;
 use zombieland_energy::MachineProfile;
-use zombieland_simcore::SimDuration;
+use zombieland_simcore::{run_indexed, SimDuration};
 use zombieland_simulator::{simulate, PolicyKind, SimConfig};
 use zombieland_trace::{ClusterTrace, TraceConfig};
 
@@ -26,9 +30,9 @@ const EXPERIMENTS: [&str; 11] = [
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         zombieland experiment <name|all> [--scale S]\n  \
+         zombieland experiment <name|all> [--scale S] [--jobs N]\n  \
          zombieland simulate [--servers N] [--days D] [--policy neat|oasis|zombiestack|all] \
-         [--modified] [--machine hp|dell] [--trace FILE] [--timeline] [--pue X]\n  \
+         [--modified] [--machine hp|dell] [--trace FILE] [--timeline] [--pue X] [--jobs N]\n  \
          zombieland trace [--servers N] [--days D] [--seed S] --out FILE\n  \
          zombieland suspend <mem|disk|zom>\n  \
          zombieland list"
@@ -43,33 +47,38 @@ fn flag_value(args: &[String], key: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn run_experiment(name: &str, scale: f64) -> bool {
+/// The `--jobs N` worker count, defaulting to `ZL_JOBS` or the
+/// machine's available parallelism.
+fn jobs_flag(args: &[String]) -> usize {
+    flag_value(args, "--jobs")
+        .and_then(|v| v.parse().ok())
+        .filter(|&j| j >= 1)
+        .unwrap_or_else(experiments::jobs_from_env)
+}
+
+fn run_experiment(name: &str, scale: f64, jobs: usize) -> bool {
     match name {
         "fig1" => experiments::print_figure1(),
         "fig2" => experiments::print_figure2(),
         "fig3" => experiments::print_figure3(),
         "fig4" => experiments::print_figure4(),
         "fig6" => experiments::print_figure6(),
-        "fig8" => experiments::print_figure8(scale),
+        "fig8" => experiments::print_figure8(scale, jobs),
         "fig9" => experiments::print_figure9(),
         "fig10" => {
             let (servers, days) = experiments::dc_scale_from_env();
             let trace = experiments::fig10_trace(servers, days, 11);
             let modified = trace.modified();
-            let mut groups = Vec::new();
-            for profile in [MachineProfile::hp(), MachineProfile::dell()] {
-                groups.push(experiments::figure10_group(&trace, profile.clone(), false));
-                groups.push(experiments::figure10_group(&modified, profile, true));
-            }
+            let groups = experiments::figure10_grid(&trace, &modified, jobs);
             experiments::print_figure10(&groups);
         }
         "table1" => {
-            let rows = experiments::table1(scale);
+            let rows = experiments::table1_jobs(scale, jobs);
             experiments::print_table1(&rows);
         }
         "table2" => {
             for w in experiments::WORKLOADS {
-                let rows = experiments::table2(w, scale);
+                let rows = experiments::table2_jobs(w, scale, jobs);
                 experiments::print_table2(w, &rows);
             }
         }
@@ -86,13 +95,14 @@ fn cmd_experiment(args: &[String]) -> ExitCode {
     let scale = flag_value(args, "--scale")
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(experiments::scale_from_env);
+    let jobs = jobs_flag(args);
     if name == "all" {
         for e in EXPERIMENTS {
-            run_experiment(e, scale);
+            run_experiment(e, scale, jobs);
         }
         return ExitCode::SUCCESS;
     }
-    if run_experiment(name, scale) {
+    if run_experiment(name, scale, jobs) {
         ExitCode::SUCCESS
     } else {
         eprintln!("unknown experiment {name:?}; try `zombieland list`");
@@ -158,7 +168,13 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         sample_interval: timeline.then(|| SimDuration::from_hours(1)),
         ..SimConfig::new(p, machine.clone())
     };
-    let base = simulate(&trace, &cfg_for(PolicyKind::AlwaysOn));
+    // The baseline and every requested policy are independent runs of
+    // the same trace: fan them out, then print in order.
+    let jobs = jobs_flag(args);
+    let mut kinds = vec![PolicyKind::AlwaysOn];
+    kinds.extend(policies.iter().copied());
+    let reports = run_indexed(jobs, kinds.len(), |i| simulate(&trace, &cfg_for(kinds[i])));
+    let base = &reports[0];
     println!("baseline (always-on): {:.1} kWh", base.energy.as_kwh());
     let cooling = pue.map(zombieland_energy::cooling::CoolingModel::with_pue);
     if let Some(c) = &cooling {
@@ -168,15 +184,14 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
             c.facility_energy(base.energy).as_kwh()
         );
     }
-    for p in policies {
-        let r = simulate(&trace, &cfg_for(p));
+    for r in &reports[1..] {
         let total: f64 = r.state_seconds.iter().sum();
         println!(
             "{:<12} {:.1} kWh  saving {:>5.1}%  (active {:.0}%, zombie {:.0}%, \
              asleep {:.0}%; {} migrations, {} wakeups)",
             r.policy.name(),
             r.energy.as_kwh(),
-            r.savings_pct(&base),
+            r.savings_pct(base),
             100.0 * r.state_seconds[0] / total,
             100.0 * r.state_seconds[1] / total,
             100.0 * r.state_seconds[2] / total,

@@ -9,7 +9,7 @@ use zombieland_energy::MachineProfile;
 use zombieland_hypervisor::engine::{self, Backing, EngineConfig, RunStats};
 use zombieland_hypervisor::{Mode, Policy, SwapBackend};
 use zombieland_simcore::report::{fmt_penalty, Table};
-use zombieland_simcore::{Bytes, SimDuration};
+use zombieland_simcore::{available_jobs, derive_seed, run_indexed, Bytes, SimDuration};
 use zombieland_simulator::{simulate, PolicyKind, SimConfig, SimReport};
 use zombieland_trace::{ClusterTrace, TraceConfig};
 use zombieland_workloads::by_name;
@@ -40,6 +40,19 @@ pub fn runs_from_env() -> u32 {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
         .max(1)
+}
+
+/// Worker threads for experiment fan-out: `ZL_JOBS`, defaulting to the
+/// machine's available parallelism. Every experiment's runs are
+/// independent deterministic simulations, so the thread count changes
+/// wall-clock time only — never a single output bit (asserted in
+/// `tests/parallel_determinism.rs`).
+pub fn jobs_from_env() -> usize {
+    std::env::var("ZL_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&j| j >= 1)
+        .unwrap_or_else(available_jobs)
 }
 
 /// VM geometry at a given scale.
@@ -155,7 +168,7 @@ pub fn baseline(name: &str, geo: VmGeometry) -> RunStats {
 // ---------------------------------------------------------------------
 
 /// One Fig. 8 sample: policy metrics at a local-memory percentage.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Fig8Point {
     /// Percent of the VM's memory that is local.
     pub local_pct: u32,
@@ -173,29 +186,34 @@ pub struct Fig8Point {
 
 /// Runs the Fig. 8 sweep for one policy over the micro-benchmark.
 pub fn figure8(policy: Policy, scale: f64) -> Vec<Fig8Point> {
+    figure8_jobs(policy, scale, jobs_from_env())
+}
+
+/// [`figure8`] with an explicit worker count: the nine local-percentage
+/// points are independent runs and fan out across `jobs` threads.
+pub fn figure8_jobs(policy: Policy, scale: f64, jobs: usize) -> Vec<Fig8Point> {
     let geo = VmGeometry::at_scale(scale);
-    [20u32, 30, 40, 50, 60, 70, 80, 90, 100]
-        .iter()
-        .map(|&pct| {
-            let local = geo.reserved.mul_f64(pct as f64 / 100.0);
-            let stats = run_ram_ext("micro-bench", geo, local, policy);
-            Fig8Point {
-                local_pct: pct,
-                exec_time: stats.exec_time,
-                faults: stats.remote_faults,
-                cycles_per_eviction: stats.cycles_per_eviction(),
-                fault_p50: stats.fault_latency.quantile(0.5),
-                fault_p99: stats.fault_latency.quantile(0.99),
-            }
-        })
-        .collect()
+    const PCTS: [u32; 9] = [20, 30, 40, 50, 60, 70, 80, 90, 100];
+    run_indexed(jobs, PCTS.len(), |i| {
+        let pct = PCTS[i];
+        let local = geo.reserved.mul_f64(pct as f64 / 100.0);
+        let stats = run_ram_ext("micro-bench", geo, local, policy);
+        Fig8Point {
+            local_pct: pct,
+            exec_time: stats.exec_time,
+            faults: stats.remote_faults,
+            cycles_per_eviction: stats.cycles_per_eviction(),
+            fault_p50: stats.fault_latency.quantile(0.5),
+            fault_p99: stats.fault_latency.quantile(0.99),
+        }
+    })
 }
 
 /// Prints the Fig. 8 table for the three paper policies.
-pub fn print_figure8(scale: f64) {
-    let fifo = figure8(Policy::Fifo, scale);
-    let clock = figure8(Policy::Clock, scale);
-    let mixed = figure8(Policy::MIXED_DEFAULT, scale);
+pub fn print_figure8(scale: f64, jobs: usize) {
+    let fifo = figure8_jobs(Policy::Fifo, scale, jobs);
+    let clock = figure8_jobs(Policy::Clock, scale, jobs);
+    let mixed = figure8_jobs(Policy::MIXED_DEFAULT, scale, jobs);
     let mut t = Table::new(
         "Fig 8: FIFO vs Clock vs Mixed (micro-benchmark)",
         &[
@@ -238,7 +256,7 @@ pub fn print_figure8(scale: f64) {
 // ---------------------------------------------------------------------
 
 /// One Table 1 row.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PenaltyRow {
     /// Workload name.
     pub workload: &'static str,
@@ -249,37 +267,44 @@ pub struct PenaltyRow {
 /// Computes Table 1 (RAM Ext penalties), averaging `ZL_RUNS` seeded
 /// executions per cell as the paper does.
 pub fn table1(scale: f64) -> Vec<PenaltyRow> {
+    table1_jobs(scale, jobs_from_env())
+}
+
+/// [`table1`] with an explicit worker count. Every (workload, local %,
+/// repetition) cell is an independent run keyed by its grid index —
+/// repetition seeds come from [`derive_seed`], never a shared stream —
+/// so the whole grid fans out across `jobs` threads with bit-for-bit
+/// stable results.
+pub fn table1_jobs(scale: f64, jobs: usize) -> Vec<PenaltyRow> {
     let geo = VmGeometry::at_scale(scale);
     let runs = runs_from_env();
+    let cells = run_indexed(jobs, WORKLOADS.len() * LOCAL_PCTS.len(), |i| {
+        let name = WORKLOADS[i / LOCAL_PCTS.len()];
+        let pct = LOCAL_PCTS[i % LOCAL_PCTS.len()];
+        let local = geo.reserved.mul_f64(pct as f64 / 100.0);
+        let mean: f64 = (0..runs)
+            .map(|r| {
+                // Repetition 0 keeps the workspace-wide seed 42 (so one
+                // run reproduces every other harness exactly);
+                // additional repetitions get decorrelated derived seeds.
+                let seed = if r == 0 {
+                    42
+                } else {
+                    derive_seed(42, r as u64)
+                };
+                let base = run_ram_ext_seeded(name, geo, geo.reserved, Policy::MIXED_DEFAULT, seed);
+                run_ram_ext_seeded(name, geo, local, Policy::MIXED_DEFAULT, seed).penalty_pct(&base)
+            })
+            .sum::<f64>()
+            / runs as f64;
+        (pct, mean)
+    });
     WORKLOADS
         .iter()
-        .map(|&name| {
-            let penalties = LOCAL_PCTS
-                .iter()
-                .map(|&pct| {
-                    let local = geo.reserved.mul_f64(pct as f64 / 100.0);
-                    let mean: f64 = (0..runs)
-                        .map(|r| {
-                            let seed = 42 + r as u64;
-                            let base = run_ram_ext_seeded(
-                                name,
-                                geo,
-                                geo.reserved,
-                                Policy::MIXED_DEFAULT,
-                                seed,
-                            );
-                            run_ram_ext_seeded(name, geo, local, Policy::MIXED_DEFAULT, seed)
-                                .penalty_pct(&base)
-                        })
-                        .sum::<f64>()
-                        / runs as f64;
-                    (pct, mean)
-                })
-                .collect();
-            PenaltyRow {
-                workload: name,
-                penalties,
-            }
+        .enumerate()
+        .map(|(w, &name)| PenaltyRow {
+            workload: name,
+            penalties: cells[w * LOCAL_PCTS.len()..(w + 1) * LOCAL_PCTS.len()].to_vec(),
         })
         .collect()
 }
@@ -312,7 +337,7 @@ pub fn print_table1(rows: &[PenaltyRow]) {
 
 /// One Table 2 cell set: penalties of the four configurations at one
 /// local percentage.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Table2Row {
     /// Percent local.
     pub local_pct: u32,
@@ -328,22 +353,40 @@ pub struct Table2Row {
 
 /// Computes one workload's Table 2 sub-table.
 pub fn table2(workload: &'static str, scale: f64) -> Vec<Table2Row> {
+    table2_jobs(workload, scale, jobs_from_env())
+}
+
+/// [`table2`] with an explicit worker count: the all-local baseline and
+/// every (local %, swap technology) run fan out as one flat batch.
+pub fn table2_jobs(workload: &'static str, scale: f64, jobs: usize) -> Vec<Table2Row> {
     let geo = VmGeometry::at_scale(scale);
-    let base = baseline(workload, geo);
+    // Index 0 is the all-local baseline; the rest are local-percentage
+    // major, technology minor (RAM Ext, ESD, local SSD, local HDD).
+    let stats = run_indexed(jobs, 1 + LOCAL_PCTS.len() * 4, |i| {
+        if i == 0 {
+            return baseline(workload, geo);
+        }
+        let pct = LOCAL_PCTS[(i - 1) / 4];
+        let local = geo.reserved.mul_f64(pct as f64 / 100.0);
+        match (i - 1) % 4 {
+            0 => run_ram_ext(workload, geo, local, Policy::MIXED_DEFAULT),
+            1 => run_explicit_sd(workload, geo, local, SwapBackend::RemoteRam),
+            2 => run_explicit_sd(workload, geo, local, SwapBackend::LocalSsd),
+            _ => run_explicit_sd(workload, geo, local, SwapBackend::LocalHdd),
+        }
+    });
+    let base = &stats[0];
     LOCAL_PCTS
         .iter()
-        .map(|&pct| {
-            let local = geo.reserved.mul_f64(pct as f64 / 100.0);
-            let re = run_ram_ext(workload, geo, local, Policy::MIXED_DEFAULT);
-            let esd = run_explicit_sd(workload, geo, local, SwapBackend::RemoteRam);
-            let lfsd = run_explicit_sd(workload, geo, local, SwapBackend::LocalSsd);
-            let lssd = run_explicit_sd(workload, geo, local, SwapBackend::LocalHdd);
+        .enumerate()
+        .map(|(row, &pct)| {
+            let s = &stats[1 + row * 4..1 + row * 4 + 4];
             Table2Row {
                 local_pct: pct,
-                ram_ext: re.penalty_pct(&base),
-                esd: esd.penalty_pct(&base),
-                lfsd: lfsd.penalty_pct(&base),
-                lssd: lssd.penalty_pct(&base),
+                ram_ext: s[0].penalty_pct(base),
+                esd: s[1].penalty_pct(base),
+                lfsd: s[2].penalty_pct(base),
+                lssd: s[3].penalty_pct(base),
             }
         })
         .collect()
@@ -455,7 +498,7 @@ pub fn fig10_trace(servers: u32, days: u64, seed: u64) -> ClusterTrace {
 }
 
 /// One Fig. 10 group: savings of the three systems on one trace/machine.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Fig10Group {
     /// Machine profile name.
     pub machine: &'static str,
@@ -465,21 +508,85 @@ pub struct Fig10Group {
     pub savings: [f64; 3],
 }
 
+/// The four policies of a Fig. 10 cell group, baseline first.
+pub const FIG10_POLICIES: [PolicyKind; 4] = [
+    PolicyKind::AlwaysOn,
+    PolicyKind::Neat,
+    PolicyKind::Oasis,
+    PolicyKind::ZombieStack,
+];
+
+/// Runs the four Fig. 10 policy simulations for one trace/profile on
+/// `jobs` worker threads, returning reports in [`FIG10_POLICIES`] order.
+pub fn figure10_reports(
+    trace: &ClusterTrace,
+    profile: &MachineProfile,
+    jobs: usize,
+) -> Vec<SimReport> {
+    run_indexed(jobs, FIG10_POLICIES.len(), |i| {
+        simulate(trace, &SimConfig::new(FIG10_POLICIES[i], profile.clone()))
+    })
+}
+
 /// Runs Fig. 10 for one machine profile and one trace.
 pub fn figure10_group(trace: &ClusterTrace, profile: MachineProfile, modified: bool) -> Fig10Group {
-    let machine = profile.name();
-    let run = |p: PolicyKind| -> SimReport { simulate(trace, &SimConfig::new(p, profile.clone())) };
-    let base = run(PolicyKind::AlwaysOn);
-    let savings = [
-        run(PolicyKind::Neat).savings_pct(&base),
-        run(PolicyKind::Oasis).savings_pct(&base),
-        run(PolicyKind::ZombieStack).savings_pct(&base),
-    ];
+    figure10_group_jobs(trace, profile, modified, jobs_from_env())
+}
+
+/// [`figure10_group`] with an explicit worker count.
+pub fn figure10_group_jobs(
+    trace: &ClusterTrace,
+    profile: MachineProfile,
+    modified: bool,
+    jobs: usize,
+) -> Fig10Group {
+    let reports = figure10_reports(trace, &profile, jobs);
+    let base = &reports[0];
     Fig10Group {
-        machine,
+        machine: profile.name(),
         modified,
-        savings,
+        savings: [
+            reports[1].savings_pct(base),
+            reports[2].savings_pct(base),
+            reports[3].savings_pct(base),
+        ],
     }
+}
+
+/// Runs the full Fig. 10 grid — every machine profile × {original,
+/// modified} trace × four policies — as one flat fan-out of independent
+/// simulations across `jobs` worker threads. This is the experiment the
+/// parallel runner exists for: sixteen multi-minute simulations at paper
+/// scale, none of which depends on another.
+pub fn figure10_grid(
+    trace: &ClusterTrace,
+    modified: &ClusterTrace,
+    jobs: usize,
+) -> Vec<Fig10Group> {
+    let profiles = [MachineProfile::hp(), MachineProfile::dell()];
+    let n = FIG10_POLICIES.len();
+    let reports = run_indexed(jobs, profiles.len() * 2 * n, |i| {
+        let profile = &profiles[i / (2 * n)];
+        let on_modified = (i / n) % 2 == 1;
+        let t = if on_modified { modified } else { trace };
+        simulate(t, &SimConfig::new(FIG10_POLICIES[i % n], profile.clone()))
+    });
+    reports
+        .chunks(n)
+        .enumerate()
+        .map(|(g, chunk)| {
+            let base = &chunk[0];
+            Fig10Group {
+                machine: profiles[g / 2].name(),
+                modified: g % 2 == 1,
+                savings: [
+                    chunk[1].savings_pct(base),
+                    chunk[2].savings_pct(base),
+                    chunk[3].savings_pct(base),
+                ],
+            }
+        })
+        .collect()
 }
 
 /// Prints one Fig. 10 half (original or modified traces).

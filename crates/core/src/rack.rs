@@ -255,12 +255,17 @@ impl Rack {
                 lent: Vec::new(),
             });
             managers.push(RemoteMemManager::new(id));
-            to_primary.push(RpcLink::establish(&mut fabric, node, primary_node).expect("all up"));
-            to_secondary
-                .push(RpcLink::establish(&mut fabric, node, secondary_node).expect("all up"));
-            from_primary.push(RpcLink::establish(&mut fabric, primary_node, node).expect("all up"));
-            from_secondary
-                .push(RpcLink::establish(&mut fabric, secondary_node, node).expect("all up"));
+            // Establishing links cannot fail here: every endpoint was
+            // attached to this fabric a few lines up and nothing has
+            // detached, so a failure is a construction-time bug, not a
+            // runtime condition worth a typed error.
+            let link = |fabric: &mut Fabric, a, b| {
+                RpcLink::establish(fabric, a, b).expect("freshly attached endpoints always connect")
+            };
+            to_primary.push(link(&mut fabric, node, primary_node));
+            to_secondary.push(link(&mut fabric, node, secondary_node));
+            from_primary.push(link(&mut fabric, primary_node, node));
+            from_secondary.push(link(&mut fabric, secondary_node, node));
         }
         Rack {
             config,
@@ -288,6 +293,21 @@ impl Rack {
         self.servers.iter().map(|s| s.id).collect()
     }
 
+    /// Validates a server id, returning its vector index. The servers,
+    /// managers and per-server RPC link tables are built together in
+    /// [`Rack::new`], so one bounds check covers indexing into any of
+    /// them; every public protocol entry point funnels through this (or
+    /// [`Rack::entry`]) before indexing, turning a bad id into
+    /// [`RackError::UnknownServer`] instead of a panic.
+    fn server_index(&self, s: ServerId) -> Result<usize, RackError> {
+        let i = s.get() as usize;
+        if i < self.servers.len() {
+            Ok(i)
+        } else {
+            Err(RackError::UnknownServer(s))
+        }
+    }
+
     fn entry(&self, s: ServerId) -> Result<&ServerEntry, RackError> {
         self.servers
             .get(s.get() as usize)
@@ -301,6 +321,11 @@ impl Rack {
     }
 
     /// The remote-mem-mgr of a server (read access, for tests and stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id outside this rack; protocol paths validate ids
+    /// and return [`RackError::UnknownServer`] instead.
     pub fn manager(&self, s: ServerId) -> &RemoteMemManager {
         &self.managers[s.get() as usize]
     }
@@ -353,12 +378,13 @@ impl Rack {
 
     /// Sends one control RPC from `s` to the active controller.
     fn rpc_to_ctrl(&mut self, s: ServerId, op: &RackOp) -> Result<SimDuration, RackError> {
+        let i = self.server_index(s)?;
         let links = if self.ha.primary_alive() {
             &self.to_primary
         } else {
             &self.to_secondary
         };
-        let t = links[s.get() as usize].call(
+        let t = links[i].call(
             &mut self.fabric,
             op.request_len(),
             op.response_len(),
@@ -371,12 +397,13 @@ impl Rack {
     /// Sends one control RPC from the active controller to `s`
     /// (`US_reclaim` direction).
     fn rpc_from_ctrl(&mut self, s: ServerId, op: &RackOp) -> Result<SimDuration, RackError> {
+        let i = self.server_index(s)?;
         let links = if self.ha.primary_alive() {
             &self.from_primary
         } else {
             &self.from_secondary
         };
-        let t = links[s.get() as usize].call(
+        let t = links[i].call(
             &mut self.fabric,
             op.request_len(),
             op.response_len(),
@@ -661,29 +688,32 @@ impl Rack {
         to: ServerId,
         buffers: &[BufferId],
     ) -> Result<(), RackError> {
+        let from_i = self.server_index(from)?;
+        let to_i = self.server_index(to)?;
         let mut records = Vec::with_capacity(buffers.len());
         for b in buffers {
-            records.push(self.managers[from.get() as usize].buffer_record(*b)?);
+            records.push(self.managers[from_i].buffer_record(*b)?);
         }
         // Ungrant refuses buffers with live pages, keeping the transfer
         // safe; then flip the controller row and re-grant on the target.
         for b in buffers {
-            self.managers[from.get() as usize].ungrant(*b)?;
+            self.managers[from_i].ungrant(*b)?;
         }
         self.ha.apply(|db| db.reassign(from, to, buffers))?;
         for mut rec in records {
             rec.user = Some(to);
             // Transfers happen at the stack layer where buffers back VM
             // RAM extensions.
-            self.managers[to.get() as usize].grant(rec, PoolKind::Ext);
+            self.managers[to_i].grant(rec, PoolKind::Ext);
         }
         Ok(())
     }
 
     /// Releases empty granted buffers back to the pool.
     pub fn release(&mut self, user: ServerId, buffers: &[BufferId]) -> Result<(), RackError> {
+        let user_i = self.server_index(user)?;
         for b in buffers {
-            self.managers[user.get() as usize].ungrant(*b)?;
+            self.managers[user_i].ungrant(*b)?;
         }
         self.ha.apply(|db| db.release(user, buffers))?;
         Ok(())
@@ -869,7 +899,8 @@ impl Rack {
 
     /// Drops a remote page without reading it back.
     pub fn free_page(&mut self, user: ServerId, handle: PageHandle) -> Result<(), RackError> {
-        Ok(self.managers[user.get() as usize].free_page(handle)?)
+        let user_i = self.server_index(user)?;
+        Ok(self.managers[user_i].free_page(handle)?)
     }
 
     /// `GS_get_lru_zombie()`: the zombie serving the fewest allocated
@@ -1170,5 +1201,30 @@ mod tests {
         assert_eq!(rack.db().free_buffers(), before - 16);
         rack.release(user, &alloc.buffers).unwrap();
         assert_eq!(rack.db().free_buffers(), before);
+    }
+
+    /// Protocol entry points reject ids outside the rack with a typed
+    /// error instead of panicking on an out-of-bounds table index.
+    #[test]
+    fn unknown_server_ids_are_typed_errors() {
+        let mut rack = rack4();
+        let ids = rack.server_ids();
+        let (user, zombie) = (ids[0], ids[1]);
+        rack.goto_zombie(zombie).unwrap();
+        let alloc = rack.alloc_ext(user, Bytes::gib(1)).unwrap();
+        let bogus = ServerId::new(999);
+
+        let unknown =
+            |r: Result<_, RackError>| matches!(r, Err(RackError::UnknownServer(s)) if s == bogus);
+        assert!(unknown(rack.alloc_ext(bogus, Bytes::gib(1)).map(|_| ())));
+        assert!(unknown(rack.alloc_swap(bogus, Bytes::gib(1)).map(|_| ())));
+        assert!(unknown(rack.place_page(bogus, PoolKind::Ext).map(|_| ())));
+        assert!(unknown(rack.release(bogus, &alloc.buffers)));
+        assert!(unknown(rack.transfer_buffers(bogus, user, &alloc.buffers)));
+        assert!(unknown(rack.transfer_buffers(user, bogus, &alloc.buffers)));
+        let (handle, _) = rack.place_page(user, PoolKind::Ext).unwrap();
+        assert!(unknown(rack.free_page(bogus, handle).map(|_| ())));
+        // And the rack still works afterwards: nothing was corrupted.
+        rack.fetch_page(user, handle, true).unwrap();
     }
 }

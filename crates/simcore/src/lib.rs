@@ -12,11 +12,13 @@
 pub mod event;
 pub mod report;
 pub mod rng;
+pub mod runner;
 pub mod stats;
 pub mod time;
 pub mod units;
 
 pub use event::EventQueue;
-pub use rng::{DetRng, Zipf};
+pub use rng::{derive_seed, DetRng, Zipf};
+pub use runner::{available_jobs, run_batch, run_indexed};
 pub use time::{SimDuration, SimTime};
 pub use units::{Bytes, Cycles, Joules, Pages, Watts, PAGE_SIZE};

@@ -125,9 +125,22 @@ impl SimDuration {
     }
 
     /// Scales the duration by a non-negative float, rounding to the nearest
-    /// nanosecond.
+    /// nanosecond and saturating at `u64::MAX` nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is NaN or negative. A bad scale factor used to
+    /// saturate silently to zero through the `as u64` cast, corrupting
+    /// whatever latency/energy total it fed; failing loudly here keeps
+    /// the corruption out of the reports.
     pub fn mul_f64(self, k: f64) -> SimDuration {
-        debug_assert!(k >= 0.0, "durations cannot be negative");
+        assert!(!k.is_nan(), "SimDuration::mul_f64 called with NaN factor");
+        assert!(
+            k >= 0.0,
+            "SimDuration::mul_f64 called with negative factor {k}"
+        );
+        // `as u64` saturates at the type bounds, so +inf and overflowing
+        // products clamp to u64::MAX rather than wrapping.
         SimDuration((self.0 as f64 * k).round() as u64)
     }
 }
@@ -209,7 +222,17 @@ impl Div<u64> for SimDuration {
 impl Div<SimDuration> for SimDuration {
     type Output = f64;
 
+    /// The ratio of two durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero denominator: the NaN/inf it used to return
+    /// propagated silently into report percentages.
     fn div(self, rhs: SimDuration) -> f64 {
+        assert!(
+            rhs.0 != 0,
+            "SimDuration / SimDuration with zero denominator"
+        );
         self.0 as f64 / rhs.0 as f64
     }
 }
@@ -282,6 +305,36 @@ mod tests {
         assert_eq!(d * 3, SimDuration::from_secs(30));
         assert_eq!(d / 2, SimDuration::from_secs(5));
         assert!((d / SimDuration::from_secs(4) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN factor")]
+    fn mul_f64_rejects_nan() {
+        let _ = SimDuration::from_secs(1).mul_f64(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative factor")]
+    fn mul_f64_rejects_negative() {
+        let _ = SimDuration::from_secs(1).mul_f64(-0.5);
+    }
+
+    #[test]
+    fn mul_f64_saturates_on_overflow() {
+        assert_eq!(
+            SimDuration::from_secs(1).mul_f64(f64::INFINITY),
+            SimDuration::from_nanos(u64::MAX)
+        );
+        assert_eq!(
+            SimDuration::from_nanos(u64::MAX).mul_f64(2.0),
+            SimDuration::from_nanos(u64::MAX)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn ratio_of_zero_durations_panics() {
+        let _ = SimDuration::from_secs(1) / SimDuration::ZERO;
     }
 
     #[test]

@@ -74,9 +74,16 @@ impl Bytes {
         }
     }
 
-    /// Scales by a non-negative float, rounding to the nearest byte.
+    /// Scales by a non-negative float, rounding to the nearest byte and
+    /// saturating at `u64::MAX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is NaN or negative — a bad factor used to saturate
+    /// silently to zero through the `as u64` cast.
     pub fn mul_f64(self, k: f64) -> Bytes {
-        debug_assert!(k >= 0.0);
+        assert!(!k.is_nan(), "Bytes::mul_f64 called with NaN factor");
+        assert!(k >= 0.0, "Bytes::mul_f64 called with negative factor {k}");
         Bytes((self.0 as f64 * k).round() as u64)
     }
 
@@ -384,6 +391,23 @@ mod tests {
         assert_eq!(Bytes::mib(1).mul_f64(0.5), Bytes::kib(512));
         assert_eq!(Bytes::mib(1).saturating_sub(Bytes::mib(2)), Bytes::ZERO);
         assert_eq!(Bytes::mib(1).checked_sub(Bytes::mib(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN factor")]
+    fn mul_f64_rejects_nan() {
+        let _ = Bytes::gib(1).mul_f64(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative factor")]
+    fn mul_f64_rejects_negative() {
+        let _ = Bytes::gib(1).mul_f64(-1.0);
+    }
+
+    #[test]
+    fn mul_f64_saturates_on_overflow() {
+        assert_eq!(Bytes::gib(1).mul_f64(f64::INFINITY), Bytes::new(u64::MAX));
     }
 
     #[test]

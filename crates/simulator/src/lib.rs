@@ -100,7 +100,11 @@ impl SimConfig {
 }
 
 /// Outcome of one simulation run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` is derived so tests can assert the runner's bit-for-bit
+/// determinism contract: the same trace, config and seed must produce
+/// an *identical* report at any worker count.
+#[derive(Clone, PartialEq, Debug)]
 pub struct SimReport {
     /// Policy simulated.
     pub policy: PolicyKind,
@@ -127,7 +131,7 @@ pub struct SimReport {
 }
 
 /// One fleet snapshot.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct TimelineSample {
     /// Snapshot time.
     pub at: SimTime,
@@ -139,7 +143,13 @@ pub struct TimelineSample {
 
 impl SimReport {
     /// Energy saving versus a baseline run, in percent.
+    ///
+    /// A zero-energy baseline (empty or zero-duration trace) reports
+    /// zero savings rather than letting `0/0 = NaN` leak into tables.
     pub fn savings_pct(&self, baseline: &SimReport) -> f64 {
+        if baseline.energy.get() == 0.0 {
+            return 0.0;
+        }
         (1.0 - self.energy / baseline.energy) * 100.0
     }
 }
@@ -376,7 +386,7 @@ impl Dc {
                 .enumerate()
                 .filter(|(_, h)| h.state == HState::Zombie && h.rack == rack)
                 .map(|(i, h)| (i, (self.usable_mem() - h.remote_allocated).max(0.0)))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
             else {
                 break;
             };
@@ -403,11 +413,7 @@ impl Dc {
                 .filter(|(_, h)| {
                     h.state == HState::Zombie && h.rack == rack && h.remote_allocated > 1e-9
                 })
-                .max_by(|a, b| {
-                    a.1.remote_allocated
-                        .partial_cmp(&b.1.remote_allocated)
-                        .expect("no NaN")
-                })
+                .max_by(|a, b| a.1.remote_allocated.total_cmp(&b.1.remote_allocated))
                 .map(|(i, _)| i)
             else {
                 break;
@@ -477,11 +483,7 @@ impl Dc {
                 .iter()
                 .enumerate()
                 .filter(|(_, h)| h.state == HState::Zombie)
-                .min_by(|a, b| {
-                    a.1.remote_allocated
-                        .partial_cmp(&b.1.remote_allocated)
-                        .expect("no NaN")
-                })
+                .min_by(|a, b| a.1.remote_allocated.total_cmp(&b.1.remote_allocated))
                 .map(|(i, _)| i)
                 .or_else(|| self.find_sleeping()),
             _ => self.find_sleeping(),
@@ -577,10 +579,7 @@ impl Dc {
                         let Some(h) = (0..self.hosts.len())
                             .filter(|&i| self.hosts[i].state == HState::Active)
                             .min_by(|&a, &b| {
-                                self.hosts[a]
-                                    .cpu_used
-                                    .partial_cmp(&self.hosts[b].cpu_used)
-                                    .expect("no NaN")
+                                self.hosts[a].cpu_used.total_cmp(&self.hosts[b].cpu_used)
                             })
                         else {
                             self.report.dropped += 1;
@@ -691,8 +690,7 @@ impl Dc {
         order.sort_by(|&a, &b| {
             self.hosts[a]
                 .cpu_used
-                .partial_cmp(&self.hosts[b].cpu_used)
-                .expect("no NaN")
+                .total_cmp(&self.hosts[b].cpu_used)
                 .then(a.cmp(&b))
         });
 
@@ -759,8 +757,7 @@ impl Dc {
                 .max_by(|&a, &b| {
                     self.hosts[a]
                         .cpu_booked
-                        .partial_cmp(&self.hosts[b].cpu_booked)
-                        .expect("no NaN")
+                        .total_cmp(&self.hosts[b].cpu_booked)
                         .then(b.cmp(&a))
                 });
             match target {

@@ -9,10 +9,8 @@
 //! normalization the figure uses). Entries are approximate where AWS
 //! never published exact clocks; the *trend* is what Fig. 2 argues from.
 
-use serde::Serialize;
-
 /// One `m`-family instance type at its introduction.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Instance {
     /// Introduction year.
     pub year: u16,

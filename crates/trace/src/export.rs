@@ -5,38 +5,16 @@
 //! experiments, or replaced wholesale by a trace converted from the real
 //! Google dataset.
 
-use serde::{Deserialize, Serialize};
 use zombieland_simcore::{SimDuration, SimTime};
 
 use crate::google::{ClusterTrace, TaskSpec, TraceConfig};
-
-#[derive(Serialize, Deserialize)]
-struct TaskDto {
-    job: u32,
-    index: u32,
-    start_ns: u64,
-    end_ns: u64,
-    cpu_booked: f64,
-    mem_booked: f64,
-    cpu_used: f64,
-    mem_used: f64,
-}
-
-#[derive(Serialize, Deserialize)]
-struct TraceDto {
-    servers: u32,
-    duration_ns: u64,
-    seed: u64,
-    mem_cpu_ratio: f64,
-    avg_utilization: f64,
-    tasks: Vec<TaskDto>,
-}
+use crate::json::{self, Value};
 
 /// Errors when reloading a trace.
 #[derive(Debug)]
 pub enum ImportError {
     /// Malformed JSON.
-    Json(serde_json::Error),
+    Json(json::ParseError),
     /// Structurally valid but semantically impossible (negative demand,
     /// tasks ending before they start, ...).
     Invalid(&'static str),
@@ -53,78 +31,116 @@ impl core::fmt::Display for ImportError {
 
 impl std::error::Error for ImportError {}
 
-impl From<serde_json::Error> for ImportError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<json::ParseError> for ImportError {
+    fn from(e: json::ParseError) -> Self {
         ImportError::Json(e)
     }
+}
+
+/// Field accessors that turn missing/mistyped fields into [`ImportError`].
+fn req_u64(v: &Value, key: &'static str) -> Result<u64, ImportError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or(ImportError::Invalid(key))
+}
+
+fn req_f64(v: &Value, key: &'static str) -> Result<f64, ImportError> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or(ImportError::Invalid(key))
 }
 
 impl ClusterTrace {
     /// Serializes the trace (config + every task) to JSON.
     pub fn to_json(&self) -> String {
-        let dto = TraceDto {
-            servers: self.config().servers,
-            duration_ns: self.config().duration.as_nanos(),
-            seed: self.config().seed,
-            mem_cpu_ratio: self.config().mem_cpu_ratio,
-            avg_utilization: self.config().avg_utilization,
-            tasks: self
-                .tasks()
-                .iter()
-                .map(|t| TaskDto {
-                    job: t.job,
-                    index: t.index,
-                    start_ns: t.start.as_nanos(),
-                    end_ns: t.end.as_nanos(),
-                    cpu_booked: t.cpu_booked,
-                    mem_booked: t.mem_booked,
-                    cpu_used: t.cpu_used,
-                    mem_used: t.mem_used,
-                })
-                .collect(),
+        let task_value = |t: &TaskSpec| {
+            Value::Object(vec![
+                ("job".into(), Value::UInt(t.job as u64)),
+                ("index".into(), Value::UInt(t.index as u64)),
+                ("start_ns".into(), Value::UInt(t.start.as_nanos())),
+                ("end_ns".into(), Value::UInt(t.end.as_nanos())),
+                ("cpu_booked".into(), Value::Float(t.cpu_booked)),
+                ("mem_booked".into(), Value::Float(t.mem_booked)),
+                ("cpu_used".into(), Value::Float(t.cpu_used)),
+                ("mem_used".into(), Value::Float(t.mem_used)),
+            ])
         };
-        serde_json::to_string_pretty(&dto).expect("plain data serializes")
+        let doc = Value::Object(vec![
+            ("servers".into(), Value::UInt(self.config().servers as u64)),
+            (
+                "duration_ns".into(),
+                Value::UInt(self.config().duration.as_nanos()),
+            ),
+            ("seed".into(), Value::UInt(self.config().seed)),
+            (
+                "mem_cpu_ratio".into(),
+                Value::Float(self.config().mem_cpu_ratio),
+            ),
+            (
+                "avg_utilization".into(),
+                Value::Float(self.config().avg_utilization),
+            ),
+            (
+                "tasks".into(),
+                Value::Array(self.tasks().iter().map(task_value).collect()),
+            ),
+        ]);
+        doc.pretty()
     }
 
     /// Reloads a trace from [`ClusterTrace::to_json`] output (or any
     /// hand-written/converted trace in the same format), validating it.
-    pub fn from_json(json: &str) -> Result<ClusterTrace, ImportError> {
-        let dto: TraceDto = serde_json::from_str(json)?;
-        if dto.servers == 0 {
+    pub fn from_json(text: &str) -> Result<ClusterTrace, ImportError> {
+        let doc = json::parse(text)?;
+        let servers = req_u64(&doc, "servers")?;
+        if servers == 0 {
             return Err(ImportError::Invalid("zero servers"));
         }
-        if dto.duration_ns == 0 {
+        let servers =
+            u32::try_from(servers).map_err(|_| ImportError::Invalid("server count too large"))?;
+        let duration_ns = req_u64(&doc, "duration_ns")?;
+        if duration_ns == 0 {
             return Err(ImportError::Invalid("zero duration"));
         }
-        let mut tasks = Vec::with_capacity(dto.tasks.len());
-        for t in dto.tasks {
-            if t.end_ns <= t.start_ns {
+        let task_values = doc
+            .get("tasks")
+            .and_then(Value::as_array)
+            .ok_or(ImportError::Invalid("tasks"))?;
+        let mut tasks = Vec::with_capacity(task_values.len());
+        for t in task_values {
+            let start_ns = req_u64(t, "start_ns")?;
+            let end_ns = req_u64(t, "end_ns")?;
+            if end_ns <= start_ns {
                 return Err(ImportError::Invalid("task ends before it starts"));
             }
-            if !(0.0..=1.0).contains(&t.cpu_booked) || !(0.0..=1.0).contains(&t.mem_booked) {
+            let cpu_booked = req_f64(t, "cpu_booked")?;
+            let mem_booked = req_f64(t, "mem_booked")?;
+            let cpu_used = req_f64(t, "cpu_used")?;
+            let mem_used = req_f64(t, "mem_used")?;
+            if !(0.0..=1.0).contains(&cpu_booked) || !(0.0..=1.0).contains(&mem_booked) {
                 return Err(ImportError::Invalid("booking outside one machine"));
             }
-            if t.cpu_used > t.cpu_booked + 1e-9 || t.mem_used > t.mem_booked + 1e-9 {
+            if cpu_used > cpu_booked + 1e-9 || mem_used > mem_booked + 1e-9 {
                 return Err(ImportError::Invalid("usage exceeds booking"));
             }
             tasks.push(TaskSpec {
-                job: t.job,
-                index: t.index,
-                start: SimTime::from_nanos(t.start_ns),
-                end: SimTime::from_nanos(t.end_ns),
-                cpu_booked: t.cpu_booked,
-                mem_booked: t.mem_booked,
-                cpu_used: t.cpu_used,
-                mem_used: t.mem_used,
+                job: req_u64(t, "job")? as u32,
+                index: req_u64(t, "index")? as u32,
+                start: SimTime::from_nanos(start_ns),
+                end: SimTime::from_nanos(end_ns),
+                cpu_booked,
+                mem_booked,
+                cpu_used,
+                mem_used,
             });
         }
         Ok(ClusterTrace::from_parts(
             TraceConfig {
-                servers: dto.servers,
-                duration: SimDuration::from_nanos(dto.duration_ns),
-                seed: dto.seed,
-                mem_cpu_ratio: dto.mem_cpu_ratio,
-                avg_utilization: dto.avg_utilization,
+                servers,
+                duration: SimDuration::from_nanos(duration_ns),
+                seed: req_u64(&doc, "seed")?,
+                mem_cpu_ratio: req_f64(&doc, "mem_cpu_ratio")?,
+                avg_utilization: req_f64(&doc, "avg_utilization")?,
             },
             tasks,
         ))
@@ -181,6 +197,15 @@ mod tests {
         assert!(matches!(
             ClusterTrace::from_json(json),
             Err(ImportError::Invalid("usage exceeds booking"))
+        ));
+    }
+
+    #[test]
+    fn missing_field_is_reported() {
+        let json = r#"{ "servers": 2, "duration_ns": 1000 }"#;
+        assert!(matches!(
+            ClusterTrace::from_json(json),
+            Err(ImportError::Invalid("tasks"))
         ));
     }
 }

@@ -8,10 +8,8 @@
 //! This module derives the series from those component trends rather than
 //! hard-coding the curve.
 
-use serde::Serialize;
-
 /// One server generation's capacity parameters.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Generation {
     /// Model year.
     pub year: u16,

@@ -20,7 +20,6 @@
 //! [`ClusterTrace::generate`] produces such a trace deterministically from
 //! a seed; [`ClusterTrace::modified`] applies the paper's transform.
 
-use serde::Serialize;
 use zombieland_simcore::{DetRng, SimDuration, SimTime};
 
 /// Configuration of a synthetic trace.
@@ -67,17 +66,15 @@ impl TraceConfig {
 }
 
 /// One task (the paper treats each task as a VM/container).
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct TaskSpec {
     /// Job the task belongs to.
     pub job: u32,
     /// Index within the job.
     pub index: u32,
     /// Start time.
-    #[serde(skip)]
     pub start: SimTime,
     /// Termination time.
-    #[serde(skip)]
     pub end: SimTime,
     /// Booked CPU (fraction of one server).
     pub cpu_booked: f64,

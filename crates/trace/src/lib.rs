@@ -20,5 +20,6 @@ pub mod aws;
 pub mod export;
 pub mod generations;
 pub mod google;
+pub mod json;
 
 pub use google::{ClusterTrace, TaskSpec, TraceConfig};

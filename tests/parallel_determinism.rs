@@ -1,0 +1,113 @@
+//! The parallel runner's contract: fanning experiment batches across
+//! worker threads changes wall-clock time only — every report is
+//! bit-for-bit identical at any `--jobs` count, because each run is a
+//! pure function of its grid index (derived seed + virtual clock, no OS
+//! entropy) and results are collected by index, not completion order.
+
+use zombieland::energy::MachineProfile;
+use zombieland::simcore::{derive_seed, run_batch, run_indexed, SimDuration};
+use zombieland::simulator::{simulate, SimConfig, SimReport};
+use zombieland_bench::experiments::{self, FIG10_POLICIES};
+
+/// Small enough for CI, big enough that runs interleave under threads.
+const SCALE: f64 = 0.04;
+
+/// Fig. 10 policy reports are byte-identical across `--jobs 1/2/8`.
+#[test]
+fn fig10_reports_identical_across_jobs() {
+    let trace = experiments::fig10_trace(48, 1, 7);
+    let hp = MachineProfile::hp();
+    let serial = experiments::figure10_reports(&trace, &hp, 1);
+    for jobs in [2, 8] {
+        let parallel = experiments::figure10_reports(&trace, &hp, jobs);
+        assert_eq!(serial, parallel, "jobs={jobs} changed a report");
+    }
+}
+
+/// The full Fig. 10 grid (2 machines × 2 traces × 4 policies) is
+/// jobs-invariant, including the derived savings percentages.
+#[test]
+fn fig10_grid_identical_across_jobs() {
+    let trace = experiments::fig10_trace(40, 1, 7);
+    let modified = trace.modified();
+    let serial = experiments::figure10_grid(&trace, &modified, 1);
+    for jobs in [2, 8] {
+        assert_eq!(serial, experiments::figure10_grid(&trace, &modified, jobs));
+    }
+}
+
+/// Reports carrying a full timeline (every sampled field) survive the
+/// fan-out bit-for-bit too.
+#[test]
+fn timeline_reports_identical_across_jobs() {
+    let trace = experiments::fig10_trace(40, 1, derive_seed(7, 1));
+    let run_all = |jobs: usize| -> Vec<SimReport> {
+        run_indexed(jobs, FIG10_POLICIES.len(), |i| {
+            let cfg = SimConfig {
+                sample_interval: Some(SimDuration::from_hours(6)),
+                ..SimConfig::new(FIG10_POLICIES[i], MachineProfile::dell())
+            };
+            simulate(&trace, &cfg)
+        })
+    };
+    let serial = run_all(1);
+    assert!(
+        serial.iter().all(|r| !r.timeline.is_empty()),
+        "timelines must actually be sampled for this test to mean anything"
+    );
+    for jobs in [2, 8] {
+        assert_eq!(serial, run_all(jobs));
+    }
+}
+
+/// The Table 1 and Table 2 sweeps — the `run_ram_ext` / swap-technology
+/// grids — are jobs-invariant down to the floating-point bit.
+#[test]
+fn table_sweeps_identical_across_jobs() {
+    let table1_serial = experiments::table1_jobs(SCALE, 1);
+    let table2_serial = experiments::table2_jobs("micro-bench", SCALE, 1);
+    for jobs in [2, 8] {
+        assert_eq!(table1_serial, experiments::table1_jobs(SCALE, jobs));
+        assert_eq!(
+            table2_serial,
+            experiments::table2_jobs("micro-bench", SCALE, jobs)
+        );
+    }
+}
+
+/// `run_batch` (heterogeneous closures) carries the same guarantee as
+/// `run_indexed` (uniform grids).
+#[test]
+fn batch_of_mixed_experiments_is_jobs_invariant() {
+    let trace = experiments::fig10_trace(30, 1, 5);
+    let build = || -> Vec<Box<dyn FnOnce() -> SimReport + Send>> {
+        FIG10_POLICIES
+            .iter()
+            .map(|&p| {
+                let trace = &trace;
+                Box::new(move || simulate(trace, &SimConfig::new(p, MachineProfile::hp())))
+                    as Box<dyn FnOnce() -> SimReport + Send>
+            })
+            .collect()
+    };
+    let serial = run_batch(1, build());
+    for jobs in [2, 8] {
+        assert_eq!(serial, run_batch(jobs, build()));
+    }
+}
+
+/// The seed-derivation function is a wire format: repetition seeds are
+/// pinned, so historic results stay reproducible release over release.
+#[test]
+fn derived_seeds_are_pinned() {
+    assert_eq!(derive_seed(0, 0), 0xE220_A839_7B1D_CDAF);
+    assert_eq!(derive_seed(42, 0), 0xBDD7_3226_2FEB_6E95);
+    assert_eq!(derive_seed(42, 1), 0x28EF_E333_B266_F103);
+    // Neighbouring bases and indices decorrelate completely.
+    let mut seen = std::collections::HashSet::new();
+    for base in 0..8u64 {
+        for index in 0..64u64 {
+            assert!(seen.insert(derive_seed(base, index)));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! A vendored, std-only stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this shim
+//! provides the few entry points the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing uses
+//! `std::time::Instant` with a short calibration pass and reports the
+//! best-of-batches nanoseconds per iteration — enough to compare hot
+//! paths between commits, without criterion's statistics machinery.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+/// Batches to run; the minimum per-iteration time across batches is
+/// reported (the classic noise-robust estimator).
+const BATCHES: u32 = 3;
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            best_ns: f64::NAN,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{name:<44} (no iterations)");
+        } else {
+            println!("{name:<44} {:>14.1} ns/iter ({} iters)", b.best_ns, b.iters);
+        }
+        self
+    }
+}
+
+/// Passed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    best_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, called in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit one batch budget?
+        let start = Instant::now();
+        std_black_box(f());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let per_batch =
+            (TARGET.as_nanos() / BATCHES as u128 / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut best = f64::INFINITY;
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std_black_box(f());
+            }
+            best = best.min(start.elapsed().as_nanos() as f64 / per_batch as f64);
+        }
+        self.best_ns = best;
+        self.iters = 1 + per_batch * BATCHES as u64;
+    }
+}
+
+/// Groups benchmark functions under one name, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
