@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use zombieland_simcore::SimDuration;
+use zombieland_simcore::{SimDuration, SimTime};
 
 use crate::device::standard_devices;
 use crate::firmware::{Firmware, FirmwareError, Transition};
@@ -78,6 +78,9 @@ pub struct Platform {
     state: SleepState,
     suspend_count: u64,
     wake_count: u64,
+    /// Cumulative transition latency — the platform's virtual clock,
+    /// used to sim-time-stamp observability events.
+    elapsed: SimDuration,
 }
 
 impl Platform {
@@ -101,7 +104,14 @@ impl Platform {
             state: SleepState::S0,
             suspend_count: 0,
             wake_count: 0,
+            elapsed: SimDuration::ZERO,
         }
+    }
+
+    /// Total time this platform has spent in S-state transitions (its
+    /// virtual clock for observability purposes).
+    pub fn elapsed(&self) -> SimDuration {
+        self.elapsed
     }
 
     /// The current global power state.
@@ -142,6 +152,21 @@ impl Platform {
                 let latency = transition.latency;
                 self.state = target;
                 self.suspend_count += 1;
+                self.elapsed += latency;
+                let now = SimTime::ZERO + self.elapsed;
+                zombieland_obs::sink::counter_add("acpi.suspends", 1);
+                zombieland_obs::sink::hist_record("acpi.suspend_ns", latency.as_nanos());
+                zombieland_obs::trace_event!(now, "acpi", "suspend",
+                    "state" => target.to_string(),
+                    "latency_ns" => latency.as_nanos(),
+                    "rail_switches" => transition.switches.len());
+                if zombieland_obs::sink::trace_enabled() {
+                    for sw in &transition.switches {
+                        zombieland_obs::trace_event!(now, "acpi", "rail",
+                            "rail" => sw.rail.to_string(),
+                            "to" => format!("{:?}", sw.to));
+                    }
+                }
                 Ok(SuspendOutcome {
                     report,
                     transition,
@@ -162,10 +187,17 @@ impl Platform {
         if self.state == SleepState::S0 {
             return Err(PlatformError::AlreadyRunning);
         }
+        let from = self.state;
         let t = self.firmware.execute(self.state, SleepState::S0)?;
         self.ospm.resume();
         self.state = SleepState::S0;
         self.wake_count += 1;
+        self.elapsed += t.latency;
+        zombieland_obs::sink::counter_add("acpi.wakes", 1);
+        zombieland_obs::sink::hist_record("acpi.wake_ns", t.latency.as_nanos());
+        zombieland_obs::trace_event!(SimTime::ZERO + self.elapsed, "acpi", "wake",
+            "from" => from.to_string(),
+            "latency_ns" => t.latency.as_nanos());
         Ok(t.latency)
     }
 }

@@ -5,6 +5,7 @@
 //! zombieland experiment <name|all> [--scale S] [--jobs N]
 //! zombieland simulate [--servers N] [--days D] [--policy P] [--modified] [--machine hp|dell] [--trace FILE] [--timeline] [--pue X] [--jobs N]
 //! zombieland trace [--servers N] [--days D] [--seed S] --out FILE
+//! zombieland validate-trace <FILE>
 //! zombieland suspend <mem|disk|zom>
 //! zombieland list
 //! ```
@@ -13,13 +14,21 @@
 //! independent simulation runs of an experiment across N worker
 //! threads. Results are bit-for-bit identical at any thread count.
 //!
+//! The global observability flags work with every subcommand:
+//! `--obs-level off|summary|full` selects what gets recorded (metrics
+//! from `summary` up, the full sim-time event trace at `full`),
+//! `--trace-out FILE` writes the trace as JSONL, `--metrics-out FILE`
+//! writes the metric registry as JSON. Requesting an artifact implies
+//! the level that can produce it. Unknown flags are rejected.
+//!
 //! Run via `cargo run --release -p zombieland-bench --bin zombieland-cli -- <args>`.
 
 use std::process::ExitCode;
 
 use zombieland_bench::experiments;
 use zombieland_energy::MachineProfile;
-use zombieland_simcore::{run_indexed, SimDuration};
+use zombieland_obs::{observe, run_indexed_obs, ObsLevel, ObsRun};
+use zombieland_simcore::SimDuration;
 use zombieland_simulator::{simulate, PolicyKind, SimConfig};
 use zombieland_trace::{ClusterTrace, TraceConfig};
 
@@ -34,10 +43,62 @@ fn usage() -> ExitCode {
          zombieland simulate [--servers N] [--days D] [--policy neat|oasis|zombiestack|all] \
          [--modified] [--machine hp|dell] [--trace FILE] [--timeline] [--pue X] [--jobs N]\n  \
          zombieland trace [--servers N] [--days D] [--seed S] --out FILE\n  \
+         zombieland validate-trace <FILE>\n  \
          zombieland suspend <mem|disk|zom>\n  \
-         zombieland list"
+         zombieland list\n\
+         global flags: --obs-level off|summary|full --trace-out FILE --metrics-out FILE"
     );
     ExitCode::from(2)
+}
+
+/// Validates a subcommand's argument list: every `--flag` must be known
+/// (`allowed` maps name → takes-a-value) and at most `max_positional`
+/// bare arguments may appear.
+fn check_args(
+    args: &[String],
+    max_positional: usize,
+    allowed: &[(&str, bool)],
+) -> Result<(), String> {
+    let mut positional = 0usize;
+    let mut i = 0usize;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with("--") {
+            match allowed.iter().find(|(name, _)| *name == a) {
+                None => return Err(format!("unknown flag {a:?}")),
+                Some((_, true)) => {
+                    if i + 1 >= args.len() {
+                        return Err(format!("flag {a:?} needs a value"));
+                    }
+                    i += 2;
+                }
+                Some((_, false)) => i += 1,
+            }
+        } else {
+            positional += 1;
+            if positional > max_positional {
+                return Err(format!("unexpected argument {a:?}"));
+            }
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
+/// A subcommand wrapper: validate the flags, then run.
+fn checked(
+    args: &[String],
+    max_positional: usize,
+    allowed: &[(&str, bool)],
+    run: impl FnOnce(&[String]) -> ExitCode,
+) -> ExitCode {
+    match check_args(args, max_positional, allowed) {
+        Ok(()) => run(args),
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
 }
 
 /// Pulls `--key value` out of `args`, returning the value.
@@ -173,7 +234,7 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
     let jobs = jobs_flag(args);
     let mut kinds = vec![PolicyKind::AlwaysOn];
     kinds.extend(policies.iter().copied());
-    let reports = run_indexed(jobs, kinds.len(), |i| simulate(&trace, &cfg_for(kinds[i])));
+    let reports = run_indexed_obs(jobs, kinds.len(), |i| simulate(&trace, &cfg_for(kinds[i])));
     let base = &reports[0];
     println!("baseline (always-on): {:.1} kWh", base.energy.as_kwh());
     let cooling = pue.map(zombieland_energy::cooling::CoolingModel::with_pue);
@@ -280,17 +341,168 @@ fn cmd_suspend(args: &[String]) -> ExitCode {
     }
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// Checks that `path` holds a non-empty, line-by-line parseable JSONL
+/// trace (the artifact `--trace-out` writes).
+fn cmd_validate_trace(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot read {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut events = 0usize;
+    for (n, line) in content.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Err(e) = zombieland_trace::json::parse(line) {
+            eprintln!("{path}:{}: invalid trace line: {e}", n + 1);
+            return ExitCode::FAILURE;
+        }
+        events += 1;
+    }
+    if events == 0 {
+        eprintln!("{path}: no trace events");
+        return ExitCode::FAILURE;
+    }
+    println!("{path}: {events} valid trace events");
+    ExitCode::SUCCESS
+}
+
+/// The global observability options, stripped from the raw argument
+/// list before subcommand dispatch.
+struct ObsOpts {
+    level: ObsLevel,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+/// Splits `--obs-level`/`--trace-out`/`--metrics-out` (valid anywhere on
+/// the command line) out of `args`. Requesting an artifact implies the
+/// lowest level that can produce it.
+fn split_obs_flags(args: Vec<String>) -> Result<(Vec<String>, ObsOpts), String> {
+    let mut rest = Vec::new();
+    let mut level = None;
+    let mut trace_out = None;
+    let mut metrics_out = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--obs-level" => {
+                let v = it.next().ok_or("flag \"--obs-level\" needs a value")?;
+                level = Some(
+                    ObsLevel::parse(&v)
+                        .ok_or_else(|| format!("unknown obs level {v:?} (off|summary|full)"))?,
+                );
+            }
+            "--trace-out" => {
+                trace_out = Some(it.next().ok_or("flag \"--trace-out\" needs a value")?)
+            }
+            "--metrics-out" => {
+                metrics_out = Some(it.next().ok_or("flag \"--metrics-out\" needs a value")?)
+            }
+            _ => rest.push(a),
+        }
+    }
+    let level = level.unwrap_or(match (&trace_out, &metrics_out) {
+        (Some(_), _) => ObsLevel::Full,
+        (None, Some(_)) => ObsLevel::Summary,
+        (None, None) => ObsLevel::Off,
+    });
+    Ok((
+        rest,
+        ObsOpts {
+            level,
+            trace_out,
+            metrics_out,
+        },
+    ))
+}
+
+/// Writes the requested observability artifacts and prints the metrics
+/// table.
+fn export_obs(opts: &ObsOpts, run: &ObsRun) -> Result<(), String> {
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, run.events_jsonl())
+            .map_err(|e| format!("cannot write trace {path:?}: {e}"))?;
+        eprintln!("trace: {} events -> {path}", run.events.len());
+    }
+    if let Some(path) = &opts.metrics_out {
+        let mut doc = run.metrics.to_json().pretty();
+        doc.push('\n');
+        std::fs::write(path, doc).map_err(|e| format!("cannot write metrics {path:?}: {e}"))?;
+    }
+    if !run.metrics.is_empty() {
+        run.metrics.table().print();
+    }
+    Ok(())
+}
+
+fn dispatch(args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
-        Some("experiment") => cmd_experiment(&args[1..]),
-        Some("simulate") => cmd_simulate(&args[1..]),
-        Some("trace") => cmd_trace(&args[1..]),
-        Some("suspend") => cmd_suspend(&args[1..]),
-        Some("list") => {
+        Some("experiment") => checked(
+            &args[1..],
+            1,
+            &[("--scale", true), ("--jobs", true)],
+            cmd_experiment,
+        ),
+        Some("simulate") => checked(
+            &args[1..],
+            0,
+            &[
+                ("--servers", true),
+                ("--days", true),
+                ("--policy", true),
+                ("--machine", true),
+                ("--trace", true),
+                ("--pue", true),
+                ("--jobs", true),
+                ("--modified", false),
+                ("--timeline", false),
+            ],
+            cmd_simulate,
+        ),
+        Some("trace") => checked(
+            &args[1..],
+            0,
+            &[
+                ("--servers", true),
+                ("--days", true),
+                ("--seed", true),
+                ("--out", true),
+            ],
+            cmd_trace,
+        ),
+        Some("validate-trace") => checked(&args[1..], 1, &[], cmd_validate_trace),
+        Some("suspend") => checked(&args[1..], 1, &[], cmd_suspend),
+        Some("list") => checked(&args[1..], 0, &[], |_| {
             println!("experiments: {}", EXPERIMENTS.join(" "));
             ExitCode::SUCCESS
-        }
+        }),
         _ => usage(),
     }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, obs) = match split_obs_flags(raw) {
+        Ok(split) => split,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    if obs.level == ObsLevel::Off {
+        return dispatch(&args);
+    }
+    let (code, run) = observe(obs.level, || dispatch(&args));
+    if let Err(e) = export_obs(&obs, &run) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    code
 }

@@ -8,8 +8,9 @@ use zombieland_energy::rack::{figure4, RackDemand, RackEnergy};
 use zombieland_energy::MachineProfile;
 use zombieland_hypervisor::engine::{self, Backing, EngineConfig, RunStats};
 use zombieland_hypervisor::{Mode, Policy, SwapBackend};
+use zombieland_obs::run_indexed_obs;
 use zombieland_simcore::report::{fmt_penalty, Table};
-use zombieland_simcore::{available_jobs, derive_seed, run_indexed, Bytes, SimDuration};
+use zombieland_simcore::{available_jobs, derive_seed, Bytes, SimDuration};
 use zombieland_simulator::{simulate, PolicyKind, SimConfig, SimReport};
 use zombieland_trace::{ClusterTrace, TraceConfig};
 use zombieland_workloads::by_name;
@@ -194,7 +195,7 @@ pub fn figure8(policy: Policy, scale: f64) -> Vec<Fig8Point> {
 pub fn figure8_jobs(policy: Policy, scale: f64, jobs: usize) -> Vec<Fig8Point> {
     let geo = VmGeometry::at_scale(scale);
     const PCTS: [u32; 9] = [20, 30, 40, 50, 60, 70, 80, 90, 100];
-    run_indexed(jobs, PCTS.len(), |i| {
+    run_indexed_obs(jobs, PCTS.len(), |i| {
         let pct = PCTS[i];
         let local = geo.reserved.mul_f64(pct as f64 / 100.0);
         let stats = run_ram_ext("micro-bench", geo, local, policy);
@@ -278,7 +279,7 @@ pub fn table1(scale: f64) -> Vec<PenaltyRow> {
 pub fn table1_jobs(scale: f64, jobs: usize) -> Vec<PenaltyRow> {
     let geo = VmGeometry::at_scale(scale);
     let runs = runs_from_env();
-    let cells = run_indexed(jobs, WORKLOADS.len() * LOCAL_PCTS.len(), |i| {
+    let cells = run_indexed_obs(jobs, WORKLOADS.len() * LOCAL_PCTS.len(), |i| {
         let name = WORKLOADS[i / LOCAL_PCTS.len()];
         let pct = LOCAL_PCTS[i % LOCAL_PCTS.len()];
         let local = geo.reserved.mul_f64(pct as f64 / 100.0);
@@ -362,7 +363,7 @@ pub fn table2_jobs(workload: &'static str, scale: f64, jobs: usize) -> Vec<Table
     let geo = VmGeometry::at_scale(scale);
     // Index 0 is the all-local baseline; the rest are local-percentage
     // major, technology minor (RAM Ext, ESD, local SSD, local HDD).
-    let stats = run_indexed(jobs, 1 + LOCAL_PCTS.len() * 4, |i| {
+    let stats = run_indexed_obs(jobs, 1 + LOCAL_PCTS.len() * 4, |i| {
         if i == 0 {
             return baseline(workload, geo);
         }
@@ -523,7 +524,7 @@ pub fn figure10_reports(
     profile: &MachineProfile,
     jobs: usize,
 ) -> Vec<SimReport> {
-    run_indexed(jobs, FIG10_POLICIES.len(), |i| {
+    run_indexed_obs(jobs, FIG10_POLICIES.len(), |i| {
         simulate(trace, &SimConfig::new(FIG10_POLICIES[i], profile.clone()))
     })
 }
@@ -565,7 +566,7 @@ pub fn figure10_grid(
 ) -> Vec<Fig10Group> {
     let profiles = [MachineProfile::hp(), MachineProfile::dell()];
     let n = FIG10_POLICIES.len();
-    let reports = run_indexed(jobs, profiles.len() * 2 * n, |i| {
+    let reports = run_indexed_obs(jobs, profiles.len() * 2 * n, |i| {
         let profile = &profiles[i / (2 * n)];
         let on_modified = (i / n) % 2 == 1;
         let t = if on_modified { modified } else { trace };

@@ -134,7 +134,7 @@ impl Neat {
         vm: &VmView,
         remote_pool: f64,
     ) -> Option<u32> {
-        hosts
+        let picked = hosts
             .iter()
             .filter(|h| h.id != source && self.fits(h, vm, remote_pool))
             .max_by(|a, b| {
@@ -142,7 +142,12 @@ impl Neat {
                     .partial_cmp(&(b.cpu_booked, a.id))
                     .expect("no NaN")
             })
-            .map(|h| h.id)
+            .map(|h| h.id);
+        match picked {
+            Some(_) => zombieland_obs::sink::counter_add("cloud.consolidation_targets", 1),
+            None => zombieland_obs::sink::counter_add("cloud.consolidation_misses", 1),
+        }
+        picked
     }
 
     /// When no active host fits, which sleeping/zombie host to wake.

@@ -12,7 +12,7 @@
 //! therefore scales with the WSS and beats vanilla everywhere, most
 //! dramatically at small working sets.
 
-use zombieland_simcore::{Bytes, SimDuration};
+use zombieland_simcore::{Bytes, SimDuration, SimTime};
 
 /// Migration-network throughput. The paper's management network moves
 /// pre-copy traffic at sub-GB/s effective rates (TCP, page-diff
@@ -46,6 +46,19 @@ fn wire_time(bytes: Bytes) -> SimDuration {
     SimDuration::from_secs_f64(bytes.get() as f64 / MIGRATION_BANDWIDTH_BPS)
 }
 
+/// Records one migration decision on the current observability
+/// collector, stamped at its own completion time.
+fn observe_migration(protocol: &'static str, stats: &MigrationStats) {
+    zombieland_obs::sink::counter_add("cloud.migrations", 1);
+    zombieland_obs::sink::hist_record("cloud.migration_ns", stats.total.as_nanos());
+    zombieland_obs::sink::hist_record("cloud.downtime_ns", stats.downtime.as_nanos());
+    zombieland_obs::trace_event!(SimTime::ZERO + stats.total, "cloud", "migration",
+        "protocol" => protocol,
+        "total_ns" => stats.total.as_nanos(),
+        "downtime_ns" => stats.downtime.as_nanos(),
+        "bytes" => stats.bytes.get());
+}
+
 /// Vanilla pre-copy of a VM with `vm_mem` reserved memory and `wss`
 /// working set.
 pub fn vanilla_precopy(vm_mem: Bytes, wss: Bytes) -> MigrationStats {
@@ -55,11 +68,13 @@ pub fn vanilla_precopy(vm_mem: Bytes, wss: Bytes) -> MigrationStats {
     let dirty = wss.mul_f64(DIRTY_PER_ROUND);
     let bytes = vm_mem + dirty * PRECOPY_ROUNDS as u64;
     let downtime = wire_time(dirty) + HANDOFF;
-    MigrationStats {
+    let stats = MigrationStats {
         total: wire_time(bytes) + HANDOFF,
         downtime,
         bytes,
-    }
+    };
+    observe_migration("vanilla_precopy", &stats);
+    stats
 }
 
 /// ZombieStack migration of a VM whose local (hot) memory part is
@@ -67,11 +82,13 @@ pub fn vanilla_precopy(vm_mem: Bytes, wss: Bytes) -> MigrationStats {
 pub fn zombiestack_migration(local_part: Bytes) -> MigrationStats {
     // Stop, copy the hot pages, update remote-buffer ownership, resume.
     let copy = wire_time(local_part);
-    MigrationStats {
+    let stats = MigrationStats {
         total: copy + HANDOFF,
         downtime: copy + HANDOFF,
         bytes: local_part,
-    }
+    };
+    observe_migration("zombiestack", &stats);
+    stats
 }
 
 /// Oasis-style *partial* migration [55, 58]: only the working set crosses
@@ -87,11 +104,13 @@ pub fn oasis_partial_migration(vm_mem: Bytes, wss: Bytes) -> MigrationStats {
     let copy = wire_time(hot);
     // The cold transfer to the memory server streams in the background;
     // only the hot copy and the handoff gate the VM.
-    MigrationStats {
+    let stats = MigrationStats {
         total: copy + HANDOFF,
         downtime: copy + HANDOFF,
         bytes: vm_mem, // Everything crosses the network eventually.
-    }
+    };
+    observe_migration("oasis_partial", &stats);
+    stats
 }
 
 /// One Fig. 9 data point: both protocols on a VM of `vm_mem`, with the

@@ -128,7 +128,7 @@ impl NovaScheduler {
     /// stacking strategy — the *most* loaded host that still fits, so
     /// load concentrates and empty servers emerge.
     pub fn schedule(&self, hosts: &[HostView], vm: &VmView, remote_pool: f64) -> Option<Placement> {
-        hosts
+        let picked = hosts
             .iter()
             .filter_map(|h| self.filter(h, vm, remote_pool).map(|p| (h, p)))
             .max_by(|(a, _), (b, _)| {
@@ -138,7 +138,12 @@ impl NovaScheduler {
                     .partial_cmp(&(b.cpu_booked, a.id))
                     .expect("no NaN load")
             })
-            .map(|(_, p)| p)
+            .map(|(_, p)| p);
+        match picked {
+            Some(_) => zombieland_obs::sink::counter_add("cloud.placements", 1),
+            None => zombieland_obs::sink::counter_add("cloud.placement_rejects", 1),
+        }
+        picked
     }
 }
 

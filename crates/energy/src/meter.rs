@@ -43,6 +43,11 @@ impl EnergyMeter {
         self.total += self.power.over(elapsed);
         self.since = self.since.max(at);
         self.power = power;
+        // Observability carries watts as integer milliwatts so the JSONL
+        // stays float-free (and therefore byte-stable).
+        let mw = (power.get() * 1000.0).round() as u64;
+        zombieland_obs::sink::gauge_set("energy.power_mw", mw);
+        zombieland_obs::trace_event!(at, "energy", "power", "milliwatts" => mw);
     }
 
     /// Current power level.

@@ -291,6 +291,26 @@ pub fn run_ops(
         engine.wss.end_round(&engine.gpt);
     }
     engine.stats.wss_estimate = engine.wss.estimate().count();
+    if zombieland_obs::sink::metrics_enabled() {
+        // Swap-in = remote fault (page promoted back), swap-out =
+        // demotion; counters roll up once per run so the hot loop pays
+        // nothing beyond the per-fault histogram sample.
+        let s = &engine.stats;
+        zombieland_obs::sink::counter_add("hv.ops", s.ops);
+        zombieland_obs::sink::counter_add("hv.minor_faults", s.minor_faults);
+        zombieland_obs::sink::counter_add("hv.remote_faults", s.remote_faults);
+        zombieland_obs::sink::counter_add("hv.demotions", s.demotions);
+        zombieland_obs::sink::counter_add("hv.clean_demotions", s.clean_demotions);
+        zombieland_obs::sink::counter_add("hv.prefetched", s.prefetched);
+        zombieland_obs::sink::gauge_set("hv.wss_pages", s.wss_estimate);
+        zombieland_obs::trace_event!(
+            zombieland_simcore::SimTime::ZERO + s.exec_time,
+            "hypervisor", "run_done",
+            "ops" => s.ops,
+            "remote_faults" => s.remote_faults,
+            "demotions" => s.demotions,
+            "wss_pages" => s.wss_estimate);
+    }
     // Teardown: release every remote page the VM still holds.
     if let Backing::Rack { rack, user, .. } = engine.backing {
         for (_, handle) in engine.handles {
@@ -334,6 +354,7 @@ impl Engine<'_> {
                 self.stats.io_time += io;
                 self.stats.exec_time += io;
                 self.stats.fault_latency.record(FAULT_TRAP + io);
+                zombieland_obs::sink::hist_record("hv.fault_ns", (FAULT_TRAP + io).as_nanos());
                 self.gpt.promote(gfn, frame).expect("was remote");
                 self.gpt.touch(gfn, write).expect("just promoted");
                 if write {
@@ -367,6 +388,11 @@ impl Engine<'_> {
             // accessed bits, then re-arms for the next interval.
             if self.wss_round_open {
                 self.wss.end_round(&self.gpt);
+                let est = self.wss.estimate().count();
+                zombieland_obs::sink::gauge_set("hv.wss_pages", est);
+                zombieland_obs::trace_event!(
+                    zombieland_simcore::SimTime::ZERO + self.stats.exec_time,
+                    "hypervisor", "wss_round", "estimate_pages" => est);
             }
             self.wss.begin_round(&mut self.gpt);
             self.wss_round_open = true;

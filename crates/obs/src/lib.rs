@@ -1,0 +1,236 @@
+//! Deterministic observability for the Zombieland simulation stack.
+//!
+//! Every crate in the workspace simulates on a virtual nanosecond clock
+//! ([`zombieland_simcore::SimTime`]); this crate makes that simulation
+//! *explainable* without making it *nondeterministic*. Three rules govern
+//! everything here:
+//!
+//! 1. **Sim-time only.** Events are stamped with the emitting component's
+//!    virtual clock, never the wall clock, so a trace is a pure function
+//!    of the run's inputs and reproduces bit-for-bit.
+//! 2. **Per-run capture.** A collector is installed around one simulation
+//!    run on the thread that executes it ([`observe`]); the parallel
+//!    runner's workers each capture their own run, and the caller merges
+//!    the per-run results *by grid index*, erasing scheduling order.
+//! 3. **Exact merge arithmetic.** Metrics are u64 counters, gauges and
+//!    log₂-bucket histograms; [`MetricRegistry::merge`] is commutative and
+//!    associative, so the merged registry is identical at any job count.
+//!
+//! When no collector is installed — or the installed level says off —
+//! [`trace_event!`] drops events *before* formatting a single field:
+//! instrumented hot paths pay one thread-local byte read.
+//!
+//! Export goes through the workspace's hand-rolled
+//! [`zombieland_trace::json`] module: traces as JSONL (one compact object
+//! per event), metrics as a single pretty JSON document plus a
+//! human-readable [`zombieland_simcore::report::Table`].
+
+pub mod metrics;
+pub mod runner;
+pub mod sink;
+
+pub use metrics::MetricRegistry;
+pub use runner::run_indexed_obs;
+pub use sink::{observe, ObsRun};
+
+use zombieland_simcore::SimTime;
+use zombieland_trace::json::Value;
+
+/// How much a run records.
+///
+/// The default is [`ObsLevel::Off`], under which instrumentation is a
+/// no-op and simulation output is byte-identical to an uninstrumented
+/// build.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObsLevel {
+    /// Record nothing; instrumentation points drop out before argument
+    /// evaluation.
+    #[default]
+    Off,
+    /// Record metrics (counters, gauges, histograms) but no trace events.
+    Summary,
+    /// Record metrics and the full sim-time-stamped event trace.
+    Full,
+}
+
+impl ObsLevel {
+    /// Parses the CLI spelling (`off`, `summary`, `full`).
+    pub fn parse(s: &str) -> Option<ObsLevel> {
+        match s {
+            "off" => Some(ObsLevel::Off),
+            "summary" => Some(ObsLevel::Summary),
+            "full" => Some(ObsLevel::Full),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsLevel::Off => "off",
+            ObsLevel::Summary => "summary",
+            ObsLevel::Full => "full",
+        }
+    }
+}
+
+/// One field value on a trace event.
+///
+/// Only exactly-representable payloads: u64, strings and booleans. Float
+/// measurements are carried as scaled integers by the instrumentation
+/// sites (e.g. milliwatts), keeping the JSONL byte stream independent of
+/// float-formatting quirks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FieldValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl FieldValue {
+    fn to_json(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => Value::UInt(*v),
+            FieldValue::Str(s) => Value::Str(s.clone()),
+            FieldValue::Bool(b) => Value::Bool(*b),
+        }
+    }
+}
+
+/// One structured, sim-time-stamped trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// When the event happened on the emitting component's virtual clock.
+    pub at: SimTime,
+    /// Grid index of the run that produced the event (stamped by
+    /// [`ObsRun::tag_run`]; 0 for single-run captures).
+    pub run: u64,
+    /// The emitting subsystem (`"acpi"`, `"hypervisor"`, ...).
+    pub target: &'static str,
+    /// What happened (`"suspend"`, `"remote_fault"`, ...).
+    pub kind: &'static str,
+    /// Event payload, in emission order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// Renders the event as one compact JSON object (a JSONL line,
+    /// without the trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut obj = vec![
+            ("at".to_string(), Value::UInt(self.at.as_nanos())),
+            ("run".to_string(), Value::UInt(self.run)),
+            ("target".to_string(), Value::Str(self.target.to_string())),
+            ("kind".to_string(), Value::Str(self.kind.to_string())),
+        ];
+        let fields = self
+            .fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_json()))
+            .collect();
+        obj.push(("fields".to_string(), Value::Object(fields)));
+        Value::Object(obj).compact()
+    }
+}
+
+/// Emits a trace event if (and only if) the current thread has a
+/// [`ObsLevel::Full`] collector installed. Field expressions are not
+/// evaluated otherwise.
+///
+/// ```
+/// use zombieland_obs::{observe, ObsLevel};
+/// use zombieland_simcore::SimTime;
+///
+/// let ((), run) = observe(ObsLevel::Full, || {
+///     zombieland_obs::trace_event!(SimTime::from_nanos(7), "demo", "ping",
+///         "answer" => 42u64, "who" => "doctest");
+/// });
+/// assert_eq!(run.events.len(), 1);
+/// assert_eq!(run.events[0].kind, "ping");
+/// ```
+#[macro_export]
+macro_rules! trace_event {
+    ($at:expr, $target:expr, $kind:expr $(, $k:literal => $v:expr)* $(,)?) => {
+        if $crate::sink::trace_enabled() {
+            $crate::sink::emit($crate::TraceEvent {
+                at: $at,
+                run: 0,
+                target: $target,
+                kind: $kind,
+                fields: ::std::vec![$(($k, $crate::FieldValue::from($v))),*],
+            });
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parses_round_trip() {
+        for level in [ObsLevel::Off, ObsLevel::Summary, ObsLevel::Full] {
+            assert_eq!(ObsLevel::parse(level.name()), Some(level));
+        }
+        assert_eq!(ObsLevel::parse("verbose"), None);
+    }
+
+    #[test]
+    fn event_jsonl_is_compact_and_parseable() {
+        let e = TraceEvent {
+            at: SimTime::from_nanos(1_234),
+            run: 3,
+            target: "acpi",
+            kind: "suspend",
+            fields: vec![("state", FieldValue::from("Sz")), ("ok", true.into())],
+        };
+        let line = e.to_jsonl();
+        assert!(!line.contains('\n'));
+        let back = zombieland_trace::json::parse(&line).unwrap();
+        assert_eq!(back.get("at").and_then(|v| v.as_u64()), Some(1_234));
+        assert_eq!(back.get("run").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(
+            back.get("fields").and_then(|f| f.get("state")),
+            Some(&Value::Str("Sz".into()))
+        );
+    }
+}

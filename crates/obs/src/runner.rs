@@ -1,0 +1,100 @@
+//! Observable deterministic fan-out.
+//!
+//! [`run_indexed_obs`] is the observability-aware twin of
+//! [`zombieland_simcore::run_indexed`]. The plain runner fans
+//! independent runs out across worker threads; since collectors are
+//! thread-local ([`crate::sink`]), anything those workers emit would be
+//! lost. This wrapper closes the gap without giving up a single bit of
+//! determinism:
+//!
+//! 1. the *calling* thread's level is read once, before the fan-out;
+//! 2. each grid item runs under its own fresh collector at that level,
+//!    on whichever worker picks it up;
+//! 3. each capture is tagged with its grid index
+//!    ([`crate::ObsRun::tag_run`]) and merged back into the caller's
+//!    collector **in index order**, erasing scheduling order exactly the
+//!    way index-ordered result collection does for the results
+//!    themselves.
+//!
+//! At [`crate::ObsLevel::Off`] the wrapper adds nothing: it delegates to
+//! the plain runner and the closure runs collector-free.
+
+use crate::{sink, ObsLevel};
+
+/// Runs `count` independent jobs on up to `jobs` worker threads exactly
+/// like [`zombieland_simcore::run_indexed`], additionally capturing each
+/// job's trace events and metrics and merging them into the calling
+/// thread's collector (if one is installed) in grid-index order.
+///
+/// The trace and metric output is byte-identical at any `jobs` value —
+/// the property `tests/parallel_determinism.rs` asserts on the Fig. 10
+/// grid.
+pub fn run_indexed_obs<T, F>(jobs: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let level = sink::level();
+    if level == ObsLevel::Off {
+        return zombieland_simcore::run_indexed(jobs, count, f);
+    }
+    let pairs = zombieland_simcore::run_indexed(jobs, count, |i| {
+        let (value, mut run) = sink::observe(level, || f(i));
+        run.tag_run(i as u64);
+        (value, run)
+    });
+    let mut out = Vec::with_capacity(count);
+    for (value, run) in pairs {
+        sink::absorb_current(run);
+        out.push(value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{counter_add, observe};
+    use zombieland_simcore::SimTime;
+
+    fn grid_item(i: usize) -> u64 {
+        counter_add("grid.items", 1);
+        crate::trace_event!(SimTime::from_nanos(i as u64), "test", "item", "i" => i);
+        i as u64 * 10
+    }
+
+    #[test]
+    fn captures_worker_output_in_index_order() {
+        let capture = |jobs| observe(ObsLevel::Full, || run_indexed_obs(jobs, 8, grid_item));
+        let (serial_out, serial) = capture(1);
+        assert_eq!(serial_out, (0..8).map(|i| i * 10).collect::<Vec<u64>>());
+        assert_eq!(serial.metrics.counter("grid.items"), 8);
+        assert_eq!(serial.events.len(), 8);
+        for jobs in [2, 8] {
+            let (out, run) = capture(jobs);
+            assert_eq!(out, serial_out);
+            assert_eq!(run.events_jsonl(), serial.events_jsonl());
+            assert_eq!(
+                run.metrics.to_json().pretty(),
+                serial.metrics.to_json().pretty()
+            );
+        }
+        // Events carry their grid index regardless of which worker ran
+        // them.
+        let (_, run) = capture(4);
+        let runs: Vec<u64> = run.events.iter().map(|e| e.run).collect();
+        assert_eq!(runs, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn off_level_adds_no_capture() {
+        // No collector installed: delegates to the plain runner.
+        let out = run_indexed_obs(4, 4, grid_item);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+        let ((), run) = observe(ObsLevel::Off, || {
+            run_indexed_obs(4, 4, grid_item);
+        });
+        assert!(run.events.is_empty());
+        assert!(run.metrics.is_empty());
+    }
+}

@@ -1,0 +1,289 @@
+//! The per-thread trace sink.
+//!
+//! Instrumentation points across the workspace call the free functions
+//! here ([`counter_add`], [`gauge_set`], [`hist_record`], and
+//! [`emit`] via the [`crate::trace_event!`] macro). They are no-ops
+//! unless the current thread is inside an [`observe`] scope — one
+//! thread-local byte read decides, so hot paths cost nothing when
+//! observability is off.
+//!
+//! Scoping per *thread* rather than per *process* is what keeps the
+//! parallel runner deterministic: each worker wraps each run it executes
+//! in its own `observe`, events never interleave across runs, and the
+//! caller merges the returned [`ObsRun`]s by grid index.
+
+use std::cell::{Cell, RefCell};
+
+use crate::metrics::MetricRegistry;
+use crate::{ObsLevel, TraceEvent};
+
+thread_local! {
+    /// Fast-path switch: 0 = off/absent, 1 = summary, 2 = full.
+    static LEVEL: Cell<u8> = const { Cell::new(0) };
+    /// The installed collector, if any.
+    static COLLECTOR: RefCell<Option<ObsRun>> = const { RefCell::new(None) };
+}
+
+/// What one [`observe`] scope captured.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ObsRun {
+    /// The level the run was captured at.
+    pub level: ObsLevel,
+    /// Trace events in emission order (empty below [`ObsLevel::Full`]).
+    pub events: Vec<TraceEvent>,
+    /// The run's metrics (empty at [`ObsLevel::Off`]).
+    pub metrics: MetricRegistry,
+}
+
+impl ObsRun {
+    /// An empty capture at `level`.
+    pub fn new(level: ObsLevel) -> Self {
+        ObsRun {
+            level,
+            events: Vec::new(),
+            metrics: MetricRegistry::new(),
+        }
+    }
+
+    /// Stamps every event with the grid index of the run that produced
+    /// it, so merged traces stay attributable.
+    pub fn tag_run(&mut self, run: u64) {
+        for e in &mut self.events {
+            e.run = run;
+        }
+    }
+
+    /// Appends another capture: events concatenate (call in grid-index
+    /// order for deterministic traces), metrics merge exactly (order
+    /// never matters for them).
+    pub fn absorb(&mut self, other: ObsRun) {
+        self.level = self.level.max(other.level);
+        self.events.extend(other.events);
+        self.metrics.merge(&other.metrics);
+    }
+
+    /// Renders all events as JSONL: one compact JSON object per line,
+    /// trailing newline after each (empty string when no events).
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs `f` with a collector installed at `level` on this thread and
+/// returns its result plus everything captured.
+///
+/// At [`ObsLevel::Off`] no collector is installed at all — the closure
+/// runs exactly as it would in an uninstrumented build and the returned
+/// [`ObsRun`] is empty. Scopes nest: an inner `observe` shadows the
+/// outer one for its extent, then restores it.
+pub fn observe<T>(level: ObsLevel, f: impl FnOnce() -> T) -> (T, ObsRun) {
+    if level == ObsLevel::Off {
+        return (f(), ObsRun::new(ObsLevel::Off));
+    }
+    let previous = COLLECTOR.with(|c| c.borrow_mut().replace(ObsRun::new(level)));
+    let previous_level = LEVEL.with(|l| {
+        let p = l.get();
+        l.set(match level {
+            ObsLevel::Off => 0,
+            ObsLevel::Summary => 1,
+            ObsLevel::Full => 2,
+        });
+        p
+    });
+    // No catch_unwind: a panicking simulation aborts the experiment
+    // anyway (the runner propagates it), so collector state is moot.
+    let result = f();
+    LEVEL.with(|l| l.set(previous_level));
+    let captured = COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        let captured = slot.take().expect("observe installed a collector");
+        *slot = previous;
+        captured
+    });
+    (result, captured)
+}
+
+/// The level of the collector installed on the current thread
+/// ([`ObsLevel::Off`] outside any [`observe`] scope).
+pub fn level() -> ObsLevel {
+    match LEVEL.with(|l| l.get()) {
+        2 => ObsLevel::Full,
+        1 => ObsLevel::Summary,
+        _ => ObsLevel::Off,
+    }
+}
+
+/// Merges a finished capture into the collector installed on the
+/// current thread (no-op without one). This is how the parallel runner
+/// hands worker-thread captures back to the caller's scope.
+pub fn absorb_current(run: ObsRun) {
+    if !metrics_enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(current) = c.borrow_mut().as_mut() {
+            current.absorb(run);
+        }
+    });
+}
+
+/// Whether the current thread records trace events (level = full).
+#[inline]
+pub fn trace_enabled() -> bool {
+    LEVEL.with(|l| l.get()) >= 2
+}
+
+/// Whether the current thread records metrics (level ≥ summary).
+#[inline]
+pub fn metrics_enabled() -> bool {
+    LEVEL.with(|l| l.get()) >= 1
+}
+
+/// Records a fully built trace event. Prefer [`crate::trace_event!`],
+/// which skips field construction when tracing is off.
+pub fn emit(event: TraceEvent) {
+    if !trace_enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(run) = c.borrow_mut().as_mut() {
+            run.events.push(event);
+        }
+    });
+}
+
+/// Adds `v` to the named counter of the current collector, if any.
+#[inline]
+pub fn counter_add(name: &'static str, v: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(run) = c.borrow_mut().as_mut() {
+            run.metrics.counter_add(name, v);
+        }
+    });
+}
+
+/// Records a gauge sample on the current collector, if any.
+#[inline]
+pub fn gauge_set(name: &'static str, v: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(run) = c.borrow_mut().as_mut() {
+            run.metrics.gauge_set(name, v);
+        }
+    });
+}
+
+/// Records a histogram sample on the current collector, if any.
+#[inline]
+pub fn hist_record(name: &'static str, v: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(run) = c.borrow_mut().as_mut() {
+            run.metrics.hist_record(name, v);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zombieland_simcore::SimTime;
+
+    fn instrumented_work() {
+        counter_add("work.ops", 2);
+        gauge_set("work.depth", 5);
+        hist_record("work.lat", 900);
+        crate::trace_event!(SimTime::from_nanos(10), "test", "tick", "n" => 1u64);
+    }
+
+    #[test]
+    fn off_captures_nothing() {
+        let ((), run) = observe(ObsLevel::Off, instrumented_work);
+        assert!(run.events.is_empty());
+        assert!(run.metrics.is_empty());
+        // And outside any scope, calls are harmless no-ops.
+        instrumented_work();
+    }
+
+    #[test]
+    fn summary_captures_metrics_only() {
+        let ((), run) = observe(ObsLevel::Summary, instrumented_work);
+        assert!(run.events.is_empty());
+        assert_eq!(run.metrics.counter("work.ops"), 2);
+    }
+
+    #[test]
+    fn full_captures_everything() {
+        let ((), run) = observe(ObsLevel::Full, instrumented_work);
+        assert_eq!(run.events.len(), 1);
+        assert_eq!(run.metrics.counter("work.ops"), 2);
+        assert_eq!(run.events[0].at, SimTime::from_nanos(10));
+        let jsonl = run.events_jsonl();
+        assert!(jsonl.ends_with('\n'));
+        zombieland_trace::json::parse(jsonl.trim_end()).unwrap();
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let ((), outer) = observe(ObsLevel::Full, || {
+            counter_add("outer", 1);
+            let ((), inner) = observe(ObsLevel::Summary, || {
+                counter_add("inner", 1);
+                assert!(!trace_enabled(), "inner scope is summary");
+            });
+            assert_eq!(inner.metrics.counter("inner"), 1);
+            assert!(trace_enabled(), "outer scope restored");
+            counter_add("outer", 1);
+        });
+        assert_eq!(outer.metrics.counter("outer"), 2);
+        assert_eq!(outer.metrics.counter("inner"), 0, "inner stayed separate");
+    }
+
+    #[test]
+    fn threads_capture_independently() {
+        let handles: Vec<_> = (0u64..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let ((), run) = observe(ObsLevel::Summary, || {
+                        counter_add("thread.ops", i + 1);
+                    });
+                    run.metrics.counter("thread.ops")
+                })
+            })
+            .collect();
+        let got: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn absorb_tags_and_concatenates() {
+        let ((), mut a) = observe(ObsLevel::Full, || {
+            crate::trace_event!(SimTime::ZERO, "t", "a");
+        });
+        let ((), mut b) = observe(ObsLevel::Full, || {
+            crate::trace_event!(SimTime::ZERO, "t", "b");
+            counter_add("c", 3);
+        });
+        a.tag_run(0);
+        b.tag_run(1);
+        let mut merged = ObsRun::new(ObsLevel::Full);
+        merged.absorb(a);
+        merged.absorb(b);
+        assert_eq!(merged.events.len(), 2);
+        assert_eq!(merged.events[0].run, 0);
+        assert_eq!(merged.events[1].run, 1);
+        assert_eq!(merged.metrics.counter("c"), 3);
+    }
+}

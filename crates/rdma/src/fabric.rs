@@ -356,6 +356,14 @@ impl Fabric {
         Ok(target)
     }
 
+    /// Records one completed verb on the current observability
+    /// collector (no-op when none is installed).
+    fn observe_verb(kind: &'static str, t: SimDuration) -> SimDuration {
+        zombieland_obs::sink::counter_add(kind, 1);
+        zombieland_obs::sink::hist_record("rdma.fabric_ns", t.as_nanos());
+        t
+    }
+
     fn account(&mut self, initiator: NodeId, target: NodeId, len: Bytes, read: bool) {
         let t = &mut self.nodes[target.get() as usize].stats;
         if read {
@@ -382,7 +390,10 @@ impl Fabric {
         let target = self.checked_target(initiator, key, offset, len, false)?;
         self.regions[&key].read_bytes(offset, dst);
         self.account(initiator, target, len, true);
-        Ok(self.profile.read_time(len))
+        Ok(Self::observe_verb(
+            "rdma.reads",
+            self.profile.read_time(len),
+        ))
     }
 
     /// One-sided READ that only models timing (no data movement). Used by
@@ -396,7 +407,10 @@ impl Fabric {
     ) -> Result<SimDuration, FabricError> {
         let target = self.checked_target(initiator, key, offset, len, false)?;
         self.account(initiator, target, len, true);
-        Ok(self.profile.read_time(len))
+        Ok(Self::observe_verb(
+            "rdma.reads",
+            self.profile.read_time(len),
+        ))
     }
 
     /// A batch of one-sided READs posted back-to-back on one queue pair:
@@ -420,7 +434,11 @@ impl Fabric {
         if reads.is_empty() {
             return Ok(SimDuration::ZERO);
         }
-        Ok(self.profile.read_time(payload))
+        zombieland_obs::sink::counter_add("rdma.reads", reads.len() as u64);
+        Ok(Self::observe_verb(
+            "rdma.read_batches",
+            self.profile.read_time(payload),
+        ))
     }
 
     /// One-sided RDMA WRITE: pushes `src` to `(key, offset)`. Works against
@@ -439,7 +457,10 @@ impl Fabric {
             .expect("checked above")
             .write_bytes(offset, src);
         self.account(initiator, target, len, false);
-        Ok(self.profile.write_time(len))
+        Ok(Self::observe_verb(
+            "rdma.writes",
+            self.profile.write_time(len),
+        ))
     }
 
     /// One-sided WRITE that only models timing.
@@ -452,7 +473,10 @@ impl Fabric {
     ) -> Result<SimDuration, FabricError> {
         let target = self.checked_write_target(initiator, key, offset, len)?;
         self.account(initiator, target, len, false);
-        Ok(self.profile.write_time(len))
+        Ok(Self::observe_verb(
+            "rdma.writes",
+            self.profile.write_time(len),
+        ))
     }
 
     /// Two-sided SEND: requires the *target's CPU*. This is what makes a
@@ -475,7 +499,10 @@ impl Fabric {
             });
         }
         self.account(initiator, target, len, false);
-        Ok(self.profile.send_time(len))
+        Ok(Self::observe_verb(
+            "rdma.sends",
+            self.profile.send_time(len),
+        ))
     }
 }
 

@@ -90,6 +90,8 @@ pub struct QueuePair {
     posted: VecDeque<WorkRequest>,
     cq: VecDeque<Completion>,
     errored: bool,
+    /// Cumulative flush time — the QP's virtual clock for observability.
+    clock: SimDuration,
 }
 
 impl QueuePair {
@@ -101,6 +103,7 @@ impl QueuePair {
             posted: VecDeque::new(),
             cq: VecDeque::new(),
             errored: false,
+            clock: SimDuration::ZERO,
         }
     }
 
@@ -132,6 +135,7 @@ impl QueuePair {
     /// flush with [`WcStatus::WrFlushErr`]. Returns the wall time until
     /// the last successful completion.
     pub fn flush(&mut self, fabric: &mut Fabric) -> SimDuration {
+        let batch = self.posted.len();
         let mut elapsed = SimDuration::ZERO;
         let mut base_paid = false;
         while let Some(wr) = self.posted.pop_front() {
@@ -177,6 +181,16 @@ impl QueuePair {
                 }
             }
         }
+        self.clock += elapsed;
+        zombieland_obs::sink::counter_add("rdma.qp_flushes", 1);
+        zombieland_obs::sink::counter_add("rdma.qp_wrs", batch as u64);
+        zombieland_obs::sink::hist_record("rdma.qp_flush_ns", elapsed.as_nanos());
+        zombieland_obs::trace_event!(
+            zombieland_simcore::SimTime::ZERO + self.clock, "rdma", "qp_flush",
+            "node" => self.initiator.get(),
+            "wrs" => batch,
+            "elapsed_ns" => elapsed.as_nanos(),
+            "errored" => self.errored);
         elapsed
     }
 

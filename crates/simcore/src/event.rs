@@ -86,12 +86,54 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.at)
     }
 
+    /// The earliest pending event without removing it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zombieland_simcore::{EventQueue, SimTime};
+    ///
+    /// let mut q = EventQueue::new();
+    /// assert_eq!(q.peek(), None);
+    /// q.schedule(SimTime::from_nanos(20), "late");
+    /// q.schedule(SimTime::from_nanos(10), "early");
+    /// assert_eq!(q.peek(), Some((SimTime::from_nanos(10), &"early")));
+    /// assert_eq!(q.len(), 2, "peek leaves the queue untouched");
+    /// ```
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.peek().map(|e| (e.at, &e.event))
+    }
+
     /// Number of pending events.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zombieland_simcore::{EventQueue, SimTime};
+    ///
+    /// let mut q = EventQueue::new();
+    /// q.schedule(SimTime::ZERO, 1);
+    /// q.schedule(SimTime::ZERO, 2);
+    /// assert_eq!(q.len(), 2);
+    /// q.pop();
+    /// assert_eq!(q.len(), 1);
+    /// ```
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
     /// Whether no events are pending.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zombieland_simcore::{EventQueue, SimTime};
+    ///
+    /// let mut q = EventQueue::new();
+    /// assert!(q.is_empty());
+    /// q.schedule(SimTime::ZERO, ());
+    /// assert!(!q.is_empty());
+    /// ```
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
@@ -136,5 +178,17 @@ mod tests {
         q.schedule(SimTime::from_nanos(7), ());
         assert_eq!(q.len(), 1);
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+    }
+
+    #[test]
+    fn peek_returns_earliest_without_removing() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek(), None);
+        q.schedule(SimTime::from_nanos(9), 'b');
+        q.schedule(SimTime::from_nanos(4), 'a');
+        assert_eq!(q.peek(), Some((SimTime::from_nanos(4), &'a')));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(4), 'a')));
+        assert_eq!(q.peek(), Some((SimTime::from_nanos(9), &'b')));
     }
 }

@@ -69,6 +69,47 @@ impl Summary {
         }
     }
 
+    /// Merges another summary into this one as if its samples had been
+    /// recorded here, using the Chan et al. parallel combination of
+    /// Welford's moments. Lets per-job summaries from the parallel
+    /// runner aggregate without re-streaming samples.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zombieland_simcore::stats::Summary;
+    ///
+    /// let (mut a, mut b) = (Summary::new(), Summary::new());
+    /// for v in [1.0, 2.0] {
+    ///     a.record(v);
+    /// }
+    /// for v in [3.0, 4.0, 5.0] {
+    ///     b.record(v);
+    /// }
+    /// a.merge(&b);
+    /// assert_eq!(a.count(), 5);
+    /// assert!((a.mean() - 3.0).abs() < 1e-12);
+    /// assert_eq!(a.max(), Some(5.0));
+    /// ```
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n_a = self.count as f64;
+        let n_b = other.count as f64;
+        let n = n_a + n_b;
+        let delta = other.mean - self.mean;
+        self.mean += delta * n_b / n;
+        self.m2 += other.m2 + delta * delta * n_a * n_b / n;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Smallest sample (`None` when empty).
     pub fn min(&self) -> Option<f64> {
         (self.count > 0).then_some(self.min)
@@ -208,6 +249,50 @@ mod tests {
         assert_eq!(s.stddev(), 0.0);
         assert_eq!(s.min(), None);
         assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn summary_merge_matches_streaming() {
+        let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0, -1.0, 12.5];
+        let mut whole = Summary::new();
+        for &v in &samples {
+            whole.record(v);
+        }
+        // Split the stream at every point and check the merged moments
+        // agree with the streaming ones.
+        for split in 0..=samples.len() {
+            let (left, right) = samples.split_at(split);
+            let mut a = Summary::new();
+            let mut b = Summary::new();
+            for &v in left {
+                a.record(v);
+            }
+            for &v in right {
+                b.record(v);
+            }
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count());
+            assert!((a.mean() - whole.mean()).abs() < 1e-12, "split {split}");
+            assert!((a.stddev() - whole.stddev()).abs() < 1e-12, "split {split}");
+            assert_eq!(a.min(), whole.min());
+            assert_eq!(a.max(), whole.max());
+        }
+    }
+
+    #[test]
+    fn summary_merge_with_empty() {
+        let mut a = Summary::new();
+        a.merge(&Summary::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.min(), None);
+
+        let mut b = Summary::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), Some(3.0));
+        b.merge(&Summary::new());
+        assert_eq!(b.count(), 1);
     }
 
     #[test]

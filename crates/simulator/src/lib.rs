@@ -282,6 +282,13 @@ pub fn simulate(trace: &ClusterTrace, cfg: &SimConfig) -> SimReport {
                         counts: dc.state_counts,
                         power: dc.total_power,
                     });
+                    let mw = (dc.total_power.get() * 1000.0).round() as u64;
+                    zombieland_obs::sink::gauge_set("sim.power_mw", mw);
+                    zombieland_obs::trace_event!(next.0, "simulator", "sample",
+                        "active" => dc.state_counts[0],
+                        "zombie" => dc.state_counts[1],
+                        "sleeping" => dc.state_counts[2],
+                        "power_mw" => mw);
                     next_sample = next.0 + every;
                 }
             }
@@ -300,6 +307,18 @@ pub fn simulate(trace: &ClusterTrace, cfg: &SimConfig) -> SimReport {
     }
     dc.advance(end);
     dc.report.energy = dc.energy;
+    if zombieland_obs::sink::metrics_enabled() {
+        let r = &dc.report;
+        zombieland_obs::sink::gauge_set("sim.energy_mj", (r.energy.get() * 1000.0).round() as u64);
+        zombieland_obs::sink::counter_add("sim.runs", 1);
+        zombieland_obs::trace_event!(dc.last, "simulator", "run_done",
+            "policy" => r.policy.name(),
+            "energy_mj" => (r.energy.get() * 1000.0).round() as u64,
+            "migrations" => r.migrations,
+            "wakeups" => r.wakeups,
+            "dropped" => r.dropped,
+            "overcommitted" => r.overcommitted);
+    }
     dc.report
 }
 
@@ -507,6 +526,8 @@ impl Dc {
             self.shed_vm_remote(rack, stranded - placed);
         }
         self.report.wakeups += 1;
+        zombieland_obs::sink::counter_add("sim.wakeups", 1);
+        zombieland_obs::trace_event!(self.last, "simulator", "wake", "host" => pick);
         Some(pick)
     }
 
@@ -523,6 +544,10 @@ impl Dc {
             (_, HState::Active) => SimDuration::from_millis(3_800),
             _ => SimDuration::ZERO,
         };
+        if latency > SimDuration::ZERO {
+            zombieland_obs::sink::counter_add("sim.transitions", 1);
+            zombieland_obs::sink::hist_record("sim.transition_ns", latency.as_nanos());
+        }
         self.energy += (self.profile().max_power() * 0.9).over(latency);
     }
 
@@ -583,9 +608,13 @@ impl Dc {
                             })
                         else {
                             self.report.dropped += 1;
+                            zombieland_obs::sink::counter_add("sim.dropped", 1);
+                            zombieland_obs::trace_event!(
+                                self.last, "simulator", "drop", "task" => task);
                             return;
                         };
                         self.report.overcommitted += 1;
+                        zombieland_obs::sink::counter_add("sim.overcommitted", 1);
                         h
                     }
                 }
@@ -616,6 +645,9 @@ impl Dc {
             remote: taken,
             parked: 0.0,
         });
+        zombieland_obs::sink::counter_add("sim.arrivals", 1);
+        zombieland_obs::trace_event!(self.last, "simulator", "arrive",
+            "task" => task, "host" => host);
     }
 
     fn depart(&mut self, trace: &ClusterTrace, task: usize) {
@@ -633,6 +665,9 @@ impl Dc {
         let rack = self.hosts[vm.host].rack;
         self.give_back_remote(rack, vm.remote);
         self.parked_mem = (self.parked_mem - vm.parked).max(0.0);
+        zombieland_obs::sink::counter_add("sim.departures", 1);
+        zombieland_obs::trace_event!(self.last, "simulator", "depart",
+            "task" => task, "host" => vm.host);
     }
 
     /// Debug-build invariant sweep: VM lists, booked sums and pool
@@ -803,6 +838,10 @@ impl Dc {
             });
             self.report.migrations += 1;
         }
+        zombieland_obs::sink::counter_add("sim.migrations", moves.len() as u64);
+        zombieland_obs::trace_event!(self.last, "simulator", "evacuate",
+            "host" => host, "moves" => moves.len(),
+            "to_zombie" => zombie_mode);
         if !zombie_mode {
             self.update_host(host, |h| {
                 debug_assert!(h.vms.is_empty());

@@ -73,6 +73,46 @@ impl Value {
         out
     }
 
+    /// Renders without any whitespace — one line, suitable for JSONL
+    /// streams where each document must stay newline-free.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(v) => out.push_str(&v.to_string()),
+            Value::Float(v) => write_f64(out, *v),
+            Value::Str(s) => write_string(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Value::Null => out.push_str("null"),
@@ -435,6 +475,26 @@ mod tests {
             v.pretty(),
             "{\n  \"servers\": 100,\n  \"tasks\": [\n    1\n  ]\n}"
         );
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let v = Value::Object(vec![
+            ("n".into(), Value::UInt(7)),
+            ("s".into(), Value::Str("a\nb".into())),
+            (
+                "a".into(),
+                Value::Array(vec![Value::Bool(false), Value::Null]),
+            ),
+            ("empty".into(), Value::Object(vec![])),
+        ]);
+        let text = v.compact();
+        assert!(!text.contains('\n'));
+        assert_eq!(
+            text,
+            "{\"n\":7,\"s\":\"a\\nb\",\"a\":[false,null],\"empty\":{}}"
+        );
+        assert_eq!(parse(&text).unwrap(), v);
     }
 
     #[test]

@@ -10,10 +10,17 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> observability smoke (trace export parses and is non-empty)"
+ZL_TRACE=$(mktemp /tmp/zl-trace.XXXXXX.jsonl)
+trap 'rm -f "$ZL_TRACE"' EXIT
+./target/release/zombieland-cli --obs-level full --trace-out "$ZL_TRACE" \
+    experiment fig9 > /dev/null
+./target/release/zombieland-cli validate-trace "$ZL_TRACE"
 
 echo "verify: OK"

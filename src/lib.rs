@@ -22,6 +22,8 @@
 //! - [`cloud`] — ZombieStack: placement, consolidation, migration, plus the
 //!   Neat and Oasis baselines.
 //! - [`simulator`] — datacenter-scale energy simulation.
+//! - [`obs`] — deterministic observability: sim-time trace events, metric
+//!   registries, JSONL export.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture
 //! and the per-experiment index.
@@ -32,6 +34,7 @@ pub use zombieland_core as core;
 pub use zombieland_energy as energy;
 pub use zombieland_hypervisor as hypervisor;
 pub use zombieland_mem as mem;
+pub use zombieland_obs as obs;
 pub use zombieland_rdma as rdma;
 pub use zombieland_simcore as simcore;
 pub use zombieland_simulator as simulator;

@@ -5,6 +5,7 @@
 //! entropy) and results are collected by index, not completion order.
 
 use zombieland::energy::MachineProfile;
+use zombieland::obs::{observe, ObsLevel};
 use zombieland::simcore::{derive_seed, run_batch, run_indexed, SimDuration};
 use zombieland::simulator::{simulate, SimConfig, SimReport};
 use zombieland_bench::experiments::{self, FIG10_POLICIES};
@@ -94,6 +95,57 @@ fn batch_of_mixed_experiments_is_jobs_invariant() {
     for jobs in [2, 8] {
         assert_eq!(serial, run_batch(jobs, build()));
     }
+}
+
+/// The observability contract on the Fig. 10 grid: full tracing changes
+/// no simulation result, and the exported artifacts — the JSONL event
+/// trace and the metrics JSON, exactly as `--trace-out`/`--metrics-out`
+/// write them — are byte-identical across `--jobs 1/2/8`.
+#[test]
+fn obs_artifacts_identical_across_jobs() {
+    let trace = experiments::fig10_trace(40, 1, 7);
+    let modified = trace.modified();
+    let plain = experiments::figure10_grid(&trace, &modified, 2);
+    let capture = |jobs| {
+        observe(ObsLevel::Full, || {
+            experiments::figure10_grid(&trace, &modified, jobs)
+        })
+    };
+    let (serial_groups, serial) = capture(1);
+    assert_eq!(plain, serial_groups, "full tracing changed a result");
+    assert!(!serial.events.is_empty(), "the grid must actually trace");
+    assert!(!serial.metrics.is_empty());
+    let serial_trace = serial.events_jsonl();
+    let serial_metrics = serial.metrics.to_json().pretty();
+    for jobs in [2, 8] {
+        let (groups, run) = capture(jobs);
+        assert_eq!(plain, groups, "jobs={jobs} changed a traced result");
+        assert_eq!(
+            serial_trace,
+            run.events_jsonl(),
+            "jobs={jobs} changed the trace bytes"
+        );
+        assert_eq!(
+            serial_metrics,
+            run.metrics.to_json().pretty(),
+            "jobs={jobs} changed the metrics bytes"
+        );
+    }
+}
+
+/// Summary level records metrics without events, and still changes no
+/// result.
+#[test]
+fn summary_level_is_events_free_and_result_neutral() {
+    let trace = experiments::fig10_trace(30, 1, 5);
+    let hp = MachineProfile::hp();
+    let plain = experiments::figure10_reports(&trace, &hp, 2);
+    let (reports, run) = observe(ObsLevel::Summary, || {
+        experiments::figure10_reports(&trace, &hp, 2)
+    });
+    assert_eq!(plain, reports);
+    assert!(run.events.is_empty(), "summary captures no events");
+    assert!(run.metrics.counter("sim.runs") >= 4, "metrics captured");
 }
 
 /// The seed-derivation function is a wire format: repetition seeds are
