@@ -1,0 +1,97 @@
+//! Micro-benchmarks of the three hot paths the incremental-accounting
+//! overhaul targets: the event queue, the paging fault path, and the
+//! datacenter placement path.
+//!
+//! These pin the perf trajectory at a finer grain than the end-to-end
+//! `zombieland-cli bench` grids — a regression in `pick_host` or the
+//! fault list shows up here even when trace generation dominates the
+//! wall clock of a full figure.
+//!
+//! Run: `cargo bench -p zombieland-bench --bench hotpath`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use zombieland_bench::experiments;
+use zombieland_core::manager::PoolKind;
+use zombieland_core::{Rack, RackConfig};
+use zombieland_energy::MachineProfile;
+use zombieland_hypervisor::engine::{self, Backing, EngineConfig};
+use zombieland_simcore::{Bytes, EventQueue, Pages, SimTime};
+use zombieland_simulator::{simulate, PolicyKind, SimConfig};
+use zombieland_workloads::DataCaching;
+
+/// Schedule + drain cost of the simulator's event spine. The scheduled
+/// pattern mimics a trace burst: mostly-ascending times with ties, so
+/// the sift distance matches what `simulate()` sees, not a sorted or
+/// adversarial feed.
+fn bench_event_queue(c: &mut Criterion) {
+    const N: u64 = 4_096;
+    c.bench_function("event_queue_schedule_pop_4k", |b| {
+        let mut q = EventQueue::with_capacity(N as usize);
+        b.iter(|| {
+            for i in 0..N {
+                let at = SimTime::from_nanos((i / 3) * 1_000);
+                q.schedule(at, i as u32);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc += e as u64;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// The paging fault path end-to-end: page-table walk, victim selection
+/// on the intrusive fault list, and RDMA demote/fetch against a rack
+/// pool. Dominated by the dense handle table and `GfnSet` operations.
+fn bench_fault_path(c: &mut Criterion) {
+    c.bench_function("fault_path_20k_ops_data_caching", |b| {
+        b.iter(|| {
+            let mut rack = Rack::new(RackConfig::default());
+            let ids = rack.server_ids();
+            rack.goto_zombie(ids[1]).unwrap();
+            let user = ids[0];
+            rack.alloc_ext(user, Bytes::mib(64)).unwrap();
+            let mut w = DataCaching::new(Pages::new(16_384), 7);
+            let cfg = EngineConfig::ram_ext(Bytes::mib(80), Bytes::mib(32));
+            black_box(
+                engine::run_ops(
+                    &mut w,
+                    &cfg,
+                    Backing::Rack {
+                        rack: &mut rack,
+                        user,
+                        pool: PoolKind::Ext,
+                    },
+                    20_000,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+/// The placement path: a small ZombieStack fleet simulation, where the
+/// per-event cost is `pick_host`/`wake_one`/`consolidate` over the
+/// ordered host indexes rather than full-fleet scans.
+fn bench_placement_path(c: &mut Criterion) {
+    let trace = experiments::fig10_trace(24, 1, 11);
+    c.bench_function("placement_zombiestack_24_servers_1d", |b| {
+        let cfg = SimConfig::new(PolicyKind::ZombieStack, MachineProfile::hp());
+        b.iter(|| black_box(simulate(&trace, &cfg)))
+    });
+    c.bench_function("placement_oasis_24_servers_1d", |b| {
+        let cfg = SimConfig::new(PolicyKind::Oasis, MachineProfile::hp());
+        b.iter(|| black_box(simulate(&trace, &cfg)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_fault_path,
+    bench_placement_path
+);
+criterion_main!(benches);

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! zombieland experiment <name|all> [--scale S] [--jobs N]
+//! zombieland bench [--quick] [--servers N] [--days D] [--scale S] [--jobs N] [--out FILE] [--baseline-ns NS] [--baseline-label STR]
 //! zombieland simulate [--servers N] [--days D] [--policy P] [--modified] [--machine hp|dell] [--trace FILE] [--timeline] [--pue X] [--jobs N]
 //! zombieland trace [--servers N] [--days D] [--seed S] --out FILE
 //! zombieland validate-trace <FILE>
@@ -27,9 +28,11 @@ use std::process::ExitCode;
 
 use zombieland_bench::experiments;
 use zombieland_energy::MachineProfile;
+use zombieland_hypervisor::Policy;
 use zombieland_obs::{observe, run_indexed_obs, ObsLevel, ObsRun};
 use zombieland_simcore::SimDuration;
 use zombieland_simulator::{simulate, PolicyKind, SimConfig};
+use zombieland_trace::json::Value;
 use zombieland_trace::{ClusterTrace, TraceConfig};
 
 const EXPERIMENTS: [&str; 11] = [
@@ -40,6 +43,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          zombieland experiment <name|all> [--scale S] [--jobs N]\n  \
+         zombieland bench [--quick] [--servers N] [--days D] [--scale S] [--jobs N] \
+         [--out FILE] [--baseline-ns NS] [--baseline-label STR]\n  \
          zombieland simulate [--servers N] [--days D] [--policy neat|oasis|zombiestack|all] \
          [--modified] [--machine hp|dell] [--trace FILE] [--timeline] [--pue X] [--jobs N]\n  \
          zombieland trace [--servers N] [--days D] [--seed S] --out FILE\n  \
@@ -168,6 +173,174 @@ fn cmd_experiment(args: &[String]) -> ExitCode {
     } else {
         eprintln!("unknown experiment {name:?}; try `zombieland list`");
         ExitCode::from(2)
+    }
+}
+
+/// One timed pass over a benchmark grid.
+struct BenchTiming {
+    jobs: usize,
+    wall_ns: u128,
+    runs: usize,
+}
+
+impl BenchTiming {
+    fn runs_per_sec(&self) -> f64 {
+        self.runs as f64 * 1e9 / self.wall_ns as f64
+    }
+
+    fn to_json(&self, jobs1_wall_ns: Option<u128>) -> Value {
+        let mut fields = vec![
+            ("jobs".into(), Value::UInt(self.jobs as u64)),
+            ("wall_ns".into(), Value::UInt(self.wall_ns as u64)),
+            ("runs_per_sec".into(), Value::Float(self.runs_per_sec())),
+        ];
+        if let Some(base) = jobs1_wall_ns.filter(|_| self.jobs > 1) {
+            fields.push((
+                "speedup_vs_jobs1".into(),
+                Value::Float(base as f64 / self.wall_ns as f64),
+            ));
+        }
+        Value::Object(fields)
+    }
+}
+
+/// Times `grid` once per requested worker count (always `jobs = 1`, plus
+/// `jobs` when it differs) and prints a human line per pass.
+fn time_grid(
+    name: &str,
+    runs: usize,
+    jobs: usize,
+    mut grid: impl FnMut(usize),
+) -> Vec<BenchTiming> {
+    let mut counts = vec![1];
+    if jobs > 1 {
+        counts.push(jobs);
+    }
+    counts
+        .into_iter()
+        .map(|j| {
+            let start = std::time::Instant::now();
+            grid(j);
+            let t = BenchTiming {
+                jobs: j,
+                wall_ns: start.elapsed().as_nanos(),
+                runs,
+            };
+            println!(
+                "{name:<6} jobs={:<2} {:>10.3} s  ({} runs, {:.2} runs/s)",
+                t.jobs,
+                t.wall_ns as f64 / 1e9,
+                t.runs,
+                t.runs_per_sec()
+            );
+            t
+        })
+        .collect()
+}
+
+/// `zombieland bench`: times the Fig. 10 and Fig. 8 grids end-to-end and
+/// writes a `BENCH_<stamp>.json` record pinning the perf trajectory.
+///
+/// Simulation outputs are discarded — the subject here is the harness's
+/// wall time, on exactly the code paths `experiment fig10`/`fig8` run.
+/// `--baseline-ns` (with an optional `--baseline-label`) embeds a prior
+/// measurement of the Fig. 10 `jobs = 1` pass so the JSON carries its own
+/// before/after comparison.
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let quick = args.iter().any(|a| a == "--quick");
+    let (def_servers, def_days, def_scale) = if quick { (48, 1, 0.04) } else { (600, 2, 0.25) };
+    let servers = flag_value(args, "--servers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(def_servers);
+    let days = flag_value(args, "--days")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(def_days);
+    let scale = flag_value(args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(def_scale);
+    let jobs = jobs_flag(args);
+    let baseline_ns: Option<u64> = flag_value(args, "--baseline-ns").and_then(|v| v.parse().ok());
+    let baseline_label = flag_value(args, "--baseline-label");
+
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let out = flag_value(args, "--out").unwrap_or_else(|| format!("BENCH_{stamp}.json"));
+
+    println!("bench: fig10 {servers} servers x {days} day(s), fig8 scale {scale}, jobs {jobs}");
+
+    let trace = experiments::fig10_trace(servers, days, 11);
+    let modified = trace.modified();
+    let fig10_runs = 2 * 2 * experiments::FIG10_POLICIES.len();
+    let fig10 = time_grid("fig10", fig10_runs, jobs, |j| {
+        std::hint::black_box(experiments::figure10_grid(&trace, &modified, j));
+    });
+
+    let fig8_policies = [Policy::Fifo, Policy::Clock, Policy::MIXED_DEFAULT];
+    let fig8_runs = fig8_policies.len() * 9;
+    let fig8 = time_grid("fig8", fig8_runs, jobs, |j| {
+        for p in fig8_policies {
+            std::hint::black_box(experiments::figure8_jobs(p, scale, j));
+        }
+    });
+
+    let grid_json = |name: &str, params: Vec<(String, Value)>, timings: &[BenchTiming]| {
+        let jobs1 = timings.first().map(|t| t.wall_ns);
+        let mut fields = vec![("name".into(), Value::Str(name.into()))];
+        fields.extend(params);
+        fields.push(("runs".into(), Value::UInt(timings[0].runs as u64)));
+        fields.push((
+            "timings".into(),
+            Value::Array(timings.iter().map(|t| t.to_json(jobs1)).collect()),
+        ));
+        fields
+    };
+
+    let mut fig10_fields = grid_json(
+        "fig10",
+        vec![
+            ("servers".into(), Value::UInt(servers as u64)),
+            ("days".into(), Value::UInt(days)),
+            ("seed".into(), Value::UInt(11)),
+        ],
+        &fig10,
+    );
+    if let Some(base) = baseline_ns {
+        let speedup = base as f64 / fig10[0].wall_ns as f64;
+        let mut b = vec![("wall_ns".into(), Value::UInt(base))];
+        if let Some(label) = &baseline_label {
+            b.insert(0, ("label".into(), Value::Str(label.clone())));
+        }
+        b.push(("speedup_at_jobs1".into(), Value::Float(speedup)));
+        fig10_fields.push(("baseline".into(), Value::Object(b)));
+        println!("fig10 jobs=1 speedup vs baseline: {speedup:.2}x");
+    }
+    let fig8_fields = grid_json("fig8", vec![("scale".into(), Value::Float(scale))], &fig8);
+
+    let doc = Value::Object(vec![
+        ("schema".into(), Value::Str("zombieland-bench-v1".into())),
+        ("created_unix".into(), Value::UInt(stamp)),
+        ("jobs".into(), Value::UInt(jobs as u64)),
+        (
+            "grids".into(),
+            Value::Array(vec![
+                Value::Object(fig10_fields),
+                Value::Object(fig8_fields),
+            ]),
+        ),
+    ]);
+    let mut body = doc.pretty();
+    body.push('\n');
+    match std::fs::write(&out, body) {
+        Ok(()) => {
+            println!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {out:?}: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -449,6 +622,21 @@ fn dispatch(args: &[String]) -> ExitCode {
             1,
             &[("--scale", true), ("--jobs", true)],
             cmd_experiment,
+        ),
+        Some("bench") => checked(
+            &args[1..],
+            0,
+            &[
+                ("--quick", false),
+                ("--servers", true),
+                ("--days", true),
+                ("--scale", true),
+                ("--jobs", true),
+                ("--out", true),
+                ("--baseline-ns", true),
+                ("--baseline-label", true),
+            ],
+            cmd_bench,
         ),
         Some("simulate") => checked(
             &args[1..],

@@ -312,6 +312,12 @@ pub fn table1_jobs(scale: f64, jobs: usize) -> Vec<PenaltyRow> {
 
 /// Prints Table 1 in the paper's layout.
 pub fn print_table1(rows: &[PenaltyRow]) {
+    print!("{}", render_table1(rows));
+}
+
+/// Renders the Table 1 report exactly as the CLI prints it (see
+/// [`render_figure10`] for why the bytes matter).
+pub fn render_table1(rows: &[PenaltyRow]) -> String {
     let mut t = Table::new(
         "Table 1: RAM Ext performance penalty vs % local memory",
         &[
@@ -329,7 +335,9 @@ pub fn print_table1(rows: &[PenaltyRow]) {
         }
         t.row(&cells);
     }
-    t.print();
+    let mut out = t.render();
+    out.push('\n');
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -590,8 +598,10 @@ pub fn figure10_grid(
         .collect()
 }
 
-/// Prints one Fig. 10 half (original or modified traces).
-pub fn print_figure10(groups: &[Fig10Group]) {
+/// Renders the Fig. 10 report (both halves) exactly as the CLI prints
+/// it — golden-report tests compare these bytes across optimizations.
+pub fn render_figure10(groups: &[Fig10Group]) -> String {
+    let mut out = String::new();
     for modified in [false, true] {
         let subset: Vec<&Fig10Group> = groups.iter().filter(|g| g.modified == modified).collect();
         if subset.is_empty() {
@@ -611,8 +621,15 @@ pub fn print_figure10(groups: &[Fig10Group]) {
                 format!("{:.0}", g.savings[2]),
             ]);
         }
-        t.print();
+        out.push_str(&t.render());
+        out.push('\n');
     }
+    out
+}
+
+/// Prints one Fig. 10 half (original or modified traces).
+pub fn print_figure10(groups: &[Fig10Group]) {
+    print!("{}", render_figure10(groups));
 }
 
 // ---------------------------------------------------------------------

@@ -24,12 +24,10 @@
 //! observation that "applications and operating systems are configured
 //! according to the RAM size they see at start time" becomes measurable.
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use zombieland_core::manager::{PageHandle, PoolKind};
 use zombieland_core::{Rack, RackError, ServerId};
 use zombieland_mem::buffer::{BufferId, RemoteSlot};
-use zombieland_mem::{FrameAllocator, Gfn, GuestPageTable, PageLocation};
+use zombieland_mem::{FrameAllocator, Gfn, GfnSet, GuestPageTable, PageLocation};
 use zombieland_simcore::{Bytes, Cycles, SimDuration};
 use zombieland_workloads::Workload;
 
@@ -227,12 +225,13 @@ struct Engine<'a> {
     frames: FrameAllocator,
     list: FaultList,
     /// RAM-Ext/remote mode: the rack handle of each demoted (or
-    /// clean-copied) guest page.
-    handles: BTreeMap<Gfn, PageHandle>,
+    /// clean-copied) guest page, indexed densely by frame number — every
+    /// fault-path lookup is one array access instead of a tree walk.
+    handles: Vec<Option<PageHandle>>,
     /// Local pages that still have a valid (clean) remote copy.
-    clean_copies: BTreeSet<Gfn>,
+    clean_copies: GfnSet,
     /// Device mode: pages with a valid copy on the device.
-    on_device: BTreeSet<Gfn>,
+    on_device: GfnSet,
     stats: RunStats,
     accesses_since_clear: u64,
     clear_interval: u64,
@@ -265,15 +264,16 @@ pub fn run_ops(
     if local_pages.count() == 0 {
         return Err(EngineError::NoLocalMemory);
     }
+    let table_pages = cfg.reserved.pages().max(workload.wss());
     let mut engine = Engine {
         cfg: *cfg,
         backing,
-        gpt: GuestPageTable::new(cfg.reserved.pages().max(workload.wss())),
+        gpt: GuestPageTable::new(table_pages),
         frames: FrameAllocator::new(effective_local),
-        list: FaultList::new(cfg.seed),
-        handles: BTreeMap::new(),
-        clean_copies: BTreeSet::new(),
-        on_device: BTreeSet::new(),
+        list: FaultList::with_capacity(cfg.seed, table_pages.count()),
+        handles: vec![None; table_pages.count() as usize],
+        clean_copies: GfnSet::new(table_pages.count()),
+        on_device: GfnSet::new(table_pages.count()),
         stats: RunStats::default(),
         wss: WssEstimator::new(512, cfg.seed ^ 0x5735),
         wss_round_open: false,
@@ -313,7 +313,7 @@ pub fn run_ops(
     }
     // Teardown: release every remote page the VM still holds.
     if let Backing::Rack { rack, user, .. } = engine.backing {
-        for (_, handle) in engine.handles {
+        for handle in engine.handles.into_iter().flatten() {
             // Pages may have fallen back to local backup; both are fine.
             let _ = rack.free_page(user, handle);
         }
@@ -330,8 +330,8 @@ impl Engine<'_> {
                 if write && !self.gpt.dirty(gfn).expect("located local") {
                     self.stats.pages_dirtied += 1;
                     // A dirtied page invalidates its clean remote copy.
-                    self.clean_copies.remove(&gfn);
-                    self.on_device.remove(&gfn);
+                    self.clean_copies.remove(gfn);
+                    self.on_device.remove(gfn);
                 }
                 self.gpt.touch(gfn, write).expect("located local");
             }
@@ -359,8 +359,8 @@ impl Engine<'_> {
                 self.gpt.touch(gfn, write).expect("just promoted");
                 if write {
                     self.stats.pages_dirtied += 1;
-                    self.clean_copies.remove(&gfn);
-                    self.on_device.remove(&gfn);
+                    self.clean_copies.remove(gfn);
+                    self.on_device.remove(gfn);
                 } else {
                     // Keep the remote/device copy valid: a future clean
                     // demotion is then free.
@@ -443,7 +443,10 @@ impl Engine<'_> {
         let Backing::Rack { rack, user, .. } = &mut self.backing else {
             unreachable!("checked above");
         };
-        let handles: Vec<_> = picked.iter().map(|g| self.handles[g]).collect();
+        let handles: Vec<_> = picked
+            .iter()
+            .map(|g| self.handles[g.get() as usize].expect("remote pages have handles"))
+            .collect();
         let io = rack.fetch_pages_batch(*user, &handles)?;
         for (g, frame) in picked.into_iter().zip(frames) {
             self.gpt.promote(g, frame).expect("was remote");
@@ -487,7 +490,8 @@ impl Engine<'_> {
     fn victim_slot(&self, victim: Gfn) -> RemoteSlot {
         match &self.backing {
             Backing::Rack { rack, user, .. } => {
-                let handle = self.handles[&victim];
+                let handle =
+                    self.handles[victim.get() as usize].expect("demoted pages have handles");
                 match rack.manager(*user).locate(handle) {
                     Ok(zombieland_core::manager::PageLoc::Remote(slot)) => slot,
                     // Fallback pages live in the local backup; the PTE
@@ -514,14 +518,14 @@ impl Engine<'_> {
         };
         match &mut self.backing {
             Backing::Rack { rack, user, pool } => {
-                match self.handles.get(&victim) {
-                    Some(&h) => {
+                match self.handles[victim.get() as usize] {
+                    Some(h) => {
                         if dirty {
                             Ok(rack.rewrite_page(*user, h)? + guest_io)
                         } else {
                             // Clean copy still valid: free demotion.
                             self.stats.clean_demotions += 1;
-                            self.clean_copies.remove(&victim);
+                            self.clean_copies.remove(victim);
                             Ok(SimDuration::ZERO)
                         }
                     }
@@ -534,32 +538,31 @@ impl Engine<'_> {
                                 Err(RackError::Manager(
                                     zombieland_core::manager::ManagerError::NoRemoteCapacity(_),
                                 )) => {
-                                    let Some(&stale) = self.clean_copies.iter().next() else {
+                                    let Some(stale) = self.clean_copies.min() else {
                                         return Err(EngineError::Rack(RackError::Manager(
                                             zombieland_core::manager::ManagerError::NoRemoteCapacity(
                                                 *pool,
                                             ),
                                         )));
                                     };
-                                    self.clean_copies.remove(&stale);
-                                    let old = self
-                                        .handles
-                                        .remove(&stale)
+                                    self.clean_copies.remove(stale);
+                                    let old = self.handles[stale.get() as usize]
+                                        .take()
                                         .expect("clean copies have handles");
                                     rack.free_page(*user, old)?;
                                 }
                                 Err(e) => return Err(e.into()),
                             }
                         };
-                        self.handles.insert(victim, h);
+                        self.handles[victim.get() as usize] = Some(h);
                         Ok(cost + guest_io)
                     }
                 }
             }
             Backing::Device { write, .. } => {
-                if !dirty && self.on_device.contains(&victim) {
+                if !dirty && self.on_device.contains(victim) {
                     self.stats.clean_demotions += 1;
-                    self.on_device.remove(&victim);
+                    self.on_device.remove(victim);
                     Ok(SimDuration::ZERO)
                 } else {
                     Ok(*write + guest_io)
@@ -576,7 +579,7 @@ impl Engine<'_> {
         };
         match &mut self.backing {
             Backing::Rack { rack, user, .. } => {
-                let h = self.handles[&gfn];
+                let h = self.handles[gfn.get() as usize].expect("remote pages have handles");
                 // Keep the remote slot: the copy stays valid until the
                 // page is dirtied (tracked by the caller).
                 Ok(rack.fetch_page(*user, h, false)? + guest_io)

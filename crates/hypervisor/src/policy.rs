@@ -19,8 +19,6 @@
 //! SD model, whose partial hot-set protection behaves like random
 //! eviction under adversarial sweeps.
 
-use std::collections::VecDeque;
-
 use zombieland_mem::{Gfn, GuestPageTable};
 use zombieland_simcore::{Cycles, DetRng};
 
@@ -68,35 +66,116 @@ mod cost {
     pub const EXAMINE: u64 = 130;
 }
 
+/// Sentinel for "no neighbor" in the intrusive list.
+const NIL: u32 = u32::MAX;
+
 /// The FIFO list of faulted pages plus the victim-selection logic.
+///
+/// The list is *intrusive*: each guest frame number indexes dense
+/// `next`/`prev` arrays, so push, pop-front and Clock's re-queue are a
+/// handful of array writes with no per-node allocation — the fault path
+/// pays the same cost whether the list holds ten pages or ten million.
+/// Order semantics are exactly those of the deque it replaces (FIFO
+/// insertion order, [`Policy::Random`] removes the i-th entry from the
+/// front).
 #[derive(Debug)]
 pub struct FaultList {
-    list: VecDeque<Gfn>,
+    /// `next[g]`/`prev[g]`: neighbors of page `g` toward the tail/head.
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    /// Whether page `g` is currently on the list (NIL neighbors are
+    /// ambiguous at the ends).
+    linked: Vec<bool>,
+    head: u32,
+    tail: u32,
+    len: usize,
     rng: DetRng,
 }
 
 impl FaultList {
     /// Creates an empty list. `seed` only matters for [`Policy::Random`].
     pub fn new(seed: u64) -> Self {
+        Self::with_capacity(seed, 0)
+    }
+
+    /// Creates an empty list with node storage for frame numbers
+    /// `0..pages` preallocated (it still grows on demand past that).
+    pub fn with_capacity(seed: u64, pages: u64) -> Self {
+        let n = pages as usize;
         FaultList {
-            list: VecDeque::new(),
+            next: vec![NIL; n],
+            prev: vec![NIL; n],
+            linked: vec![false; n],
+            head: NIL,
+            tail: NIL,
+            len: 0,
             rng: DetRng::new(seed),
         }
     }
 
-    /// Records a fresh fault (page just became local).
+    /// Records a fresh fault (page just became local). A page is on the
+    /// list at most once — the engine only pushes on the fault that makes
+    /// it local, and eviction removes it.
     pub fn push(&mut self, gfn: Gfn) {
-        self.list.push_back(gfn);
+        let i = gfn.get() as usize;
+        if i >= self.linked.len() {
+            self.next.resize(i + 1, NIL);
+            self.prev.resize(i + 1, NIL);
+            self.linked.resize(i + 1, false);
+        }
+        debug_assert!(!self.linked[i], "page {gfn:?} pushed while listed");
+        let i32b = i as u32;
+        self.next[i] = NIL;
+        self.prev[i] = self.tail;
+        if self.tail == NIL {
+            self.head = i32b;
+        } else {
+            self.next[self.tail as usize] = i32b;
+        }
+        self.tail = i32b;
+        self.linked[i] = true;
+        self.len += 1;
+    }
+
+    /// Detaches and returns the oldest entry.
+    fn pop_front(&mut self) -> Option<Gfn> {
+        if self.head == NIL {
+            return None;
+        }
+        let i = self.head;
+        self.unlink(i);
+        Some(Gfn::new(i as u64))
+    }
+
+    /// Detaches node `i`, stitching its neighbors together.
+    fn unlink(&mut self, i: u32) {
+        let iu = i as usize;
+        debug_assert!(self.linked[iu]);
+        let (p, n) = (self.prev[iu], self.next[iu]);
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+        self.prev[iu] = NIL;
+        self.next[iu] = NIL;
+        self.linked[iu] = false;
+        self.len -= 1;
     }
 
     /// Number of tracked pages.
     pub fn len(&self) -> usize {
-        self.list.len()
+        self.len
     }
 
     /// Whether no pages are tracked.
     pub fn is_empty(&self) -> bool {
-        self.list.is_empty()
+        self.len == 0
     }
 
     /// Selects and removes a victim according to `policy`, returning the
@@ -107,14 +186,14 @@ impl FaultList {
         policy: Policy,
         gpt: &mut GuestPageTable,
     ) -> Option<(Gfn, Cycles)> {
-        if self.list.is_empty() {
+        if self.len == 0 {
             return None;
         }
         let mut cycles = cost::BASE;
         let victim = match policy {
             Policy::Fifo => {
                 cycles += cost::LIST_OP;
-                self.list.pop_front()?
+                self.pop_front()?
             }
             Policy::Clock => {
                 // Second chance: accessed pages are cleared and re-queued;
@@ -122,12 +201,12 @@ impl FaultList {
                 // full revolution plus one entry (everything cleared by
                 // then).
                 let mut victim = None;
-                for _ in 0..=self.list.len() {
-                    let gfn = self.list.pop_front()?;
+                for _ in 0..=self.len {
+                    let gfn = self.pop_front()?;
                     cycles += cost::EXAMINE;
                     if gpt.accessed(gfn).unwrap_or(false) {
                         let _ = gpt.clear_accessed(gfn);
-                        self.list.push_back(gfn);
+                        self.push(gfn);
                         cycles += cost::LIST_OP;
                     } else {
                         victim = Some(gfn);
@@ -141,13 +220,13 @@ impl FaultList {
                 // if all were accessed, FIFO takes the oldest of the rest
                 // — which by now is the front.
                 let mut victim = None;
-                let probe = x.min(self.list.len());
+                let probe = x.min(self.len);
                 for _ in 0..probe {
-                    let gfn = self.list.pop_front()?;
+                    let gfn = self.pop_front()?;
                     cycles += cost::EXAMINE;
                     if gpt.accessed(gfn).unwrap_or(false) {
                         let _ = gpt.clear_accessed(gfn);
-                        self.list.push_back(gfn);
+                        self.push(gfn);
                         cycles += cost::LIST_OP;
                     } else {
                         victim = Some(gfn);
@@ -158,14 +237,24 @@ impl FaultList {
                     Some(v) => v,
                     None => {
                         cycles += cost::LIST_OP;
-                        self.list.pop_front()?
+                        self.pop_front()?
                     }
                 }
             }
             Policy::Random => {
-                let idx = self.rng.below(self.list.len() as u64) as usize;
+                // The i-th entry from the head, exactly what the deque's
+                // `remove(idx)` returned.
+                let idx = self.rng.below(self.len as u64) as usize;
                 cycles += cost::LIST_OP + cost::EXAMINE;
-                self.list.remove(idx)?
+                let mut node = self.head;
+                for _ in 0..idx {
+                    node = self.next[node as usize];
+                }
+                if node == NIL {
+                    return None;
+                }
+                self.unlink(node);
+                Gfn::new(node as u64)
             }
         };
         Some((victim, Cycles::new(cycles)))
@@ -272,6 +361,25 @@ mod tests {
             list.select_victim(Policy::Random, &mut gpt).unwrap().0
         };
         assert_eq!(pick(1), pick(1));
+    }
+
+    #[test]
+    fn interleaved_evictions_keep_fifo_order() {
+        // Exercise middle unlinks + re-push: evict from the middle
+        // (Random), re-fault the page, and confirm FIFO order follows
+        // insertion order throughout.
+        let (mut gpt, mut list) = table_with(8);
+        let (victim, _) = list.select_victim(Policy::Random, &mut gpt).unwrap();
+        list.push(victim); // Page faults back in: now the newest entry.
+        let mut order = Vec::new();
+        while let Some((v, _)) = list.select_victim(Policy::Fifo, &mut gpt) {
+            order.push(v);
+        }
+        assert_eq!(order.len(), 8);
+        assert_eq!(*order.last().unwrap(), victim, "re-pushed page is newest");
+        let mut sorted = order.clone();
+        sorted.sort_unstable_by_key(|g| g.get());
+        assert_eq!(sorted.len(), 8, "every page came out exactly once");
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! A dense set of guest frame numbers.
+//!
+//! The paging engine tracks per-page facts (clean remote copies, valid
+//! device copies) for pages whose numbers are bounded by the guest's
+//! page-table size. A word-packed bitset beats a `BTreeSet<Gfn>` on every
+//! operation the hot fault path performs: membership and insert/remove
+//! are one word op, and the minimum member — the stale-eviction victim —
+//! is found by scanning words from a monotonic hint instead of walking
+//! tree nodes.
+
+use crate::gpt::Gfn;
+
+/// A fixed-capacity bitset over guest frame numbers `0..capacity`.
+///
+/// `min()` returns the smallest member, matching the iteration order of
+/// the ordered set it replaces. A *min hint* (a word index that is never
+/// above the lowest set bit) makes repeated pop-the-minimum loops — the
+/// engine's stale-clean-copy eviction — amortized O(1) per pop: removals
+/// only move the scan start forward, and inserts lower it directly.
+#[derive(Debug, Clone)]
+pub struct GfnSet {
+    words: Vec<u64>,
+    len: usize,
+    /// Index of the first word that may contain a set bit.
+    hint: usize,
+}
+
+impl GfnSet {
+    /// Creates an empty set able to hold frame numbers `0..capacity`.
+    pub fn new(capacity: u64) -> Self {
+        let words = capacity.div_ceil(64) as usize;
+        GfnSet {
+            words: vec![0; words],
+            len: 0,
+            hint: 0,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds `gfn`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gfn` is outside the capacity the set was created with.
+    pub fn insert(&mut self, gfn: Gfn) -> bool {
+        let (w, bit) = Self::split(gfn);
+        let mask = 1u64 << bit;
+        if self.words[w] & mask != 0 {
+            return false;
+        }
+        self.words[w] |= mask;
+        self.len += 1;
+        if w < self.hint {
+            self.hint = w;
+        }
+        true
+    }
+
+    /// Removes `gfn`; returns `true` if it was present. Out-of-range
+    /// frame numbers are simply absent.
+    pub fn remove(&mut self, gfn: Gfn) -> bool {
+        let (w, bit) = Self::split(gfn);
+        if w >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << bit;
+        if self.words[w] & mask == 0 {
+            return false;
+        }
+        self.words[w] &= !mask;
+        self.len -= 1;
+        true
+    }
+
+    /// Whether `gfn` is a member. Out-of-range frame numbers are absent.
+    pub fn contains(&self, gfn: Gfn) -> bool {
+        let (w, bit) = Self::split(gfn);
+        w < self.words.len() && self.words[w] & (1u64 << bit) != 0
+    }
+
+    /// The smallest member, advancing the scan hint past empty words.
+    pub fn min(&mut self) -> Option<Gfn> {
+        if self.len == 0 {
+            // Reset so a future insert at a high frame number doesn't
+            // strand the hint below it forever.
+            self.hint = 0;
+            return None;
+        }
+        while self.hint < self.words.len() {
+            let word = self.words[self.hint];
+            if word != 0 {
+                let bit = word.trailing_zeros() as u64;
+                return Some(Gfn::new(self.hint as u64 * 64 + bit));
+            }
+            self.hint += 1;
+        }
+        unreachable!("len > 0 implies a set bit at or after the hint");
+    }
+
+    fn split(gfn: Gfn) -> (usize, u32) {
+        ((gfn.get() / 64) as usize, (gfn.get() % 64) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = GfnSet::new(256);
+        assert!(s.is_empty());
+        assert!(s.insert(Gfn::new(7)));
+        assert!(!s.insert(Gfn::new(7)), "double insert is a no-op");
+        assert!(s.contains(Gfn::new(7)));
+        assert!(!s.contains(Gfn::new(8)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(Gfn::new(7)));
+        assert!(!s.remove(Gfn::new(7)), "double remove is a no-op");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn min_tracks_smallest_member() {
+        let mut s = GfnSet::new(1024);
+        assert_eq!(s.min(), None);
+        for g in [700, 3, 64, 129] {
+            s.insert(Gfn::new(g));
+        }
+        assert_eq!(s.min(), Some(Gfn::new(3)));
+        s.remove(Gfn::new(3));
+        assert_eq!(s.min(), Some(Gfn::new(64)));
+        // Inserting below the hint lowers it again.
+        s.insert(Gfn::new(1));
+        assert_eq!(s.min(), Some(Gfn::new(1)));
+    }
+
+    #[test]
+    fn pop_min_drains_in_ascending_order() {
+        let mut s = GfnSet::new(4096);
+        let members = [5u64, 4090, 63, 64, 65, 2000, 0];
+        for &g in &members {
+            s.insert(Gfn::new(g));
+        }
+        let mut drained = Vec::new();
+        while let Some(g) = s.min() {
+            s.remove(g);
+            drained.push(g.get());
+        }
+        let mut sorted = members.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(drained, sorted);
+        // Hint resets on empty: a later high insert is still found.
+        s.insert(Gfn::new(4000));
+        assert_eq!(s.min(), Some(Gfn::new(4000)));
+    }
+
+    #[test]
+    fn out_of_range_queries_are_absent() {
+        let mut s = GfnSet::new(64);
+        assert!(!s.contains(Gfn::new(1000)));
+        assert!(!s.remove(Gfn::new(1000)));
+    }
+}

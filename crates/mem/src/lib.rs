@@ -16,8 +16,10 @@
 
 pub mod buffer;
 pub mod frame;
+pub mod gfnset;
 pub mod gpt;
 
 pub use buffer::{BufferId, RemoteSlot, BUFF_SIZE};
 pub use frame::{FrameAllocator, FrameId};
+pub use gfnset::GfnSet;
 pub use gpt::{Gfn, GuestPageTable, PageLocation};

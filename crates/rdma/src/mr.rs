@@ -1,7 +1,6 @@
 //! Registered memory regions.
 
 use core::fmt;
-use std::collections::HashMap;
 
 use zombieland_simcore::{Bytes, PAGE_SIZE};
 
@@ -46,18 +45,31 @@ impl MrAccess {
     }
 }
 
+/// Sentinel in the page index for "never written".
+const EMPTY: u32 = u32::MAX;
+
 /// A registered region of a node's physical memory.
 ///
 /// Backing bytes are stored sparsely per page: registering a 64 MiB buffer
 /// costs nothing until someone writes to it, which lets large-scale
 /// simulations register thousands of buffers while correctness tests can
 /// still round-trip real data.
+///
+/// Materialized pages live in one growing arena (page-sized slots carved
+/// off its tail) addressed through a flat page→slot index, so the write
+/// path never boxes a fresh 4 KiB allocation per touched page and reads
+/// walk no hash buckets. The index itself is allocated lazily on the
+/// first write — an untouched registration still costs nothing.
 #[derive(Debug)]
 pub struct MemoryRegion {
     node: NodeId,
     len: Bytes,
     access: MrAccess,
-    pages: HashMap<u64, Box<[u8]>>,
+    /// Page number → slot number in `arena`, `EMPTY` when unwritten.
+    /// Empty vec until the first write materializes a page.
+    index: Vec<u32>,
+    /// Page-sized slots, slot `s` at byte range `[s * PAGE_SIZE, ..)`.
+    arena: Vec<u8>,
 }
 
 impl MemoryRegion {
@@ -72,7 +84,8 @@ impl MemoryRegion {
             node,
             len,
             access,
-            pages: HashMap::new(),
+            index: Vec::new(),
+            arena: Vec::new(),
         }
     }
 
@@ -113,14 +126,25 @@ impl MemoryRegion {
             let page = pos / PAGE_SIZE;
             let in_page = (pos % PAGE_SIZE) as usize;
             let take = remaining.len().min(PAGE_SIZE as usize - in_page);
-            let backing = self
-                .pages
-                .entry(page)
-                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
-            backing[in_page..in_page + take].copy_from_slice(&remaining[..take]);
+            let start = self.slot_base(page) + in_page;
+            self.arena[start..start + take].copy_from_slice(&remaining[..take]);
             remaining = &remaining[take..];
             pos += take as u64;
         }
+    }
+
+    /// The arena byte offset of `page`'s slot, materializing it (and the
+    /// index, on the very first write) as needed.
+    fn slot_base(&mut self, page: u64) -> usize {
+        if self.index.is_empty() {
+            self.index = vec![EMPTY; self.len.get().div_ceil(PAGE_SIZE) as usize];
+        }
+        let entry = &mut self.index[page as usize];
+        if *entry == EMPTY {
+            *entry = (self.arena.len() / PAGE_SIZE as usize) as u32;
+            self.arena.resize(self.arena.len() + PAGE_SIZE as usize, 0);
+        }
+        *entry as usize * PAGE_SIZE as usize
     }
 
     /// Copies `dst.len()` bytes out of the region at `offset`. Unwritten
@@ -132,11 +156,12 @@ impl MemoryRegion {
             let page = pos / PAGE_SIZE;
             let in_page = (pos % PAGE_SIZE) as usize;
             let take = (dst.len() - written).min(PAGE_SIZE as usize - in_page);
-            match self.pages.get(&page) {
-                Some(backing) => {
-                    dst[written..written + take].copy_from_slice(&backing[in_page..in_page + take])
+            match self.index.get(page as usize).copied() {
+                Some(slot) if slot != EMPTY => {
+                    let start = slot as usize * PAGE_SIZE as usize + in_page;
+                    dst[written..written + take].copy_from_slice(&self.arena[start..start + take])
                 }
-                None => dst[written..written + take].fill(0),
+                _ => dst[written..written + take].fill(0),
             }
             written += take;
             pos += take as u64;
@@ -146,7 +171,7 @@ impl MemoryRegion {
     /// Number of pages that have been materialized by writes (test/debug
     /// aid).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.arena.len() / PAGE_SIZE as usize
     }
 }
 
@@ -175,6 +200,22 @@ mod tests {
         let mut out = vec![0xAAu8; 100];
         mr.read_bytes(Bytes::kib(512), &mut out);
         assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn rewrites_reuse_their_slot() {
+        let mut mr = MemoryRegion::new(NodeId::new(0), Bytes::mib(1));
+        mr.write_bytes(Bytes::new(0), &[1u8; 4096]);
+        mr.write_bytes(Bytes::new(8192), &[2u8; 4096]);
+        assert_eq!(mr.resident_pages(), 2);
+        // Overwriting a materialized page must not grow the arena.
+        mr.write_bytes(Bytes::new(0), &[3u8; 4096]);
+        assert_eq!(mr.resident_pages(), 2);
+        let mut out = [0u8; 1];
+        mr.read_bytes(Bytes::new(10), &mut out);
+        assert_eq!(out[0], 3);
+        mr.read_bytes(Bytes::new(8192), &mut out);
+        assert_eq!(out[0], 2);
     }
 
     #[test]

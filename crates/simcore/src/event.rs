@@ -69,6 +69,50 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue whose backing heap can hold `capacity`
+    /// events without reallocating — simulations that know their event
+    /// count up front (a replayed trace plus a tick chain) schedule into
+    /// pre-sized storage and never pay a mid-run `memcpy`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zombieland_simcore::{EventQueue, SimTime};
+    ///
+    /// let mut q = EventQueue::with_capacity(2);
+    /// let cap = q.capacity();
+    /// assert!(cap >= 2);
+    /// q.schedule(SimTime::ZERO, 'a');
+    /// q.schedule(SimTime::ZERO, 'b');
+    /// assert_eq!(q.capacity(), cap, "no reallocation while within capacity");
+    /// ```
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Reserves space for at least `additional` more events.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use zombieland_simcore::EventQueue;
+    ///
+    /// let mut q: EventQueue<u32> = EventQueue::new();
+    /// q.reserve(1_000);
+    /// assert!(q.capacity() >= 1_000);
+    /// ```
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `event` to fire at `at`.
     pub fn schedule(&mut self, at: SimTime, event: E) {
         let seq = self.seq;
@@ -168,6 +212,21 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_capacity_never_reallocates_within_bound() {
+        let mut q = EventQueue::with_capacity(256);
+        let cap = q.capacity();
+        assert!(cap >= 256);
+        for i in 0..256 {
+            q.schedule(SimTime::from_nanos(256 - i), i);
+        }
+        assert_eq!(q.capacity(), cap);
+        // Still pops in time order: capacity is a perf knob, not a
+        // behavior change.
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..256).rev().collect::<Vec<_>>());
     }
 
     #[test]

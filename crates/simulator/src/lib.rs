@@ -19,12 +19,15 @@
 //! host power states and the remote pool, which is the granularity the
 //! energy result depends on.
 
+use core::cmp::Ordering;
+use std::collections::BTreeSet;
+
 use zombieland_acpi::SleepState;
 use zombieland_cloud::consolidation::{ConsolidationMode, Neat};
 use zombieland_cloud::oasis::OasisConfig;
 use zombieland_energy::curve::power_fraction;
 use zombieland_energy::MachineProfile;
-use zombieland_simcore::{Joules, SimDuration, SimTime, Watts};
+use zombieland_simcore::{EventQueue, Joules, SimDuration, SimTime, Watts};
 use zombieland_trace::google::{ClusterTrace, EventKind};
 
 /// The resource-management policy a run simulates.
@@ -211,6 +214,55 @@ struct Dc {
     report: SimReport,
     neat: Neat,
     oasis: OasisConfig,
+    /// Index sets by host state, maintained by [`Dc::update_host`] so the
+    /// hot paths (placement, wake, pool carving) never scan the full
+    /// fleet. Iteration order is ascending host index — the same order
+    /// the old full scans visited — so every float sum and every
+    /// tie-break is bit-for-bit identical to the O(hosts) versions.
+    active: BTreeSet<usize>,
+    /// Active hosts keyed by `(cpu_booked, index)`, most-booked first
+    /// with ties toward the lower index — exactly the stacking
+    /// preference order, so placement scans stop at the *first* fitting
+    /// entry instead of ranking the whole fleet. The key is the stored
+    /// bits of `cpu_booked` at index time; [`Dc::update_host`]
+    /// repositions entries whenever the value changes.
+    active_by_booked: Vec<(f64, usize)>,
+    /// Sleeping and zombie hosts (the wake candidates).
+    nonactive: BTreeSet<usize>,
+    /// Zombie hosts per rack (the rack-local remote pool's lenders).
+    zombies_by_rack: Vec<BTreeSet<usize>>,
+    /// Persistent sort buffer for the consolidation order (reused every
+    /// tick instead of a fresh allocation).
+    order_buf: Vec<usize>,
+    /// Persistent buffer for the resident-VM snapshot in
+    /// [`Dc::try_evacuate`].
+    evac_buf: Vec<usize>,
+    /// Per-rack free-pool snapshot taken at the start of each placement
+    /// scan, so `fits` stops re-summing the pool per candidate host.
+    pool_buf: Vec<f64>,
+    /// Whether [`Dc::validate`] runs after each consolidation round:
+    /// debug builds by default, or `ZL_VALIDATE=1` in release.
+    validate_on: bool,
+}
+
+/// Whether the O(hosts × vms) invariant sweep runs: always in debug
+/// builds (unless `ZL_VALIDATE=0`), and only on `ZL_VALIDATE=1` in
+/// release — release runs skip the sweep entirely.
+fn validate_enabled() -> bool {
+    match std::env::var_os("ZL_VALIDATE") {
+        Some(v) if v == "1" => true,
+        Some(v) if v == "0" => false,
+        _ => cfg!(debug_assertions),
+    }
+}
+
+/// What the simulation loop schedules: a trace event (by index) or a
+/// consolidation tick. Trace events are scheduled first, so the queue's
+/// FIFO tie-break fires them before a tick at the same instant — exactly
+/// the order the old two-pointer merge used.
+enum SimEvent {
+    Task(usize),
+    Tick,
 }
 
 /// Runs one policy over a trace.
@@ -251,6 +303,14 @@ pub fn simulate(trace: &ClusterTrace, cfg: &SimConfig) -> SimReport {
         },
         neat: Neat::new(mode),
         oasis: OasisConfig::default(),
+        active: (0..n).collect(),
+        active_by_booked: (0..n).map(|i| (0.0, i)).collect(),
+        nonactive: BTreeSet::new(),
+        zombies_by_rack: vec![BTreeSet::new(); cfg.racks.max(1) as usize],
+        order_buf: Vec::new(),
+        evac_buf: Vec::new(),
+        pool_buf: Vec::new(),
+        validate_on: validate_enabled(),
         cfg: cfg.clone(),
         state_counts: [n as u64, 0, 0],
     };
@@ -259,50 +319,53 @@ pub fn simulate(trace: &ClusterTrace, cfg: &SimConfig) -> SimReport {
 
     let events = trace.events();
     let end = SimTime::ZERO + trace.config().duration;
-    let mut tick = SimTime::ZERO + cfg.consolidation_interval;
+    // Every trace event plus the single in-flight consolidation tick:
+    // sized up front so the heap never reallocates mid-run.
+    let mut queue: EventQueue<SimEvent> = EventQueue::with_capacity(events.len() + 1);
+    for (i, e) in events.iter().enumerate() {
+        queue.schedule(e.0, SimEvent::Task(i));
+    }
+    let first_tick = SimTime::ZERO + cfg.consolidation_interval;
+    if first_tick <= end {
+        queue.schedule(first_tick, SimEvent::Tick);
+    }
     let mut next_sample = SimTime::ZERO;
-    let mut i = 0usize;
-    loop {
-        let next_event = events.get(i).map(|e| e.0);
-        let next = match (next_event, tick <= end) {
-            (Some(t), true) if t <= tick => (t, false),
-            (_, true) => (tick, true),
-            (Some(t), false) => (t, false),
-            (None, false) => break,
-        };
-        dc.advance(next.0);
-        if next.1 {
-            if cfg.policy != PolicyKind::AlwaysOn {
-                dc.consolidate(trace);
-            }
-            if let Some(every) = cfg.sample_interval {
-                if next_sample <= next.0 {
-                    dc.report.timeline.push(TimelineSample {
-                        at: next.0,
-                        counts: dc.state_counts,
-                        power: dc.total_power,
-                    });
-                    let mw = (dc.total_power.get() * 1000.0).round() as u64;
-                    zombieland_obs::sink::gauge_set("sim.power_mw", mw);
-                    zombieland_obs::trace_event!(next.0, "simulator", "sample",
-                        "active" => dc.state_counts[0],
-                        "zombie" => dc.state_counts[1],
-                        "sleeping" => dc.state_counts[2],
-                        "power_mw" => mw);
-                    next_sample = next.0 + every;
+    while let Some((now, ev)) = queue.pop() {
+        dc.advance(now);
+        match ev {
+            SimEvent::Tick => {
+                if cfg.policy != PolicyKind::AlwaysOn {
+                    dc.consolidate(trace);
+                }
+                if let Some(every) = cfg.sample_interval {
+                    if next_sample <= now {
+                        dc.report.timeline.push(TimelineSample {
+                            at: now,
+                            counts: dc.state_counts,
+                            power: dc.total_power,
+                        });
+                        let mw = (dc.total_power.get() * 1000.0).round() as u64;
+                        zombieland_obs::sink::gauge_set("sim.power_mw", mw);
+                        zombieland_obs::trace_event!(now, "simulator", "sample",
+                            "active" => dc.state_counts[0],
+                            "zombie" => dc.state_counts[1],
+                            "sleeping" => dc.state_counts[2],
+                            "power_mw" => mw);
+                        next_sample = now + every;
+                    }
+                }
+                let next = now + cfg.consolidation_interval;
+                if next <= end {
+                    queue.schedule(next, SimEvent::Tick);
                 }
             }
-            tick += cfg.consolidation_interval;
-        } else {
-            let (_, kind, task) = events[i];
-            match kind {
-                EventKind::Arrive => dc.arrive(trace, task),
-                EventKind::Depart => dc.depart(trace, task),
+            SimEvent::Task(i) => {
+                let (_, kind, task) = events[i];
+                match kind {
+                    EventKind::Arrive => dc.arrive(trace, task),
+                    EventKind::Depart => dc.depart(trace, task),
+                }
             }
-            i += 1;
-        }
-        if i >= events.len() && tick > end {
-            break;
         }
     }
     dc.advance(end);
@@ -364,15 +427,99 @@ impl Dc {
     fn update_host(&mut self, h: usize, f: impl FnOnce(&mut Host)) {
         let before = self.host_power(h);
         let state_before = self.hosts[h].state;
+        let booked_before = self.hosts[h].cpu_booked;
         f(&mut self.hosts[h]);
         let after = self.host_power(h);
         let state_after = self.hosts[h].state;
+        let booked_after = self.hosts[h].cpu_booked;
         if state_before != state_after {
             self.state_counts[state_index(state_before)] -= 1;
             self.state_counts[state_index(state_after)] += 1;
+            self.index_host(h, state_before, state_after, booked_before, booked_after);
+        } else if state_after == HState::Active
+            && booked_after.total_cmp(&booked_before) != Ordering::Equal
+        {
+            // total_cmp (not `!=`) so a -0.0/+0.0 flip still repositions
+            // and the stored key always matches the host's exact bits.
+            self.reposition_booked(h, booked_before, booked_after);
         }
         self.total_power =
             Watts::new((self.total_power.get() - before.get() + after.get()).max(0.0));
+    }
+
+    /// The ordering of [`Dc::active_by_booked`]: most-booked first, ties
+    /// toward the lower host index (the stacking preference order).
+    fn booked_order(a: &(f64, usize), b: &(f64, usize)) -> Ordering {
+        b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
+    }
+
+    /// Re-slots `h` in the booked-ordered list after its `cpu_booked`
+    /// moved from `old` to `new`.
+    fn reposition_booked(&mut self, h: usize, old: f64, new: f64) {
+        let pos = self
+            .active_by_booked
+            .binary_search_by(|e| Self::booked_order(e, &(old, h)))
+            .expect("active host indexed under its old booked key");
+        self.active_by_booked.remove(pos);
+        let ins = self
+            .active_by_booked
+            .partition_point(|e| Self::booked_order(e, &(new, h)) == Ordering::Less);
+        self.active_by_booked.insert(ins, (new, h));
+    }
+
+    /// Moves `h` between the per-state index sets on a state change.
+    fn index_host(&mut self, h: usize, from: HState, to: HState, booked_old: f64, booked_new: f64) {
+        let rack = self.hosts[h].rack as usize;
+        match from {
+            HState::Active => {
+                self.active.remove(&h);
+                let pos = self
+                    .active_by_booked
+                    .binary_search_by(|e| Self::booked_order(e, &(booked_old, h)))
+                    .expect("active host indexed under its old booked key");
+                self.active_by_booked.remove(pos);
+            }
+            HState::Zombie => {
+                self.nonactive.remove(&h);
+                self.zombies_by_rack[rack].remove(&h);
+            }
+            HState::Sleeping => {
+                self.nonactive.remove(&h);
+            }
+        }
+        match to {
+            HState::Active => {
+                self.active.insert(h);
+                let ins = self
+                    .active_by_booked
+                    .partition_point(|e| Self::booked_order(e, &(booked_new, h)) == Ordering::Less);
+                self.active_by_booked.insert(ins, (booked_new, h));
+            }
+            HState::Zombie => {
+                self.nonactive.insert(h);
+                self.zombies_by_rack[rack].insert(h);
+            }
+            HState::Sleeping => {
+                self.nonactive.insert(h);
+            }
+        }
+    }
+
+    /// Snapshots every rack's free pool into [`Dc::pool_buf`] ahead of a
+    /// placement scan. Under non-pool policies the snapshot is all zeros
+    /// (never read). The scan itself does not mutate pool state, so one
+    /// snapshot serves every candidate host — this is what turns the old
+    /// O(hosts²) placement into O(active + zombies).
+    fn snapshot_pools(&mut self) {
+        let mut buf = std::mem::take(&mut self.pool_buf);
+        buf.clear();
+        let racks = self.cfg.racks.max(1);
+        if self.cfg.policy == PolicyKind::ZombieStack {
+            buf.extend((0..racks).map(|r| self.pool_free(r)));
+        } else {
+            buf.resize(racks as usize, 0.0);
+        }
+        self.pool_buf = buf;
     }
 
     fn usable_mem(&self) -> f64 {
@@ -380,12 +527,13 @@ impl Dc {
     }
 
     /// Free remote-pool memory in one rack (zombie hosts only — the pool
-    /// is rack-local as in the paper).
+    /// is rack-local as in the paper). Sums over the rack's zombie index
+    /// set in ascending host order, the same order (and therefore the
+    /// same float result) as the old full-fleet filter scan.
     fn pool_free(&self, rack: u32) -> f64 {
-        self.hosts
+        self.zombies_by_rack[rack as usize]
             .iter()
-            .filter(|h| h.state == HState::Zombie && h.rack == rack)
-            .map(|h| (self.usable_mem() - h.remote_allocated).max(0.0))
+            .map(|&i| (self.usable_mem() - self.hosts[i].remote_allocated).max(0.0))
             .sum()
     }
 
@@ -399,14 +547,16 @@ impl Dc {
     fn take_remote(&mut self, rack: u32, mut amount: f64) -> f64 {
         let mut taken = 0.0;
         while amount > 1e-9 {
-            let Some((idx, free)) = self
-                .hosts
-                .iter()
-                .enumerate()
-                .filter(|(_, h)| h.state == HState::Zombie && h.rack == rack)
-                .map(|(i, h)| (i, (self.usable_mem() - h.remote_allocated).max(0.0)))
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-            else {
+            // Most-free zombie; `>=` keeps the *last* maximum among ties,
+            // matching the old full-scan `max_by`.
+            let mut best: Option<(usize, f64)> = None;
+            for &i in &self.zombies_by_rack[rack as usize] {
+                let free = (self.usable_mem() - self.hosts[i].remote_allocated).max(0.0);
+                if best.is_none_or(|(_, b)| free >= b) {
+                    best = Some((i, free));
+                }
+            }
+            let Some((idx, free)) = best else {
                 break;
             };
             if free <= 1e-9 {
@@ -425,16 +575,16 @@ impl Dc {
     /// and become demotable to S3).
     fn give_back_remote(&mut self, rack: u32, mut amount: f64) {
         while amount > 1e-9 {
-            let Some(idx) = self
-                .hosts
-                .iter()
-                .enumerate()
-                .filter(|(_, h)| {
-                    h.state == HState::Zombie && h.rack == rack && h.remote_allocated > 1e-9
-                })
-                .max_by(|a, b| a.1.remote_allocated.total_cmp(&b.1.remote_allocated))
-                .map(|(i, _)| i)
-            else {
+            // Most-loaded zombie; `>=` keeps the last maximum among ties,
+            // matching the old full-scan `max_by`.
+            let mut best: Option<(usize, f64)> = None;
+            for &i in &self.zombies_by_rack[rack as usize] {
+                let ra = self.hosts[i].remote_allocated;
+                if ra > 1e-9 && best.is_none_or(|(_, b)| ra >= b) {
+                    best = Some((i, ra));
+                }
+            }
+            let Some((idx, _)) = best else {
                 break;
             };
             let back = self.hosts[idx].remote_allocated.min(amount);
@@ -444,8 +594,10 @@ impl Dc {
     }
 
     /// Whether `host` can take the task under the policy's placement
-    /// rule; returns the local share it would use.
-    fn fits(&self, host: usize, cpu: f64, cpu_used: f64, mem: f64) -> Option<f64> {
+    /// rule; returns the local share it would use. `pool` is the free
+    /// remote pool of the host's rack (snapshot or fresh — the caller
+    /// owns that choice; scans pass the per-scan snapshot).
+    fn fits(&self, host: usize, cpu: f64, cpu_used: f64, mem: f64, pool: f64) -> Option<f64> {
         let h = &self.hosts[host];
         if h.state != HState::Active {
             return None;
@@ -464,7 +616,7 @@ impl Dc {
                 if local + 1e-9 < 0.5 * mem {
                     return None;
                 }
-                if mem - local > self.pool_free(h.rack) + 1e-9 {
+                if mem - local > pool + 1e-9 {
                     return None;
                 }
                 Some(local)
@@ -480,31 +632,40 @@ impl Dc {
     }
 
     /// Stacking choice: the fittable active host with the highest booked
-    /// CPU.
-    fn pick_host(&self, cpu: f64, cpu_used: f64, mem: f64) -> Option<usize> {
-        let mut best: Option<(f64, usize)> = None;
-        for i in 0..self.hosts.len() {
-            if self.fits(i, cpu, cpu_used, mem).is_some() {
-                let load = self.hosts[i].cpu_booked;
-                if best.is_none_or(|(b, bi)| load > b || (load == b && i < bi)) {
-                    best = Some((load, i));
-                }
+    /// CPU (ties to the lowest index, as the old ascending full scan
+    /// resolved them). [`Dc::active_by_booked`] *is* that preference
+    /// order, so the first fitting entry is the answer — no ranking pass.
+    /// One pool snapshot serves the whole scan.
+    fn pick_host(&mut self, cpu: f64, cpu_used: f64, mem: f64) -> Option<usize> {
+        self.snapshot_pools();
+        for &(_, i) in &self.active_by_booked {
+            let pool = self.pool_buf[self.hosts[i].rack as usize];
+            if self.fits(i, cpu, cpu_used, mem, pool).is_some() {
+                return Some(i);
             }
         }
-        best.map(|(_, i)| i)
+        None
     }
 
     /// Wakes a host per policy preference. Returns its index.
     fn wake_one(&mut self) -> Option<usize> {
         let pick = match self.cfg.policy {
-            PolicyKind::ZombieStack => self
-                .hosts
-                .iter()
-                .enumerate()
-                .filter(|(_, h)| h.state == HState::Zombie)
-                .min_by(|a, b| a.1.remote_allocated.total_cmp(&b.1.remote_allocated))
-                .map(|(i, _)| i)
-                .or_else(|| self.find_sleeping()),
+            PolicyKind::ZombieStack => {
+                // Least-lending zombie; strict `<` keeps the *first*
+                // minimum among ties, matching the old full-scan
+                // `min_by` over ascending host indices.
+                let mut best: Option<(usize, f64)> = None;
+                for &i in &self.nonactive {
+                    if self.hosts[i].state != HState::Zombie {
+                        continue;
+                    }
+                    let ra = self.hosts[i].remote_allocated;
+                    if best.is_none_or(|(_, b)| ra < b) {
+                        best = Some((i, ra));
+                    }
+                }
+                best.map(|(i, _)| i).or_else(|| self.find_sleeping())
+            }
             _ => self.find_sleeping(),
         }?;
         // A waking zombie reclaims its memory: re-place its allocations
@@ -574,9 +735,9 @@ impl Dc {
     }
 
     fn find_sleeping(&self) -> Option<usize> {
-        self.hosts
-            .iter()
-            .position(|h| matches!(h.state, HState::Sleeping | HState::Zombie))
+        // `nonactive` holds exactly the Sleeping|Zombie hosts, ordered by
+        // index, so the first member is what the old `position` scan found.
+        self.nonactive.first().copied()
     }
 
     fn arrive(&mut self, trace: &ClusterTrace, task: usize) {
@@ -601,12 +762,17 @@ impl Dc {
                 match found {
                     Some(h) => h,
                     None => {
-                        let Some(h) = (0..self.hosts.len())
-                            .filter(|&i| self.hosts[i].state == HState::Active)
-                            .min_by(|&a, &b| {
-                                self.hosts[a].cpu_used.total_cmp(&self.hosts[b].cpu_used)
-                            })
-                        else {
+                        // Least-used active host; strict `<` keeps the
+                        // first minimum among ties like the old `min_by`
+                        // over ascending indices.
+                        let mut least: Option<(usize, f64)> = None;
+                        for &i in &self.active {
+                            let used = self.hosts[i].cpu_used;
+                            if least.is_none_or(|(_, b)| used < b) {
+                                least = Some((i, used));
+                            }
+                        }
+                        let Some(h) = least.map(|(i, _)| i) else {
                             self.report.dropped += 1;
                             zombieland_obs::sink::counter_add("sim.dropped", 1);
                             zombieland_obs::trace_event!(
@@ -620,11 +786,15 @@ impl Dc {
                 }
             }
         };
-        let local = self.fits(host, cpu, t.cpu_used, mem).unwrap_or_else(|| {
-            // Overcommit fallback: take whatever local memory is left.
-            let free = (self.usable_mem() - self.hosts[host].mem_local).max(0.0);
-            mem.min(free)
-        });
+        let pool = self.pool_free(self.hosts[host].rack);
+        let local = match self.fits(host, cpu, t.cpu_used, mem, pool) {
+            Some(l) => l,
+            None => {
+                // Overcommit fallback: take whatever local memory is left.
+                let free = (self.usable_mem() - self.hosts[host].mem_local).max(0.0);
+                mem.min(free)
+            }
+        };
         let remote = (mem - local).max(0.0);
         let rack = self.hosts[host].rack;
         let taken = if remote > 1e-9 {
@@ -670,35 +840,82 @@ impl Dc {
             "task" => task, "host" => vm.host);
     }
 
-    /// Debug-build invariant sweep: VM lists, booked sums and pool
-    /// accounting all agree.
-    #[cfg(debug_assertions)]
+    /// Invariant sweep: VM lists, booked sums, pool accounting and the
+    /// incremental index sets all agree. O(hosts × vms), so it runs only
+    /// when [`validate_enabled`] says so (debug builds by default,
+    /// `ZL_VALIDATE=1` opts release builds in).
     fn validate(&self) {
         let mut host_vms = 0usize;
         for (i, h) in self.hosts.iter().enumerate() {
             host_vms += h.vms.len();
             for &t in &h.vms {
-                debug_assert_eq!(
+                assert_eq!(
                     self.vms[t].as_ref().map(|v| v.host),
                     Some(i),
                     "vm {t} listed on host {i} but placed elsewhere"
                 );
             }
-            debug_assert!(h.cpu_booked >= -1e-6 && h.mem_local >= -1e-6);
+            assert!(h.cpu_booked >= -1e-6 && h.mem_local >= -1e-6);
             if h.state != HState::Zombie {
-                debug_assert!(
+                assert!(
                     h.remote_allocated <= 1e-6,
                     "non-zombie lends: host {i} {:?} holds {}",
                     h.state,
                     h.remote_allocated
                 );
             }
+            // The index sets mirror host state exactly.
+            assert_eq!(
+                self.active.contains(&i),
+                h.state == HState::Active,
+                "host {i}: active-set membership disagrees with {:?}",
+                h.state
+            );
+            assert_eq!(
+                self.nonactive.contains(&i),
+                h.state != HState::Active,
+                "host {i}: nonactive-set membership disagrees with {:?}",
+                h.state
+            );
+            assert_eq!(
+                self.zombies_by_rack[h.rack as usize].contains(&i),
+                h.state == HState::Zombie,
+                "host {i}: rack {} zombie-set membership disagrees with {:?}",
+                h.rack,
+                h.state
+            );
         }
+        assert_eq!(
+            self.active_by_booked.len(),
+            self.active.len(),
+            "booked-ordered list covers exactly the active hosts"
+        );
+        for w in self.active_by_booked.windows(2) {
+            assert_eq!(
+                Self::booked_order(&w[0], &w[1]),
+                Ordering::Less,
+                "booked-ordered list stays strictly sorted"
+            );
+        }
+        for &(booked, i) in &self.active_by_booked {
+            assert_eq!(
+                booked.to_bits(),
+                self.hosts[i].cpu_booked.to_bits(),
+                "host {i}: indexed booked key matches the live value"
+            );
+        }
+        let indexed: usize = self.zombies_by_rack.iter().map(|s| s.len()).sum();
+        let zombies = self
+            .hosts
+            .iter()
+            .filter(|h| h.state == HState::Zombie)
+            .count();
+        assert_eq!(indexed, zombies, "zombie index covers every zombie once");
         let live = self.vms.iter().filter(|v| v.is_some()).count();
-        debug_assert_eq!(host_vms, live, "every live VM is on exactly one host");
+        assert_eq!(host_vms, live, "every live VM is on exactly one host");
         let vm_remote: f64 = self.vms.iter().flatten().map(|v| v.remote).sum();
         let host_remote: f64 = self.hosts.iter().map(|h| h.remote_allocated).sum();
-        debug_assert!(
+        assert!(
             (vm_remote - host_remote).abs() < 1e-3,
             "pool accounting: vms {vm_remote} vs hosts {host_remote}"
         );
@@ -714,27 +931,32 @@ impl Dc {
         for c in &mut self.cooldown {
             *c = c.saturating_sub(1);
         }
-        // Underloaded hosts, least loaded first.
-        let mut order: Vec<usize> = (0..self.hosts.len())
-            .filter(|&i| {
-                self.hosts[i].state == HState::Active
-                    && self.cooldown[i] == 0
-                    && self.hosts[i].cpu_used < self.neat.underload_threshold
-            })
-            .collect();
-        order.sort_by(|&a, &b| {
+        // Underloaded hosts, least loaded first. The candidate list comes
+        // from the active index set (ascending, as the old full scan
+        // iterated) and lives in a persistent buffer so consolidation
+        // ticks stop allocating.
+        let mut order = std::mem::take(&mut self.order_buf);
+        order.clear();
+        order.extend(self.active.iter().copied().filter(|&i| {
+            self.cooldown[i] == 0 && self.hosts[i].cpu_used < self.neat.underload_threshold
+        }));
+        // The comparator is a total order (index tie-break), so the
+        // unstable sort is deterministic.
+        order.sort_unstable_by(|&a, &b| {
             self.hosts[a]
                 .cpu_used
                 .total_cmp(&self.hosts[b].cpu_used)
                 .then(a.cmp(&b))
         });
 
-        for host in order {
+        for &host in &order {
             self.try_evacuate(trace, host);
         }
+        self.order_buf = order;
 
-        #[cfg(debug_assertions)]
-        self.validate();
+        if self.validate_on {
+            self.validate();
+        }
 
         // §4.4: "If the global-mem-ctr holds huge amounts of free memory
         // (e.g. more than the total memory of a rack server), the cloud
@@ -744,10 +966,11 @@ impl Dc {
         // in the pool so placements do not start waking zombies.
         if let Some(threshold) = self.cfg.sz_demote_threshold {
             while self.cfg.policy == PolicyKind::ZombieStack {
-                let candidate = self
-                    .hosts
-                    .iter()
-                    .position(|h| h.state == HState::Zombie && h.remote_allocated <= 1e-9);
+                // First (lowest-index) idle zombie, as the old full-fleet
+                // `position` scan found it.
+                let candidate = self.nonactive.iter().copied().find(|&i| {
+                    self.hosts[i].state == HState::Zombie && self.hosts[i].remote_allocated <= 1e-9
+                });
                 match candidate {
                     Some(i)
                         if self.pool_free_total() - self.usable_mem()
@@ -774,7 +997,11 @@ impl Dc {
         if zombie_mode {
             self.update_host(host, |h| h.state = HState::Zombie);
         }
-        let resident = self.hosts[host].vms.clone();
+        // Resident VM ids go through a persistent buffer instead of a
+        // fresh clone per evacuation attempt.
+        let mut resident = std::mem::take(&mut self.evac_buf);
+        resident.clear();
+        resident.extend_from_slice(&self.hosts[host].vms);
         let mut moves: Vec<PendingMove> = Vec::with_capacity(resident.len());
         let mut ok = true;
         for &task in &resident {
@@ -786,15 +1013,23 @@ impl Dc {
                     .as_ref()
                     .map_or(t.mem_booked, |v| v.local_mem),
             };
-            let target = (0..self.hosts.len())
-                .filter(|&i| i != host)
-                .filter(|&i| self.consolidation_fits(i, t.cpu_booked, t.cpu_used, mem, t.mem_used))
-                .max_by(|&a, &b| {
-                    self.hosts[a]
-                        .cpu_booked
-                        .total_cmp(&self.hosts[b].cpu_booked)
-                        .then(b.cmp(&a))
-                });
+            // Highest-booked fittable target, ties to the lowest index —
+            // the old `max_by(...).then(b.cmp(&a))` full scan. The
+            // booked-ordered walk stops at the first fitting entry; pools
+            // are re-snapshot per VM because each reserve_move shifts
+            // them.
+            self.snapshot_pools();
+            let mut target = None;
+            for &(_, i) in &self.active_by_booked {
+                if i == host {
+                    continue;
+                }
+                let pool = self.pool_buf[self.hosts[i].rack as usize];
+                if self.consolidation_fits(i, t.cpu_booked, t.cpu_used, mem, t.mem_used, pool) {
+                    target = Some(i);
+                    break;
+                }
+            }
             match target {
                 Some(tgt) => moves.push(self.reserve_move(trace, task, tgt)),
                 None => {
@@ -803,6 +1038,7 @@ impl Dc {
                 }
             }
         }
+        self.evac_buf = resident;
         if !ok {
             // Roll back reservations; the host stays up (the aborted
             // transition never left the OS, so no energy is charged).
@@ -935,6 +1171,7 @@ impl Dc {
         cpu_used: f64,
         mem: f64,
         wss: f64,
+        pool: f64,
     ) -> bool {
         let h = &self.hosts[target];
         if h.state != HState::Active {
@@ -949,7 +1186,7 @@ impl Dc {
                     return false;
                 }
                 let local = mem.min(free_local);
-                local + 1e-9 >= 0.30 * wss && (mem - local) <= self.pool_free(h.rack) + 1e-9
+                local + 1e-9 >= 0.30 * wss && (mem - local) <= pool + 1e-9
             }
             _ => {
                 h.cpu_booked + cpu_booked <= self.cfg.cpu_fill_cap + 1e-9
@@ -966,7 +1203,10 @@ impl Dc {
             {
                 continue;
             }
-            for task in self.hosts[host].vms.clone() {
+            // Index-walk the VM list in place: parking never edits
+            // `vms`, so no defensive clone is needed.
+            for vi in 0..self.hosts[host].vms.len() {
+                let task = self.hosts[host].vms[vi];
                 let t = &trace.tasks()[task];
                 if t.cpu_used >= self.oasis.idle_vm_threshold {
                     continue;

@@ -7,8 +7,8 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings -W clippy::perf"
+cargo clippy --workspace --all-targets -- -D warnings -W clippy::perf
 
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
@@ -22,5 +22,13 @@ trap 'rm -f "$ZL_TRACE"' EXIT
 ./target/release/zombieland-cli --obs-level full --trace-out "$ZL_TRACE" \
     experiment fig9 > /dev/null
 ./target/release/zombieland-cli validate-trace "$ZL_TRACE"
+
+echo "==> bench smoke (tiny grid emits a well-formed BENCH json)"
+ZL_BENCH=$(mktemp /tmp/zl-bench.XXXXXX.json)
+trap 'rm -f "$ZL_TRACE" "$ZL_BENCH"' EXIT
+./target/release/zombieland-cli bench --quick --servers 24 --scale 0.02 \
+    --jobs 1 --out "$ZL_BENCH" > /dev/null
+grep -q '"schema": "zombieland-bench-v1"' "$ZL_BENCH"
+grep -q '"wall_ns"' "$ZL_BENCH"
 
 echo "verify: OK"
