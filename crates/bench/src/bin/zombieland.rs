@@ -11,9 +11,10 @@
 //! zombieland list
 //! ```
 //!
-//! `--jobs N` (default: available parallelism, or `ZL_JOBS`) fans the
-//! independent simulation runs of an experiment across N worker
-//! threads. Results are bit-for-bit identical at any thread count.
+//! `--jobs N` fans the independent simulation runs of an experiment
+//! across N worker threads. Precedence: the `--jobs` flag wins, then the
+//! `ZL_JOBS` environment variable, then the machine's available
+//! parallelism. Results are bit-for-bit identical at any thread count.
 //!
 //! The global observability flags work with every subcommand:
 //! `--obs-level off|summary|full` selects what gets recorded (metrics
@@ -113,8 +114,9 @@ fn flag_value(args: &[String], key: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-/// The `--jobs N` worker count, defaulting to `ZL_JOBS` or the
-/// machine's available parallelism.
+/// The `--jobs N` worker count. Precedence: `--jobs` flag, then the
+/// `ZL_JOBS` environment variable, then available parallelism (see
+/// [`experiments::jobs_from_env`]).
 fn jobs_flag(args: &[String]) -> usize {
     flag_value(args, "--jobs")
         .and_then(|v| v.parse().ok())
@@ -204,18 +206,20 @@ impl BenchTiming {
     }
 }
 
-/// Times `grid` once per requested worker count (always `jobs = 1`, plus
-/// `jobs` when it differs) and prints a human line per pass.
+/// Times `grid` across the scaling curve — every worker count in
+/// `{1, 2, 4, jobs}` that does not exceed `jobs` — and prints a human
+/// line per pass, with its speedup over the `jobs = 1` pass. A parallel
+/// pass slower than serial is called out as a `REGRESSION`.
 fn time_grid(
     name: &str,
     runs: usize,
     jobs: usize,
     mut grid: impl FnMut(usize),
 ) -> Vec<BenchTiming> {
-    let mut counts = vec![1];
-    if jobs > 1 {
-        counts.push(jobs);
-    }
+    let mut counts: Vec<usize> = [1, 2, 4, jobs].into_iter().filter(|&j| j <= jobs).collect();
+    counts.sort_unstable();
+    counts.dedup();
+    let mut jobs1_wall: Option<u128> = None;
     counts
         .into_iter()
         .map(|j| {
@@ -226,8 +230,19 @@ fn time_grid(
                 wall_ns: start.elapsed().as_nanos(),
                 runs,
             };
+            if j == 1 {
+                jobs1_wall = Some(t.wall_ns);
+            }
+            let scaling = match jobs1_wall {
+                Some(base) if j > 1 => {
+                    let speedup = base as f64 / t.wall_ns as f64;
+                    let flag = if speedup < 1.0 { "  REGRESSION" } else { "" };
+                    format!("  {speedup:.2}x vs jobs=1{flag}")
+                }
+                _ => String::new(),
+            };
             println!(
-                "{name:<6} jobs={:<2} {:>10.3} s  ({} runs, {:.2} runs/s)",
+                "{name:<6} jobs={:<2} {:>10.3} s  ({} runs, {:.2} runs/s){scaling}",
                 t.jobs,
                 t.wall_ns as f64 / 1e9,
                 t.runs,
@@ -238,8 +253,10 @@ fn time_grid(
         .collect()
 }
 
-/// `zombieland bench`: times the Fig. 10 and Fig. 8 grids end-to-end and
-/// writes a `BENCH_<stamp>.json` record pinning the perf trajectory.
+/// `zombieland bench`: times the Fig. 10 and Fig. 8 grids end-to-end
+/// across the jobs scaling curve (`{1, 2, 4, --jobs}`) and writes a
+/// `BENCH_<stamp>.json` record pinning the perf trajectory, including
+/// `speedup_vs_jobs1` per parallel pass.
 ///
 /// Simulation outputs are discarded — the subject here is the harness's
 /// wall time, on exactly the code paths `experiment fig10`/`fig8` run.
@@ -268,7 +285,14 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         .unwrap_or(0);
     let out = flag_value(args, "--out").unwrap_or_else(|| format!("BENCH_{stamp}.json"));
 
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("bench: fig10 {servers} servers x {days} day(s), fig8 scale {scale}, jobs {jobs}");
+    if host < jobs {
+        println!(
+            "note: host exposes {host} core(s) for {jobs} jobs — the scaling \
+             curve is capped by hardware, not the harness"
+        );
+    }
 
     let trace = experiments::fig10_trace(servers, days, 11);
     let modified = trace.modified();
@@ -322,6 +346,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         ("schema".into(), Value::Str("zombieland-bench-v1".into())),
         ("created_unix".into(), Value::UInt(stamp)),
         ("jobs".into(), Value::UInt(jobs as u64)),
+        ("host_parallelism".into(), Value::UInt(host as u64)),
         (
             "grids".into(),
             Value::Array(vec![

@@ -1,5 +1,8 @@
 //! The experiment implementations behind every table and figure.
 
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
+
 use zombieland_core::manager::PoolKind;
 use zombieland_core::{Rack, RackConfig, ServerId};
 use zombieland_energy::curve;
@@ -13,7 +16,7 @@ use zombieland_simcore::report::{fmt_penalty, Table};
 use zombieland_simcore::{available_jobs, derive_seed, Bytes, SimDuration};
 use zombieland_simulator::{simulate, PolicyKind, SimConfig, SimReport};
 use zombieland_trace::{ClusterTrace, TraceConfig};
-use zombieland_workloads::by_name;
+use zombieland_workloads::{by_name, Workload};
 
 /// The four workloads of Tables 1–2, in row order.
 pub const WORKLOADS: [&str; 4] = ["micro-bench", "data-caching", "elasticsearch", "spark-sql"];
@@ -44,16 +47,14 @@ pub fn runs_from_env() -> u32 {
 }
 
 /// Worker threads for experiment fan-out: `ZL_JOBS`, defaulting to the
-/// machine's available parallelism. Every experiment's runs are
-/// independent deterministic simulations, so the thread count changes
-/// wall-clock time only — never a single output bit (asserted in
+/// machine's available parallelism — [`available_jobs`] is the single
+/// source of truth (precedence: CLI `--jobs` flag > `ZL_JOBS` >
+/// `available_parallelism`). Every experiment's runs are independent
+/// deterministic simulations, so the thread count changes wall-clock
+/// time only — never a single output bit (asserted in
 /// `tests/parallel_determinism.rs`).
 pub fn jobs_from_env() -> usize {
-    std::env::var("ZL_JOBS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&j| j >= 1)
-        .unwrap_or_else(available_jobs)
+    available_jobs()
 }
 
 /// VM geometry at a given scale.
@@ -85,6 +86,36 @@ pub fn testbed_rack() -> (Rack, ServerId) {
     (rack, user)
 }
 
+/// Builds a workload via a per-thread prototype cache: the first request
+/// for a `(name, wss, seed)` triple constructs it, later requests clone
+/// the cached prototype. Construction is a pure function of the key
+/// (`Workload::clone_box` docs), so a clone replays exactly the stream a
+/// fresh build would — and grid sweeps that rebuild the same workload
+/// for every cell (e.g. each Table 1 column shares one stream) stop
+/// paying Zipf-table and RNG setup per cell. Thread-local, so runner
+/// workers never contend on it.
+fn cached_workload(name: &str, wss: Bytes, seed: u64) -> Box<dyn Workload> {
+    type WorkloadKey = (String, u64, u64);
+    thread_local! {
+        static PROTOTYPES: RefCell<Vec<(WorkloadKey, Box<dyn Workload>)>> =
+            const { RefCell::new(Vec::new()) };
+    }
+    PROTOTYPES.with(|p| {
+        let mut cache = p.borrow_mut();
+        let pages = wss.pages();
+        if let Some((_, proto)) = cache
+            .iter()
+            .find(|(k, _)| k.0 == name && k.1 == pages.count() && k.2 == seed)
+        {
+            return proto.clone_box();
+        }
+        let proto = by_name(name, pages, seed).expect("known workload");
+        let fresh = proto.clone_box();
+        cache.push(((name.to_string(), pages.count(), seed), proto));
+        fresh
+    })
+}
+
 /// Runs one workload under RAM Ext at `local` bytes of local memory.
 pub fn run_ram_ext(name: &str, geo: VmGeometry, local: Bytes, policy: Policy) -> RunStats {
     run_ram_ext_seeded(name, geo, local, policy, 42)
@@ -104,7 +135,7 @@ pub fn run_ram_ext_seeded(
     if remote > Bytes::ZERO {
         rack.alloc_ext(user, remote).unwrap();
     }
-    let mut w = by_name(name, geo.wss.pages(), seed).expect("known workload");
+    let mut w = cached_workload(name, geo.wss, seed);
     let cfg = EngineConfig {
         policy,
         seed,
@@ -129,7 +160,7 @@ pub fn run_explicit_sd(
     local: Bytes,
     backend: SwapBackend,
 ) -> RunStats {
-    let mut w = by_name(name, geo.wss.pages(), 42).expect("known workload");
+    let mut w = cached_workload(name, geo.wss, 42);
     let cfg = EngineConfig::explicit_sd(geo.reserved, local, backend);
     match backend {
         SwapBackend::RemoteRam => {
@@ -494,9 +525,9 @@ pub fn dc_scale_from_env() -> (u32, u64) {
     (servers, days)
 }
 
-/// Builds the Fig. 10 trace (Google-shaped; booked CPU ≈ 25 % as in the
-/// original cluster traces).
-pub fn fig10_trace(servers: u32, days: u64, seed: u64) -> ClusterTrace {
+/// Builds the Fig. 10 trace uncached (what [`fig10_trace`] memoizes;
+/// the input-caching test compares the two paths byte for byte).
+pub fn generate_fig10_trace(servers: u32, days: u64, seed: u64) -> ClusterTrace {
     ClusterTrace::generate(TraceConfig {
         servers,
         duration: SimDuration::from_days(days),
@@ -504,6 +535,29 @@ pub fn fig10_trace(servers: u32, days: u64, seed: u64) -> ClusterTrace {
         mem_cpu_ratio: 1.0,
         avg_utilization: 0.25,
     })
+}
+
+/// The Fig. 10 trace (Google-shaped; booked CPU ≈ 25 % as in the
+/// original cluster traces), memoized by its generating parameters.
+///
+/// Generating a multi-day trace is expensive and every policy×profile
+/// cell — and every pass of a bench scaling curve — wants the *same*
+/// trace, so all callers of one `(servers, days, seed)` triple share a
+/// single immutable `Arc`'d instance (whose sorted event list is itself
+/// built once, see [`ClusterTrace::events`]). Generation is a pure
+/// function of the key, so sharing is invisible in the reports —
+/// `tests/input_caching.rs` holds that door shut.
+pub fn fig10_trace(servers: u32, days: u64, seed: u64) -> Arc<ClusterTrace> {
+    type TraceKey = (u32, u64, u64);
+    static CACHE: Mutex<Vec<(TraceKey, Arc<ClusterTrace>)>> = Mutex::new(Vec::new());
+    let key = (servers, days, seed);
+    let mut cache = CACHE.lock().expect("trace cache not poisoned");
+    if let Some((_, trace)) = cache.iter().find(|(k, _)| *k == key) {
+        return Arc::clone(trace);
+    }
+    let trace = Arc::new(generate_fig10_trace(servers, days, seed));
+    cache.push((key, Arc::clone(&trace)));
+    trace
 }
 
 /// One Fig. 10 group: savings of the three systems on one trace/machine.

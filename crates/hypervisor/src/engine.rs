@@ -239,6 +239,27 @@ struct Engine<'a> {
     wss_round_open: bool,
 }
 
+/// Recycled per-run paging structures. One engine run at experiment
+/// scale allocates tens of megabytes of dense tables (PTEs, the handle
+/// table, fault-list node arrays, bitsets); when a grid fans out, N
+/// workers re-faulting that much freshly zeroed memory per run through
+/// the global allocator cost more than the runs themselves. Each
+/// structure's `reset` restores the exact fresh-construction state, so
+/// recycling is invisible in the results.
+#[derive(Default)]
+struct Scratch {
+    gpt: Option<GuestPageTable>,
+    frames: Option<FrameAllocator>,
+    list: Option<FaultList>,
+    handles: Vec<Option<PageHandle>>,
+    clean_copies: Option<GfnSet>,
+    on_device: Option<GfnSet>,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch::default());
+}
+
 /// Runs `workload` to its suggested op count under `cfg` and `backing`.
 pub fn run(
     workload: &mut dyn Workload,
@@ -265,15 +286,55 @@ pub fn run_ops(
         return Err(EngineError::NoLocalMemory);
     }
     let table_pages = cfg.reserved.pages().max(workload.wss());
+    let pages = table_pages.count();
+    let mut scratch = SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    let gpt = match scratch.gpt.take() {
+        Some(mut g) => {
+            g.reset(table_pages);
+            g
+        }
+        None => GuestPageTable::new(table_pages),
+    };
+    let frames = match scratch.frames.take() {
+        Some(mut f) => {
+            f.reset(effective_local);
+            f
+        }
+        None => FrameAllocator::new(effective_local),
+    };
+    let list = match scratch.list.take() {
+        Some(mut l) => {
+            l.reset(cfg.seed, pages);
+            l
+        }
+        None => FaultList::with_capacity(cfg.seed, pages),
+    };
+    let mut handles = scratch.handles;
+    handles.clear();
+    handles.resize(pages as usize, None);
+    let clean_copies = match scratch.clean_copies.take() {
+        Some(mut s) => {
+            s.reset(pages);
+            s
+        }
+        None => GfnSet::new(pages),
+    };
+    let on_device = match scratch.on_device.take() {
+        Some(mut s) => {
+            s.reset(pages);
+            s
+        }
+        None => GfnSet::new(pages),
+    };
     let mut engine = Engine {
         cfg: *cfg,
         backing,
-        gpt: GuestPageTable::new(table_pages),
-        frames: FrameAllocator::new(effective_local),
-        list: FaultList::with_capacity(cfg.seed, table_pages.count()),
-        handles: vec![None; table_pages.count() as usize],
-        clean_copies: GfnSet::new(table_pages.count()),
-        on_device: GfnSet::new(table_pages.count()),
+        gpt,
+        frames,
+        list,
+        handles,
+        clean_copies,
+        on_device,
         stats: RunStats::default(),
         wss: WssEstimator::new(512, cfg.seed ^ 0x5735),
         wss_round_open: false,
@@ -311,14 +372,38 @@ pub fn run_ops(
             "demotions" => s.demotions,
             "wss_pages" => s.wss_estimate);
     }
-    // Teardown: release every remote page the VM still holds.
-    if let Backing::Rack { rack, user, .. } = engine.backing {
-        for handle in engine.handles.into_iter().flatten() {
-            // Pages may have fallen back to local backup; both are fine.
-            let _ = rack.free_page(user, handle);
+    // Teardown: release every remote page the VM still holds, then park
+    // the dense tables in the per-thread scratch pool for the next run.
+    let Engine {
+        backing,
+        gpt,
+        frames,
+        list,
+        mut handles,
+        clean_copies,
+        on_device,
+        stats,
+        ..
+    } = engine;
+    if let Backing::Rack { rack, user, .. } = backing {
+        for slot in handles.iter_mut() {
+            if let Some(handle) = slot.take() {
+                // Pages may have fallen back to local backup; both are fine.
+                let _ = rack.free_page(user, handle);
+            }
         }
     }
-    Ok(engine.stats)
+    SCRATCH.with(|s| {
+        *s.borrow_mut() = Scratch {
+            gpt: Some(gpt),
+            frames: Some(frames),
+            list: Some(list),
+            handles,
+            clean_copies: Some(clean_copies),
+            on_device: Some(on_device),
+        };
+    });
+    Ok(stats)
 }
 
 impl Engine<'_> {

@@ -113,6 +113,25 @@ impl FaultList {
         }
     }
 
+    /// Returns the list to the empty state `with_capacity(seed, pages)`
+    /// would produce, reusing the node arrays and re-seeding the RNG —
+    /// the scratch-pool recycling path. A reset list is observably
+    /// identical to a fresh one, including the [`Policy::Random`] draw
+    /// sequence.
+    pub fn reset(&mut self, seed: u64, pages: u64) {
+        let n = pages as usize;
+        self.next.clear();
+        self.next.resize(n, NIL);
+        self.prev.clear();
+        self.prev.resize(n, NIL);
+        self.linked.clear();
+        self.linked.resize(n, false);
+        self.head = NIL;
+        self.tail = NIL;
+        self.len = 0;
+        self.rng = DetRng::new(seed);
+    }
+
     /// Records a fresh fault (page just became local). A page is on the
     /// list at most once — the engine only pushes on the fault that makes
     /// it local, and eviction removes it.
@@ -380,6 +399,27 @@ mod tests {
         let mut sorted = order.clone();
         sorted.sort_unstable_by_key(|g| g.get());
         assert_eq!(sorted.len(), 8, "every page came out exactly once");
+    }
+
+    #[test]
+    fn reset_matches_fresh_construction() {
+        let (mut gpt, mut list) = table_with(8);
+        list.select_victim(Policy::Random, &mut gpt).unwrap();
+        list.select_victim(Policy::Fifo, &mut gpt).unwrap();
+        list.reset(3, 16);
+        let fresh = FaultList::with_capacity(3, 16);
+        assert_eq!(format!("{list:?}"), format!("{fresh:?}"));
+        // The RNG is re-seeded, so Random draws repeat from the start.
+        let draws = |l: &mut FaultList| {
+            let mut gpt = GuestPageTable::new(Pages::new(16));
+            for i in 0..16 {
+                gpt.map_local(Gfn::new(i), FrameId::new(i)).unwrap();
+                l.push(Gfn::new(i));
+            }
+            l.select_victim(Policy::Random, &mut gpt).unwrap().0
+        };
+        let mut fresh = fresh;
+        assert_eq!(draws(&mut list), draws(&mut fresh));
     }
 
     #[test]

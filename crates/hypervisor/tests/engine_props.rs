@@ -11,6 +11,7 @@ use zombieland_workloads::{Access, Workload};
 
 /// A fuzz workload: random page picks from a seeded stream, with a
 /// configurable skew between a small hot set and the full range.
+#[derive(Clone)]
 struct FuzzWorkload {
     wss: Pages,
     rng: DetRng,
@@ -20,6 +21,10 @@ struct FuzzWorkload {
 }
 
 impl Workload for FuzzWorkload {
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "fuzz"
     }

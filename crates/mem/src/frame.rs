@@ -88,6 +88,20 @@ impl FrameAllocator {
         }
     }
 
+    /// Returns the allocator to the all-free state `new(capacity)` would
+    /// produce, reusing the free-list and bitmap storage — the
+    /// scratch-pool recycling path. The free list is rebuilt in the same
+    /// reversed order, so subsequent allocations hand out identical
+    /// frame numbers.
+    pub fn reset(&mut self, capacity: Bytes) {
+        let total = capacity.pages().count();
+        self.total = total;
+        self.free.clear();
+        self.free.extend((0..total).rev());
+        self.allocated.clear();
+        self.allocated.resize(total as usize, false);
+    }
+
     /// Total number of managed frames.
     pub fn total_frames(&self) -> Pages {
         Pages::new(self.total)
@@ -169,6 +183,20 @@ mod tests {
         let mut a = FrameAllocator::new(Bytes::kib(8));
         let bogus = FrameId::new(99);
         assert_eq!(a.free(bogus), Err(FrameError::NotAllocated(bogus)));
+    }
+
+    #[test]
+    fn reset_matches_fresh_construction() {
+        let mut a = FrameAllocator::new(Bytes::kib(16));
+        a.alloc().unwrap();
+        a.alloc().unwrap();
+        a.reset(Bytes::kib(32));
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{:?}", FrameAllocator::new(Bytes::kib(32)))
+        );
+        let first = a.alloc().unwrap();
+        assert_eq!(first, FrameId::new(0), "allocation order is preserved");
     }
 
     #[test]

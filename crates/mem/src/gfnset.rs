@@ -36,6 +36,16 @@ impl GfnSet {
         }
     }
 
+    /// Returns the set to the empty state `new(capacity)` would produce,
+    /// reusing the word storage — the scratch-pool recycling path.
+    pub fn reset(&mut self, capacity: u64) {
+        let words = capacity.div_ceil(64) as usize;
+        self.words.clear();
+        self.words.resize(words, 0);
+        self.len = 0;
+        self.hint = 0;
+    }
+
     /// Number of members.
     pub fn len(&self) -> usize {
         self.len
@@ -162,6 +172,21 @@ mod tests {
         // Hint resets on empty: a later high insert is still found.
         s.insert(Gfn::new(4000));
         assert_eq!(s.min(), Some(Gfn::new(4000)));
+    }
+
+    #[test]
+    fn reset_matches_fresh_construction() {
+        let mut s = GfnSet::new(256);
+        for g in [0, 70, 255] {
+            s.insert(Gfn::new(g));
+        }
+        s.min();
+        s.reset(512);
+        assert_eq!(format!("{s:?}"), format!("{:?}", GfnSet::new(512)));
+        // Shrinking clears high words so no stale bits survive.
+        s.insert(Gfn::new(500));
+        s.reset(64);
+        assert_eq!(format!("{s:?}"), format!("{:?}", GfnSet::new(64)));
     }
 
     #[test]

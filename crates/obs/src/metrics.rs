@@ -135,6 +135,14 @@ impl MetricRegistry {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// Removes every recorded metric, returning the registry to the
+    /// freshly constructed state (used when recycling collector shells).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+
     /// Adds `v` to a counter.
     pub fn counter_add(&mut self, name: &'static str, v: u64) {
         *self.counters.entry(name).or_insert(0) += v;

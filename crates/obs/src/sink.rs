@@ -22,6 +22,39 @@ thread_local! {
     static LEVEL: Cell<u8> = const { Cell::new(0) };
     /// The installed collector, if any.
     static COLLECTOR: RefCell<Option<ObsRun>> = const { RefCell::new(None) };
+    /// Emptied collector shells (event-buffer capacity retained) for
+    /// reuse by later [`observe`] scopes on this thread. Grid runs under
+    /// `run_indexed_obs` open one scope per cell; recycling the shell
+    /// avoids re-growing the event buffer every time.
+    static SHELLS: RefCell<Vec<ObsRun>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Shells kept per thread; beyond this they drop (scopes rarely nest
+/// deeper in practice).
+const SHELL_POOL_CAP: usize = 8;
+
+/// Pops a recycled shell (or builds a fresh collector) at `level`.
+fn recycled_run(level: ObsLevel) -> ObsRun {
+    SHELLS
+        .with(|p| p.borrow_mut().pop())
+        .map(|mut shell| {
+            shell.level = level;
+            shell
+        })
+        .unwrap_or_else(|| ObsRun::new(level))
+}
+
+/// Empties a spent capture and parks it for reuse on this thread.
+fn recycle(mut shell: ObsRun) {
+    shell.level = ObsLevel::Off;
+    shell.events.clear();
+    shell.metrics.clear();
+    SHELLS.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < SHELL_POOL_CAP {
+            pool.push(shell);
+        }
+    });
 }
 
 /// What one [`observe`] scope captured.
@@ -85,7 +118,7 @@ pub fn observe<T>(level: ObsLevel, f: impl FnOnce() -> T) -> (T, ObsRun) {
     if level == ObsLevel::Off {
         return (f(), ObsRun::new(ObsLevel::Off));
     }
-    let previous = COLLECTOR.with(|c| c.borrow_mut().replace(ObsRun::new(level)));
+    let previous = COLLECTOR.with(|c| c.borrow_mut().replace(recycled_run(level)));
     let previous_level = LEVEL.with(|l| {
         let p = l.get();
         l.set(match level {
@@ -120,14 +153,19 @@ pub fn level() -> ObsLevel {
 
 /// Merges a finished capture into the collector installed on the
 /// current thread (no-op without one). This is how the parallel runner
-/// hands worker-thread captures back to the caller's scope.
-pub fn absorb_current(run: ObsRun) {
+/// hands worker-thread captures back to the caller's scope. The spent
+/// capture's storage is recycled for future [`observe`] scopes on this
+/// thread.
+pub fn absorb_current(mut run: ObsRun) {
     if !metrics_enabled() {
         return;
     }
     COLLECTOR.with(|c| {
         if let Some(current) = c.borrow_mut().as_mut() {
-            current.absorb(run);
+            current.level = current.level.max(run.level);
+            current.events.append(&mut run.events);
+            current.metrics.merge(&run.metrics);
+            recycle(run);
         }
     });
 }
@@ -265,6 +303,30 @@ mod tests {
             .collect();
         let got: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert_eq!(got, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recycled_shells_are_indistinguishable() {
+        // Three sequential scopes absorb into an outer collector: the
+        // second and third reuse the first's recycled shell, and nothing
+        // from an earlier capture leaks into a later one.
+        let ((), outer) = observe(ObsLevel::Full, || {
+            for i in 0..3u64 {
+                let ((), mut run) = observe(ObsLevel::Full, || {
+                    counter_add("n", i + 1);
+                    crate::trace_event!(SimTime::from_nanos(i), "test", "tick");
+                });
+                assert_eq!(run.events.len(), 1, "one event per scope, no leftovers");
+                run.tag_run(i);
+                absorb_current(run);
+            }
+        });
+        assert_eq!(outer.metrics.counter("n"), 6);
+        assert_eq!(outer.events.len(), 3);
+        assert_eq!(
+            outer.events.iter().map(|e| e.run).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

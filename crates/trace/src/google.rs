@@ -20,6 +20,8 @@
 //! [`ClusterTrace::generate`] produces such a trace deterministically from
 //! a seed; [`ClusterTrace::modified`] applies the paper's transform.
 
+use std::sync::OnceLock;
+
 use zombieland_simcore::{DetRng, SimDuration, SimTime};
 
 /// Configuration of a synthetic trace.
@@ -116,6 +118,11 @@ pub type TraceEvent = (SimTime, EventKind, usize);
 pub struct ClusterTrace {
     config: TraceConfig,
     tasks: Vec<TaskSpec>,
+    /// Chronologically sorted events, built lazily on the first
+    /// [`Self::events`] call and shared by every simulation over this
+    /// trace afterwards. `OnceLock` keeps `&ClusterTrace` shareable
+    /// across runner workers while the cache fills exactly once.
+    events_cache: OnceLock<Vec<TraceEvent>>,
 }
 
 /// Google-style quantized CPU request sizes (fractions of a server) and
@@ -176,7 +183,11 @@ impl ClusterTrace {
             }
             job += 1;
         }
-        ClusterTrace { config, tasks }
+        ClusterTrace {
+            config,
+            tasks,
+            events_cache: OnceLock::new(),
+        }
     }
 
     fn sample_cpu(rng: &mut DetRng) -> f64 {
@@ -219,12 +230,20 @@ impl ClusterTrace {
                 ..*t
             })
             .collect();
-        ClusterTrace { config, tasks }
+        ClusterTrace {
+            config,
+            tasks,
+            events_cache: OnceLock::new(),
+        }
     }
 
     /// Builds a trace from explicit parts (trace import, tests).
     pub fn from_parts(config: TraceConfig, tasks: Vec<TaskSpec>) -> ClusterTrace {
-        ClusterTrace { config, tasks }
+        ClusterTrace {
+            config,
+            tasks,
+            events_cache: OnceLock::new(),
+        }
     }
 
     /// The generation configuration.
@@ -239,14 +258,21 @@ impl ClusterTrace {
 
     /// Arrival/departure events sorted chronologically (departures before
     /// arrivals at equal instants, so capacity frees first).
-    pub fn events(&self) -> Vec<TraceEvent> {
-        let mut ev: Vec<TraceEvent> = Vec::with_capacity(self.tasks.len() * 2);
-        for (i, t) in self.tasks.iter().enumerate() {
-            ev.push((t.start, EventKind::Arrive, i));
-            ev.push((t.end, EventKind::Depart, i));
-        }
-        ev.sort_by_key(|&(t, kind, i)| (t, kind != EventKind::Depart, i));
-        ev
+    ///
+    /// Built once per trace and cached: a multi-day trace has tens of
+    /// thousands of events, and grid experiments simulate the same trace
+    /// for every policy×profile cell — the allocation and sort must not
+    /// be repaid per cell (or per worker thread).
+    pub fn events(&self) -> &[TraceEvent] {
+        self.events_cache.get_or_init(|| {
+            let mut ev: Vec<TraceEvent> = Vec::with_capacity(self.tasks.len() * 2);
+            for (i, t) in self.tasks.iter().enumerate() {
+                ev.push((t.start, EventKind::Arrive, i));
+                ev.push((t.end, EventKind::Depart, i));
+            }
+            ev.sort_by_key(|&(t, kind, i)| (t, kind != EventKind::Depart, i));
+            ev
+        })
     }
 
     /// Average concurrent booked CPU, in servers.
@@ -344,6 +370,22 @@ mod tests {
             assert!(task.mem_used <= task.mem_booked);
             assert!(task.end > task.start);
         }
+    }
+
+    #[test]
+    fn events_are_cached_per_trace() {
+        let t = ClusterTrace::generate(TraceConfig::small(9));
+        let first = t.events();
+        let second = t.events();
+        assert!(
+            std::ptr::eq(first.as_ptr(), second.as_ptr()),
+            "repeated calls share one cached build"
+        );
+        // Derived traces get caches of their own with identical content
+        // rules (same tasks → same events).
+        let clone = t.clone();
+        assert_eq!(clone.events(), first);
+        assert!(!std::ptr::eq(clone.events().as_ptr(), first.as_ptr()));
     }
 
     #[test]

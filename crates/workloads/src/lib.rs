@@ -52,6 +52,15 @@ pub trait Workload {
 
     /// Suggested number of accesses for one measured run.
     fn suggested_ops(&self) -> u64;
+
+    /// Clones the workload's full state behind the trait object.
+    ///
+    /// Construction is a pure function of `(wss, seed)`, so a clone of a
+    /// freshly built workload replays the same access stream a fresh
+    /// build would — which is what lets experiment grids cache one
+    /// prototype per distinct parameter set and clone on use instead of
+    /// reconstructing per cell.
+    fn clone_box(&self) -> Box<dyn Workload>;
 }
 
 /// The paper's micro-benchmark: iterating read/write over the entries of
@@ -69,7 +78,7 @@ pub trait Workload {
 ///   between 40 % and 50 % local memory that made the authors pick 50 %
 ///   as ZombieStack's operating point;
 /// - rare uniform strays over the rest of the array.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MicroBench {
     wss: Pages,
     os_len: u64,
@@ -112,6 +121,10 @@ impl MicroBench {
 }
 
 impl Workload for MicroBench {
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "micro-bench"
     }
@@ -154,7 +167,7 @@ impl Workload for MicroBench {
 
 /// CloudSuite Data Caching (Memcached with a Twitter dataset): highly
 /// skewed key popularity, read-mostly.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct DataCaching {
     wss: Pages,
     zipf: Zipf,
@@ -173,6 +186,10 @@ impl DataCaching {
 }
 
 impl Workload for DataCaching {
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "data-caching"
     }
@@ -200,7 +217,7 @@ impl Workload for DataCaching {
 
 /// Elasticsearch nightly benchmark (NYC taxis, structured queries): hot
 /// index/metadata pages plus bounded segment range scans.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Elasticsearch {
     wss: Pages,
     zipf: Zipf,
@@ -226,6 +243,10 @@ impl Elasticsearch {
 }
 
 impl Workload for Elasticsearch {
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "elasticsearch"
     }
@@ -275,7 +296,7 @@ impl Workload for Elasticsearch {
 
 /// Spark SQL running BigBench query 23: repeated partition scans with
 /// shuffle writes — weak temporal locality, strong spatial locality.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SparkSql {
     wss: Pages,
     partitions: u64,
@@ -300,6 +321,10 @@ impl SparkSql {
 }
 
 impl Workload for SparkSql {
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "spark-sql"
     }
@@ -377,6 +402,35 @@ mod tests {
             .iter()
             .map(|n| by_name(n, wss, 42).unwrap())
             .collect()
+    }
+
+    #[test]
+    fn clone_box_replays_the_fresh_stream() {
+        // A clone of a freshly built prototype is indistinguishable from
+        // another fresh build — the contract prototype caching relies on.
+        for name in WORKLOAD_NAMES {
+            let mut fresh = by_name(name, Pages::new(512), 9).unwrap();
+            let prototype = by_name(name, Pages::new(512), 9).unwrap();
+            let mut cloned = prototype.clone_box();
+            assert_eq!(cloned.name(), fresh.name());
+            assert_eq!(cloned.wss(), fresh.wss());
+            assert_eq!(cloned.suggested_ops(), fresh.suggested_ops());
+            for _ in 0..2_000 {
+                assert_eq!(cloned.next_access(), fresh.next_access(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn clone_box_snapshots_midstream_state() {
+        let mut w = by_name("micro-bench", Pages::new(256), 3).unwrap();
+        for _ in 0..100 {
+            w.next_access();
+        }
+        let mut snap = w.clone_box();
+        for _ in 0..500 {
+            assert_eq!(snap.next_access(), w.next_access());
+        }
     }
 
     #[test]

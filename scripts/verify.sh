@@ -31,4 +31,15 @@ trap 'rm -f "$ZL_TRACE" "$ZL_BENCH"' EXIT
 grep -q '"schema": "zombieland-bench-v1"' "$ZL_BENCH"
 grep -q '"wall_ns"' "$ZL_BENCH"
 
+echo "==> scaling smoke (table1 output is byte-identical at jobs=1 and jobs=2)"
+ZL_J1=$(mktemp /tmp/zl-jobs1.XXXXXX.txt)
+ZL_J2=$(mktemp /tmp/zl-jobs2.XXXXXX.txt)
+trap 'rm -f "$ZL_TRACE" "$ZL_BENCH" "$ZL_J1" "$ZL_J2"' EXIT
+./target/release/zombieland-cli experiment table1 --scale 0.02 --jobs 1 > "$ZL_J1"
+./target/release/zombieland-cli experiment table1 --scale 0.02 --jobs 2 > "$ZL_J2"
+if ! cmp "$ZL_J1" "$ZL_J2"; then
+    echo "verify: FAIL — parallel fan-out changed the table1 report" >&2
+    exit 1
+fi
+
 echo "verify: OK"

@@ -1,0 +1,68 @@
+//! Shared-input caching: heavy experiment inputs (the fig. 10 cluster
+//! trace) are built once and shared by `Arc` across all runs of a grid.
+//! These tests prove that sharing is invisible in the output — a grid
+//! fed the memoized, shared trace produces byte-identical reports to a
+//! grid whose trace is regenerated from scratch, serial or parallel.
+
+use std::sync::Arc;
+
+use zombieland::energy::MachineProfile;
+use zombieland_bench::experiments;
+
+/// The memoization cache returns the *same allocation* for the same
+/// generating parameters, and distinct allocations for distinct ones.
+#[test]
+fn fig10_trace_is_memoized_by_parameters() {
+    let a = experiments::fig10_trace(40, 1, 7);
+    let b = experiments::fig10_trace(40, 1, 7);
+    assert!(
+        Arc::ptr_eq(&a, &b),
+        "same (servers, days, seed) must hit the cache"
+    );
+    let c = experiments::fig10_trace(40, 1, 8);
+    assert!(!Arc::ptr_eq(&a, &c), "a different seed must miss the cache");
+}
+
+/// The full fig. 10 grid over the shared cached trace equals the grid
+/// over a freshly regenerated trace, at jobs=1 and jobs=4, down to the
+/// rendered report bytes.
+#[test]
+fn cached_trace_grid_matches_regenerated_trace_grid() {
+    let cached = experiments::fig10_trace(40, 1, 7);
+    let cached_modified = cached.modified();
+
+    // Regenerate from scratch: same parameters, brand-new allocation,
+    // and a brand-new per-trace events cache.
+    let fresh = experiments::generate_fig10_trace(40, 1, 7);
+    let fresh_modified = fresh.modified();
+
+    for jobs in [1, 4] {
+        let shared = experiments::figure10_grid(&cached, &cached_modified, jobs);
+        let regenerated = experiments::figure10_grid(&fresh, &fresh_modified, jobs);
+        assert_eq!(
+            shared, regenerated,
+            "jobs={jobs}: shared trace changed a grid report"
+        );
+        assert_eq!(
+            experiments::render_figure10(&shared),
+            experiments::render_figure10(&regenerated),
+            "jobs={jobs}: rendered report bytes differ"
+        );
+    }
+}
+
+/// Per-report check: each policy report computed from the shared trace
+/// equals the one computed from a per-run regenerated trace — the
+/// sharing granularity (one trace for all cells vs one trace per cell)
+/// does not leak into results.
+#[test]
+fn per_cell_regeneration_equals_shared_input() {
+    let shared = experiments::fig10_trace(30, 1, 5);
+    let hp = MachineProfile::hp();
+    let from_shared = experiments::figure10_reports(&shared, &hp, 2);
+    // Regenerate the trace independently for a second pass, as if every
+    // cell had built its own copy.
+    let per_run = experiments::generate_fig10_trace(30, 1, 5);
+    let from_fresh = experiments::figure10_reports(&per_run, &hp, 2);
+    assert_eq!(from_shared, from_fresh);
+}

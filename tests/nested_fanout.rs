@@ -1,0 +1,107 @@
+//! Nested fan-out: a `run_indexed` body that itself calls `run_indexed`
+//! must (a) produce bytes identical to a fully serial evaluation and
+//! (b) never run more workers at once than the top-level job budget —
+//! the inner call splits the inherited budget instead of multiplying
+//! thread counts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use zombieland::simcore::{derive_seed, run_indexed, DetRng};
+
+const OUTER: usize = 6;
+const INNER: usize = 5;
+const BASE_SEED: u64 = 0xBEEF;
+
+/// The per-cell work: a deterministic function of (outer, inner) only.
+fn cell(outer: usize, inner: usize) -> u64 {
+    let seed = derive_seed(derive_seed(BASE_SEED, outer as u64), inner as u64);
+    let mut rng = DetRng::new(seed);
+    (0..64).map(|_| rng.below(1 << 20)).sum()
+}
+
+/// Ground truth computed with plain loops — no runner involved at all.
+fn serial_grid() -> Vec<Vec<u64>> {
+    (0..OUTER)
+        .map(|o| (0..INNER).map(|i| cell(o, i)).collect())
+        .collect()
+}
+
+/// Every (outer_jobs, inner_jobs) combination yields the serial grid.
+#[test]
+fn nested_fan_out_matches_serial_exactly() {
+    let expected = serial_grid();
+    for (outer_jobs, inner_jobs) in [(1, 1), (1, 4), (4, 1), (4, 4), (2, 8), (8, 2), (8, 8)] {
+        let got = run_indexed(outer_jobs, OUTER, |o| {
+            run_indexed(inner_jobs, INNER, |i| cell(o, i))
+        });
+        assert_eq!(
+            got, expected,
+            "jobs=({outer_jobs},{inner_jobs}) changed the grid"
+        );
+    }
+}
+
+/// With a top-level budget of 4, asking for 4×8 nested workers must not
+/// oversubscribe: the number of cell bodies executing at any instant
+/// stays within the budget, because inner calls inherit a share of it.
+#[test]
+fn nested_fan_out_respects_the_job_budget() {
+    const BUDGET: usize = 4;
+    let live = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    let expected = serial_grid();
+
+    let got = run_indexed(BUDGET, OUTER, |o| {
+        run_indexed(8, INNER, |i| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            let v = cell(o, i);
+            live.fetch_sub(1, Ordering::SeqCst);
+            v
+        })
+    });
+
+    assert_eq!(got, expected, "budgeted nested run changed the grid");
+    let peak = peak.load(Ordering::SeqCst);
+    assert!(peak >= 1, "at least one worker ran");
+    assert!(
+        peak <= BUDGET,
+        "peak of {peak} concurrent cell bodies exceeds the budget of {BUDGET}"
+    );
+}
+
+/// Three levels deep still terminates, stays serial-identical, and
+/// stays within budget (the innermost calls degrade to serial once the
+/// budget share reaches one).
+#[test]
+fn triple_nesting_stays_bounded_and_deterministic() {
+    const BUDGET: usize = 3;
+    let live = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+
+    let expected: Vec<Vec<Vec<u64>>> = (0..3)
+        .map(|a| {
+            (0..3)
+                .map(|b| (0..3).map(|c| cell(a * 3 + b, c)).collect())
+                .collect()
+        })
+        .collect();
+
+    let got = run_indexed(BUDGET, 3, |a| {
+        run_indexed(4, 3, |b| {
+            run_indexed(4, 3, |c| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                let v = cell(a * 3 + b, c);
+                live.fetch_sub(1, Ordering::SeqCst);
+                v
+            })
+        })
+    });
+
+    assert_eq!(got, expected);
+    assert!(
+        peak.load(Ordering::SeqCst) <= BUDGET,
+        "triple nesting oversubscribed the budget"
+    );
+}
