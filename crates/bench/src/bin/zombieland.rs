@@ -9,19 +9,26 @@
 //! zombieland validate-trace <FILE>
 //! zombieland suspend <mem|disk|zom>
 //! zombieland list
+//! zombieland --list-policies
 //! ```
 //!
 //! `--jobs N` fans the independent simulation runs of an experiment
-//! across N worker threads. Precedence: the `--jobs` flag wins, then the
-//! `ZL_JOBS` environment variable, then the machine's available
-//! parallelism. Results are bit-for-bit identical at any thread count.
+//! across N worker threads. Results are bit-for-bit identical at any
+//! thread count.
 //!
-//! The global observability flags work with every subcommand:
-//! `--obs-level off|summary|full` selects what gets recorded (metrics
-//! from `summary` up, the full sim-time event trace at `full`),
-//! `--trace-out FILE` writes the trace as JSONL, `--metrics-out FILE`
-//! writes the metric registry as JSON. Requesting an artifact implies
-//! the level that can produce it. Unknown flags are rejected.
+//! Experiment knobs resolve through the typed scenario layer
+//! (`zombieland_core::scenario`), highest precedence first: CLI flags,
+//! `ZL_*` environment variables, a `--scenario FILE` (`key = value`
+//! lines: scale, servers, days, racks, runs, jobs, validate), then the
+//! paper's defaults.
+//!
+//! The global flags work with every subcommand: `--scenario FILE` loads
+//! a scenario, `--obs-level off|summary|full` selects what gets
+//! recorded (metrics from `summary` up, the full sim-time event trace
+//! at `full`), `--trace-out FILE` writes the trace as JSONL,
+//! `--metrics-out FILE` writes the metric registry as JSON. Requesting
+//! an artifact implies the level that can produce it. Unknown flags are
+//! rejected.
 //!
 //! Run via `cargo run --release -p zombieland-bench --bin zombieland-cli -- <args>`.
 
@@ -32,7 +39,7 @@ use zombieland_energy::MachineProfile;
 use zombieland_hypervisor::Policy;
 use zombieland_obs::{observe, run_indexed_obs, ObsLevel, ObsRun};
 use zombieland_simcore::SimDuration;
-use zombieland_simulator::{simulate, PolicyKind, SimConfig};
+use zombieland_simulator::{policy, simulate, PolicyKind, SimConfig};
 use zombieland_trace::json::Value;
 use zombieland_trace::{ClusterTrace, TraceConfig};
 
@@ -46,13 +53,15 @@ fn usage() -> ExitCode {
          zombieland experiment <name|all> [--scale S] [--jobs N]\n  \
          zombieland bench [--quick] [--servers N] [--days D] [--scale S] [--jobs N] \
          [--out FILE] [--baseline-ns NS] [--baseline-label STR]\n  \
-         zombieland simulate [--servers N] [--days D] [--policy neat|oasis|zombiestack|all] \
+         zombieland simulate [--servers N] [--days D] [--policy NAME|all] \
          [--modified] [--machine hp|dell] [--trace FILE] [--timeline] [--pue X] [--jobs N]\n  \
          zombieland trace [--servers N] [--days D] [--seed S] --out FILE\n  \
          zombieland validate-trace <FILE>\n  \
          zombieland suspend <mem|disk|zom>\n  \
-         zombieland list\n\
-         global flags: --obs-level off|summary|full --trace-out FILE --metrics-out FILE"
+         zombieland list\n  \
+         zombieland --list-policies\n\
+         global flags: --scenario FILE --obs-level off|summary|full \
+         --trace-out FILE --metrics-out FILE"
     );
     ExitCode::from(2)
 }
@@ -115,8 +124,8 @@ fn flag_value(args: &[String], key: &str) -> Option<String> {
 }
 
 /// The `--jobs N` worker count. Precedence: `--jobs` flag, then the
-/// `ZL_JOBS` environment variable, then available parallelism (see
-/// [`experiments::jobs_from_env`]).
+/// scenario layer (`ZL_JOBS`, a scenario file's `jobs` key, available
+/// parallelism — see [`experiments::jobs_from_env`]).
 fn jobs_flag(args: &[String]) -> usize {
     flag_value(args, "--jobs")
         .and_then(|v| v.parse().ok())
@@ -370,25 +379,36 @@ fn cmd_bench(args: &[String]) -> ExitCode {
 }
 
 fn cmd_simulate(args: &[String]) -> ExitCode {
+    // `--servers`/`--days` beat the loaded scenario, which beats the
+    // ad-hoc default of 300 × 1 (DC-scale experiments use `fig10`).
+    let scenario = zombieland_core::scenario::installed();
     let servers = flag_value(args, "--servers")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(300);
+        .unwrap_or_else(|| scenario.map_or(300, |s| s.servers));
     let days = flag_value(args, "--days")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
+        .unwrap_or_else(|| scenario.map_or(1, |s| s.days));
     let machine = match flag_value(args, "--machine").as_deref() {
         Some("dell") => MachineProfile::dell(),
         _ => MachineProfile::hp(),
     };
     let policy_arg = flag_value(args, "--policy").unwrap_or_else(|| "all".into());
-    let policies: Vec<PolicyKind> = match policy_arg.as_str() {
-        "neat" => vec![PolicyKind::Neat],
-        "oasis" => vec![PolicyKind::Oasis],
-        "zombiestack" => vec![PolicyKind::ZombieStack],
-        "all" => vec![PolicyKind::Neat, PolicyKind::Oasis, PolicyKind::ZombieStack],
-        other => {
-            eprintln!("unknown policy {other:?}");
-            return ExitCode::from(2);
+    let policies: Vec<&'static policy::PolicySpec> = if policy_arg == "all" {
+        vec![
+            PolicyKind::Neat.spec(),
+            PolicyKind::Oasis.spec(),
+            PolicyKind::ZombieStack.spec(),
+        ]
+    } else {
+        match policy::lookup(&policy_arg) {
+            Some(spec) => vec![spec],
+            None => {
+                eprintln!(
+                    "unknown policy {policy_arg:?}; run `zombieland --list-policies` \
+                     for the registry"
+                );
+                return ExitCode::from(2);
+            }
         }
     };
 
@@ -423,16 +443,23 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
     );
     let timeline = args.iter().any(|a| a == "--timeline");
     let pue = flag_value(args, "--pue").and_then(|v| v.parse::<f64>().ok());
-    let cfg_for = |p: PolicyKind| SimConfig {
+    let cfg_for = |p: &'static policy::PolicySpec| SimConfig {
         sample_interval: timeline.then(|| SimDuration::from_hours(1)),
-        ..SimConfig::new(p, machine.clone())
+        ..SimConfig::with_spec(p, machine.clone())
     };
     // The baseline and every requested policy are independent runs of
-    // the same trace: fan them out, then print in order.
+    // the same trace: fan them out, then print in order. The baseline
+    // always leads, so asking for it explicitly is not a second run.
     let jobs = jobs_flag(args);
-    let mut kinds = vec![PolicyKind::AlwaysOn];
-    kinds.extend(policies.iter().copied());
-    let reports = run_indexed_obs(jobs, kinds.len(), |i| simulate(&trace, &cfg_for(kinds[i])));
+    let baseline_spec = PolicyKind::AlwaysOn.spec();
+    let mut specs = vec![baseline_spec];
+    specs.extend(
+        policies
+            .iter()
+            .copied()
+            .filter(|s| !std::ptr::eq(*s, baseline_spec)),
+    );
+    let reports = run_indexed_obs(jobs, specs.len(), |i| simulate(&trace, &cfg_for(specs[i])));
     let base = &reports[0];
     println!("baseline (always-on): {:.1} kWh", base.energy.as_kwh());
     let cooling = pue.map(zombieland_energy::cooling::CoolingModel::with_pue);
@@ -448,7 +475,7 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         println!(
             "{:<12} {:.1} kWh  saving {:>5.1}%  (active {:.0}%, zombie {:.0}%, \
              asleep {:.0}%; {} migrations, {} wakeups)",
-            r.policy.name(),
+            r.policy,
             r.energy.as_kwh(),
             r.savings_pct(base),
             100.0 * r.state_seconds[0] / total,
@@ -571,22 +598,29 @@ fn cmd_validate_trace(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// The global observability options, stripped from the raw argument
-/// list before subcommand dispatch.
-struct ObsOpts {
+/// The global options, stripped from the raw argument list before
+/// subcommand dispatch.
+struct GlobalOpts {
     level: ObsLevel,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    /// `--scenario FILE`, loaded and validated but not yet installed.
+    scenario: Option<zombieland_core::scenario::Scenario>,
+    /// `--list-policies`: print the registry and exit.
+    list_policies: bool,
 }
 
-/// Splits `--obs-level`/`--trace-out`/`--metrics-out` (valid anywhere on
-/// the command line) out of `args`. Requesting an artifact implies the
-/// lowest level that can produce it.
-fn split_obs_flags(args: Vec<String>) -> Result<(Vec<String>, ObsOpts), String> {
+/// Splits the global flags (valid anywhere on the command line) out of
+/// `args`: `--scenario`, `--list-policies`, and the observability trio
+/// `--obs-level`/`--trace-out`/`--metrics-out`. Requesting an obs
+/// artifact implies the lowest level that can produce it.
+fn split_global_flags(args: Vec<String>) -> Result<(Vec<String>, GlobalOpts), String> {
     let mut rest = Vec::new();
     let mut level = None;
     let mut trace_out = None;
     let mut metrics_out = None;
+    let mut scenario = None;
+    let mut list_policies = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -603,6 +637,11 @@ fn split_obs_flags(args: Vec<String>) -> Result<(Vec<String>, ObsOpts), String> 
             "--metrics-out" => {
                 metrics_out = Some(it.next().ok_or("flag \"--metrics-out\" needs a value")?)
             }
+            "--scenario" => {
+                let path = it.next().ok_or("flag \"--scenario\" needs a value")?;
+                scenario = Some(zombieland_core::scenario::Scenario::load(&path)?);
+            }
+            "--list-policies" => list_policies = true,
             _ => rest.push(a),
         }
     }
@@ -613,17 +652,28 @@ fn split_obs_flags(args: Vec<String>) -> Result<(Vec<String>, ObsOpts), String> 
     });
     Ok((
         rest,
-        ObsOpts {
+        GlobalOpts {
             level,
             trace_out,
             metrics_out,
+            scenario,
+            list_policies,
         },
     ))
 }
 
+/// Prints the policy registry (`--list-policies`).
+fn list_policies() -> ExitCode {
+    println!("registered policies (--policy KEY; case-insensitive):");
+    for spec in policy::REGISTRY {
+        println!("  {:<14} {:<13} {}", spec.key, spec.label, spec.summary);
+    }
+    ExitCode::SUCCESS
+}
+
 /// Writes the requested observability artifacts and prints the metrics
 /// table.
-fn export_obs(opts: &ObsOpts, run: &ObsRun) -> Result<(), String> {
+fn export_obs(opts: &GlobalOpts, run: &ObsRun) -> Result<(), String> {
     if let Some(path) = &opts.trace_out {
         std::fs::write(path, run.events_jsonl())
             .map_err(|e| format!("cannot write trace {path:?}: {e}"))?;
@@ -702,18 +752,24 @@ fn dispatch(args: &[String]) -> ExitCode {
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (args, obs) = match split_obs_flags(raw) {
+    let (args, opts) = match split_global_flags(raw) {
         Ok(split) => split,
         Err(e) => {
             eprintln!("error: {e}");
             return usage();
         }
     };
-    if obs.level == ObsLevel::Off {
+    if let Some(s) = opts.scenario.clone() {
+        zombieland_core::scenario::install(s);
+    }
+    if opts.list_policies {
+        return list_policies();
+    }
+    if opts.level == ObsLevel::Off {
         return dispatch(&args);
     }
-    let (code, run) = observe(obs.level, || dispatch(&args));
-    if let Err(e) = export_obs(&obs, &run) {
+    let (code, run) = observe(opts.level, || dispatch(&args));
+    if let Err(e) = export_obs(&opts, &run) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }

@@ -13,7 +13,7 @@ use zombieland_hypervisor::engine::{self, Backing, EngineConfig, RunStats};
 use zombieland_hypervisor::{Mode, Policy, SwapBackend};
 use zombieland_obs::run_indexed_obs;
 use zombieland_simcore::report::{fmt_penalty, Table};
-use zombieland_simcore::{available_jobs, derive_seed, Bytes, SimDuration};
+use zombieland_simcore::{derive_seed, Bytes, SimDuration};
 use zombieland_simulator::{simulate, PolicyKind, SimConfig, SimReport};
 use zombieland_trace::{ClusterTrace, TraceConfig};
 use zombieland_workloads::{by_name, Workload};
@@ -26,35 +26,28 @@ pub const LOCAL_PCTS: [u32; 5] = [20, 40, 50, 60, 80];
 
 /// Memory-experiment scale: 1.0 = the paper's 7 GiB VM / 6 GiB WSS.
 /// Defaults to 0.25 (1.75 GiB VM) so `cargo bench` finishes in minutes;
-/// override with `ZL_SCALE`.
+/// override with `ZL_SCALE` or a `--scenario` file's `scale` key (the
+/// [`scenario`](zombieland_core::scenario) layer resolves precedence).
 pub fn scale_from_env() -> f64 {
-    std::env::var("ZL_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.25)
+    zombieland_core::scenario::current().scale
 }
 
 /// Repetitions per measurement ("each result presented in this paper is
 /// an average of ten executions", §6). Defaults to 1 — the simulation is
 /// deterministic, so repetitions only matter when varying seeds;
-/// override with `ZL_RUNS`.
+/// override with `ZL_RUNS` or a scenario file's `runs` key.
 pub fn runs_from_env() -> u32 {
-    std::env::var("ZL_RUNS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1)
-        .max(1)
+    zombieland_core::scenario::current().runs
 }
 
-/// Worker threads for experiment fan-out: `ZL_JOBS`, defaulting to the
-/// machine's available parallelism — [`available_jobs`] is the single
-/// source of truth (precedence: CLI `--jobs` flag > `ZL_JOBS` >
-/// `available_parallelism`). Every experiment's runs are independent
-/// deterministic simulations, so the thread count changes wall-clock
-/// time only — never a single output bit (asserted in
+/// Worker threads for experiment fan-out, resolved by the scenario
+/// layer (precedence: CLI `--jobs` flag > `ZL_JOBS` > a scenario file's
+/// `jobs` key > `available_parallelism`). Every experiment's runs are
+/// independent deterministic simulations, so the thread count changes
+/// wall-clock time only — never a single output bit (asserted in
 /// `tests/parallel_determinism.rs`).
 pub fn jobs_from_env() -> usize {
-    available_jobs()
+    zombieland_core::scenario::current().jobs()
 }
 
 /// VM geometry at a given scale.
@@ -511,18 +504,11 @@ pub fn print_table3() {
 // ---------------------------------------------------------------------
 
 /// Fig. 10 datacenter scale (servers, days): defaults to 600 servers ×
-/// 2 days; override with `ZL_DC_SERVERS` / `ZL_DC_DAYS` (the paper:
-/// 12 583 × 29).
+/// 2 days; override with `ZL_DC_SERVERS` / `ZL_DC_DAYS` or a scenario
+/// file's `servers` / `days` keys (the paper: 12 583 × 29).
 pub fn dc_scale_from_env() -> (u32, u64) {
-    let servers = std::env::var("ZL_DC_SERVERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(600);
-    let days = std::env::var("ZL_DC_DAYS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2);
-    (servers, days)
+    let s = zombieland_core::scenario::current();
+    (s.servers, s.days)
 }
 
 /// Builds the Fig. 10 trace uncached (what [`fig10_trace`] memoizes;

@@ -36,8 +36,9 @@ pub struct Neat {
 }
 
 impl Neat {
-    /// The paper's thresholds.
-    pub fn new(mode: ConsolidationMode) -> Self {
+    /// The paper's thresholds. `const` so policy objects can embed a
+    /// planner in `static` items.
+    pub const fn new(mode: ConsolidationMode) -> Self {
         Neat {
             mode,
             underload_threshold: 0.20,

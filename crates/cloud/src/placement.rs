@@ -85,15 +85,16 @@ pub struct NovaScheduler {
 }
 
 impl NovaScheduler {
-    /// ZombieStack's configuration: the 50 % rule of §5.1/§6.3.
-    pub fn zombiestack() -> Self {
+    /// ZombieStack's configuration: the 50 % rule of §5.1/§6.3. `const`
+    /// so policy objects can embed a scheduler in `static` items.
+    pub const fn zombiestack() -> Self {
         NovaScheduler {
             min_local_fraction: 0.5,
         }
     }
 
     /// Vanilla Nova: all memory must be local.
-    pub fn vanilla() -> Self {
+    pub const fn vanilla() -> Self {
         NovaScheduler {
             min_local_fraction: 1.0,
         }

@@ -27,6 +27,9 @@
 //! - [`rack`] — [`rack::Rack`], the facade wiring fabric + platforms +
 //!   controller + managers together; the hypervisor and cloud layers
 //!   program against it.
+//! - [`scenario`] — the typed experiment configuration layer (`ZL_*`
+//!   environment, `--scenario` files, documented precedence); the one
+//!   module in the workspace that reads `ZL_*` variables.
 
 pub mod codec;
 pub mod db;
@@ -34,6 +37,7 @@ pub mod ha;
 pub mod manager;
 pub mod protocol;
 pub mod rack;
+pub mod scenario;
 pub mod server;
 
 pub use manager::PageHandle;

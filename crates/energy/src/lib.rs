@@ -13,14 +13,19 @@
 //!   zombie).
 //! - [`meter`] — a PowerSpy2-like integrator used by the datacenter
 //!   simulator to turn state/utilization timelines into Joules.
+//! - [`model`] — the [`PowerModel`] trait mapping a host's situation
+//!   (active/zombie/suspended) to Watts; [`Table3Power`] is the paper's
+//!   calibrated implementation and other models can plug in beside it.
 //! - [`cooling`] — the facility-level (PUE) amplification of server-level
 //!   savings that the paper's footnote 1 points out.
 
 pub mod cooling;
 pub mod curve;
 pub mod meter;
+pub mod model;
 pub mod profile;
 pub mod rack;
 
 pub use meter::EnergyMeter;
+pub use model::{HostDraw, PowerModel, Table3Power, TABLE3};
 pub use profile::{MachineProfile, MeasuredConfig};

@@ -1,0 +1,122 @@
+//! Pluggable host power models.
+//!
+//! The datacenter simulator integrates fleet energy from per-host power
+//! draws. What a host draws depends on what it is doing — running VMs at
+//! some utilization, lending memory from Sz, or suspended in S3 — and on
+//! the *model* that maps those situations to Watts. [`PowerModel`] is
+//! that mapping as a trait, so the Table-3-calibrated model the paper
+//! uses ([`Table3Power`]) is one implementation rather than arithmetic
+//! hardwired into the simulator.
+
+use core::fmt::Debug;
+
+use zombieland_acpi::SleepState;
+use zombieland_simcore::Watts;
+
+use crate::curve::power_fraction;
+use crate::profile::MachineProfile;
+
+/// What a host is doing, as far as its power draw is concerned.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum HostDraw {
+    /// Running (S0) with VMs at the given CPU utilization in `[0, 1]`.
+    Active {
+        /// Actual CPU utilization (values outside `[0, 1]` are clamped).
+        utilization: f64,
+    },
+    /// In the zombie state (Sz): suspended but serving memory.
+    Zombie,
+    /// Suspended to RAM (S3), Wake-on-LAN card powered.
+    Suspended,
+}
+
+/// A model mapping a machine's situation to instantaneous power.
+///
+/// Implementations must be pure functions of their inputs: the simulator
+/// calls [`PowerModel::host_power`] on every host mutation and relies on
+/// the same `(profile, draw)` always producing the same Watts bits for
+/// its bit-for-bit determinism contract.
+pub trait PowerModel: Send + Sync + Debug {
+    /// Model name, for listings and debugging.
+    fn name(&self) -> &'static str;
+
+    /// Instantaneous draw of one host of `profile` in situation `draw`.
+    fn host_power(&self, profile: &MachineProfile, draw: HostDraw) -> Watts;
+
+    /// Draw while a suspend/wake transition is in flight. The platform
+    /// runs its enter/exit sequences at near-full power; models that
+    /// disagree can override.
+    fn transition_power(&self, profile: &MachineProfile) -> Watts {
+        profile.max_power() * 0.9
+    }
+}
+
+/// The paper's power model, calibrated from the Table 3 measurements:
+///
+/// - **Active** hosts follow the Fig. 1 utilization curve
+///   ([`power_fraction`]) scaled to the machine's max draw.
+/// - **Zombie** hosts draw the Eq. 1 estimate
+///   ([`MachineProfile::sz_fraction`]).
+/// - **Suspended** hosts draw the measured S3-with-Infiniband fraction.
+#[derive(Clone, Copy, Debug)]
+pub struct Table3Power;
+
+/// The shared instance simulator configs point at by default.
+pub static TABLE3: Table3Power = Table3Power;
+
+impl PowerModel for Table3Power {
+    fn name(&self) -> &'static str {
+        "table3"
+    }
+
+    fn host_power(&self, profile: &MachineProfile, draw: HostDraw) -> Watts {
+        match draw {
+            HostDraw::Active { utilization } => {
+                profile.max_power() * power_fraction(profile, utilization.clamp(0.0, 1.0))
+            }
+            HostDraw::Zombie => profile.max_power() * profile.sz_fraction(),
+            HostDraw::Suspended => profile.max_power() * profile.state_fraction(SleepState::S3),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_profile_math() {
+        for p in [MachineProfile::hp(), MachineProfile::dell()] {
+            let m = &TABLE3 as &dyn PowerModel;
+            for u in [0.0, 0.3, 0.97, 1.0, 1.7] {
+                assert_eq!(
+                    m.host_power(&p, HostDraw::Active { utilization: u }).get(),
+                    (p.max_power() * power_fraction(&p, u.clamp(0.0, 1.0))).get(),
+                    "{} active at {u}",
+                    p.name()
+                );
+            }
+            assert_eq!(
+                m.host_power(&p, HostDraw::Zombie).get(),
+                (p.max_power() * p.sz_fraction()).get()
+            );
+            assert_eq!(
+                m.host_power(&p, HostDraw::Suspended).get(),
+                (p.max_power() * p.state_fraction(SleepState::S3)).get()
+            );
+            assert_eq!(m.transition_power(&p).get(), (p.max_power() * 0.9).get());
+        }
+    }
+
+    #[test]
+    fn draw_ordering_is_physical() {
+        let p = MachineProfile::hp();
+        let m = &TABLE3;
+        let active = m
+            .host_power(&p, HostDraw::Active { utilization: 0.0 })
+            .get();
+        let zombie = m.host_power(&p, HostDraw::Zombie).get();
+        let asleep = m.host_power(&p, HostDraw::Suspended).get();
+        assert!(active > zombie && zombie > asleep && asleep > 0.0);
+    }
+}

@@ -51,25 +51,18 @@ impl Drop for BudgetGuard {
     }
 }
 
-/// The number of worker threads to use when the caller does not say:
-/// `ZL_JOBS` from the environment if set to a positive integer,
-/// otherwise the machine's available parallelism (1 if that cannot be
-/// probed).
+/// The number of worker threads to use when nothing configures one: the
+/// machine's available parallelism (1 if that cannot be probed).
 ///
-/// Precedence across the workspace, highest first: an explicit `--jobs`
-/// CLI flag, then `ZL_JOBS`, then `available_parallelism`. Every call
-/// site — CLI subcommands, benches, tests — resolves through this one
-/// function so nested fan-outs and tools agree on the worker count.
+/// Configuration overrides (`--jobs`, `ZL_JOBS`, a scenario file's
+/// `jobs` key) are resolved by the `zombieland-core` scenario layer,
+/// which falls back to this probe — simcore itself never reads the
+/// environment, so nested fan-outs stay a pure function of their
+/// arguments.
 pub fn available_jobs() -> usize {
-    std::env::var("ZL_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&j| j >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// One result slot per run index, written without locks.
@@ -379,25 +372,5 @@ mod tests {
             used <= 3,
             "{used} distinct workers exceed the inner jobs of 3"
         );
-    }
-
-    #[test]
-    fn available_jobs_respects_zl_jobs() {
-        // Env mutation: this is the only simcore test touching ZL_JOBS,
-        // and nothing else in this crate's suite reads it.
-        let saved = std::env::var("ZL_JOBS").ok();
-        std::env::set_var("ZL_JOBS", "3");
-        assert_eq!(available_jobs(), 3);
-        std::env::set_var("ZL_JOBS", "0");
-        let fallback = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        assert_eq!(available_jobs(), fallback, "0 is invalid and ignored");
-        std::env::set_var("ZL_JOBS", "not-a-number");
-        assert_eq!(available_jobs(), fallback);
-        match saved {
-            Some(v) => std::env::set_var("ZL_JOBS", v),
-            None => std::env::remove_var("ZL_JOBS"),
-        }
     }
 }

@@ -1,0 +1,949 @@
+//! Datacenter state: hosts, VMs, the rack-local remote pool, and the
+//! index sets that keep the hot paths from scanning the full fleet.
+//!
+//! Everything here is *mechanism* — admission checks, the two-phase
+//! evacuation protocol, pool carving, invariant validation. Every
+//! policy *decision* routes through the [`crate::policy`] trait objects
+//! carried by [`crate::SimConfig::policy`], so this module never
+//! matches on a policy name.
+
+use core::cmp::Ordering;
+use std::collections::BTreeSet;
+
+use zombieland_cloud::oasis::OasisConfig;
+use zombieland_simcore::{Joules, SimTime, Watts};
+use zombieland_trace::google::ClusterTrace;
+
+use crate::policy::{HostLoad, WakePreference};
+use crate::report::SimReport;
+use crate::SimConfig;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum HState {
+    Active,
+    Zombie,
+    Sleeping,
+}
+
+pub(crate) fn state_index(s: HState) -> usize {
+    match s {
+        HState::Active => 0,
+        HState::Zombie => 1,
+        HState::Sleeping => 2,
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Host {
+    pub(crate) state: HState,
+    pub(crate) rack: u32,
+    pub(crate) cpu_booked: f64,
+    pub(crate) cpu_used: f64,
+    pub(crate) mem_local: f64,
+    /// Remote-pool memory allocated *from* this host (only when zombie).
+    pub(crate) remote_allocated: f64,
+    pub(crate) vms: Vec<usize>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct VmState {
+    pub(crate) host: usize,
+    pub(crate) local_mem: f64,
+    /// Remote-pool memory this VM holds (server-equivalents).
+    pub(crate) remote: f64,
+    pub(crate) parked: f64,
+}
+
+/// Ticks a freshly woken host is exempt from consolidation, damping
+/// wake/suspend churn.
+const WAKE_COOLDOWN_TICKS: u32 = 3;
+
+/// Bookkeeping for one in-flight (two-phase) consolidation move.
+#[derive(Clone, Copy, Debug)]
+struct PendingMove {
+    task: usize,
+    source: usize,
+    target: usize,
+    old_local: f64,
+    old_remote: f64,
+    new_local: f64,
+    taken: f64,
+}
+
+pub(crate) struct Dc {
+    pub(crate) cfg: SimConfig,
+    pub(crate) hosts: Vec<Host>,
+    pub(crate) cooldown: Vec<u32>,
+    pub(crate) vms: Vec<Option<VmState>>,
+    pub(crate) parked_mem: f64,
+    pub(crate) total_power: Watts,
+    pub(crate) state_counts: [u64; 3],
+    pub(crate) energy: Joules,
+    pub(crate) last: SimTime,
+    pub(crate) report: SimReport,
+    pub(crate) oasis: OasisConfig,
+    /// Index sets by host state, maintained by [`Dc::update_host`] so the
+    /// hot paths (placement, wake, pool carving) never scan the full
+    /// fleet. Iteration order is ascending host index — the same order
+    /// the old full scans visited — so every float sum and every
+    /// tie-break is bit-for-bit identical to the O(hosts) versions.
+    pub(crate) active: BTreeSet<usize>,
+    /// Active hosts keyed by `(cpu_booked, index)`, most-booked first
+    /// with ties toward the lower index — exactly the stacking
+    /// preference order, so placement scans stop at the *first* fitting
+    /// entry instead of ranking the whole fleet. The key is the stored
+    /// bits of `cpu_booked` at index time; [`Dc::update_host`]
+    /// repositions entries whenever the value changes.
+    pub(crate) active_by_booked: Vec<(f64, usize)>,
+    /// Sleeping and zombie hosts (the wake candidates).
+    pub(crate) nonactive: BTreeSet<usize>,
+    /// Zombie hosts per rack (the rack-local remote pool's lenders).
+    pub(crate) zombies_by_rack: Vec<BTreeSet<usize>>,
+    /// Persistent sort buffer for the consolidation order (reused every
+    /// tick instead of a fresh allocation).
+    order_buf: Vec<usize>,
+    /// Persistent buffer for the resident-VM snapshot in
+    /// [`Dc::try_evacuate`].
+    evac_buf: Vec<usize>,
+    /// Per-rack free-pool snapshot taken at the start of each placement
+    /// scan, so `fits` stops re-summing the pool per candidate host.
+    pool_buf: Vec<f64>,
+    /// Whether [`Dc::validate`] runs after each consolidation round:
+    /// debug builds by default, or the scenario's `validate` switch
+    /// (`ZL_VALIDATE=1`) in release.
+    validate_on: bool,
+}
+
+/// Whether the O(hosts × vms) invariant sweep runs: always in debug
+/// builds (unless `ZL_VALIDATE=0`), and only on `ZL_VALIDATE=1` in
+/// release — release runs skip the sweep entirely. The switch is the
+/// scenario layer's `validate` field, so env and `--scenario` files
+/// agree on one spelling.
+fn validate_enabled() -> bool {
+    zombieland_core::scenario::current()
+        .validate
+        .unwrap_or(cfg!(debug_assertions))
+}
+
+impl Dc {
+    /// Builds the all-active initial fleet for `trace` under `cfg`.
+    ///
+    /// `cfg` must have passed [`SimConfig::validate`]; in particular
+    /// `racks >= 1`, so the rack assignment below never divides by zero
+    /// (the old code clamped with `racks.max(1)` at every use site).
+    pub(crate) fn new(trace: &ClusterTrace, cfg: &SimConfig) -> Dc {
+        let n = trace.config().servers as usize;
+        let mut dc = Dc {
+            hosts: (0..n)
+                .map(|i| Host {
+                    state: HState::Active,
+                    rack: i as u32 % cfg.racks,
+                    cpu_booked: 0.0,
+                    cpu_used: 0.0,
+                    mem_local: 0.0,
+                    remote_allocated: 0.0,
+                    vms: Vec::new(),
+                })
+                .collect(),
+            cooldown: vec![0; n],
+            vms: vec![None; trace.tasks().len()],
+            parked_mem: 0.0,
+            total_power: Watts::ZERO,
+            energy: Joules::ZERO,
+            last: SimTime::ZERO,
+            report: SimReport {
+                policy: cfg.policy.label,
+                energy: Joules::ZERO,
+                migrations: 0,
+                wakeups: 0,
+                dropped: 0,
+                overcommitted: 0,
+                state_seconds: [0.0; 3],
+                peak_parked: 0.0,
+                timeline: Vec::new(),
+            },
+            oasis: OasisConfig::default(),
+            active: (0..n).collect(),
+            active_by_booked: (0..n).map(|i| (0.0, i)).collect(),
+            nonactive: BTreeSet::new(),
+            zombies_by_rack: vec![BTreeSet::new(); cfg.racks as usize],
+            order_buf: Vec::new(),
+            evac_buf: Vec::new(),
+            pool_buf: Vec::new(),
+            validate_on: validate_enabled(),
+            cfg: cfg.clone(),
+            state_counts: [n as u64, 0, 0],
+        };
+        // Initial fleet power: everything on and idle. An empty fleet
+        // has no host 0 to sample (and draws nothing).
+        if n > 0 {
+            dc.total_power = dc.host_power(0) * n as f64;
+        }
+        dc
+    }
+
+    /// Applies a mutation to host `h`, keeping the fleet power total
+    /// consistent.
+    pub(crate) fn update_host(&mut self, h: usize, f: impl FnOnce(&mut Host)) {
+        let before = self.host_power(h);
+        let state_before = self.hosts[h].state;
+        let booked_before = self.hosts[h].cpu_booked;
+        f(&mut self.hosts[h]);
+        let after = self.host_power(h);
+        let state_after = self.hosts[h].state;
+        let booked_after = self.hosts[h].cpu_booked;
+        if state_before != state_after {
+            self.state_counts[state_index(state_before)] -= 1;
+            self.state_counts[state_index(state_after)] += 1;
+            self.index_host(h, state_before, state_after, booked_before, booked_after);
+        } else if state_after == HState::Active
+            && booked_after.total_cmp(&booked_before) != Ordering::Equal
+        {
+            // total_cmp (not `!=`) so a -0.0/+0.0 flip still repositions
+            // and the stored key always matches the host's exact bits.
+            self.reposition_booked(h, booked_before, booked_after);
+        }
+        self.total_power =
+            Watts::new((self.total_power.get() - before.get() + after.get()).max(0.0));
+    }
+
+    /// The ordering of [`Dc::active_by_booked`]: most-booked first, ties
+    /// toward the lower host index (the stacking preference order).
+    fn booked_order(a: &(f64, usize), b: &(f64, usize)) -> Ordering {
+        b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
+    }
+
+    /// Re-slots `h` in the booked-ordered list after its `cpu_booked`
+    /// moved from `old` to `new`.
+    fn reposition_booked(&mut self, h: usize, old: f64, new: f64) {
+        let pos = self
+            .active_by_booked
+            .binary_search_by(|e| Self::booked_order(e, &(old, h)))
+            .expect("active host indexed under its old booked key");
+        self.active_by_booked.remove(pos);
+        let ins = self
+            .active_by_booked
+            .partition_point(|e| Self::booked_order(e, &(new, h)) == Ordering::Less);
+        self.active_by_booked.insert(ins, (new, h));
+    }
+
+    /// Moves `h` between the per-state index sets on a state change.
+    fn index_host(&mut self, h: usize, from: HState, to: HState, booked_old: f64, booked_new: f64) {
+        let rack = self.hosts[h].rack as usize;
+        match from {
+            HState::Active => {
+                self.active.remove(&h);
+                let pos = self
+                    .active_by_booked
+                    .binary_search_by(|e| Self::booked_order(e, &(booked_old, h)))
+                    .expect("active host indexed under its old booked key");
+                self.active_by_booked.remove(pos);
+            }
+            HState::Zombie => {
+                self.nonactive.remove(&h);
+                self.zombies_by_rack[rack].remove(&h);
+            }
+            HState::Sleeping => {
+                self.nonactive.remove(&h);
+            }
+        }
+        match to {
+            HState::Active => {
+                self.active.insert(h);
+                let ins = self
+                    .active_by_booked
+                    .partition_point(|e| Self::booked_order(e, &(booked_new, h)) == Ordering::Less);
+                self.active_by_booked.insert(ins, (booked_new, h));
+            }
+            HState::Zombie => {
+                self.nonactive.insert(h);
+                self.zombies_by_rack[rack].insert(h);
+            }
+            HState::Sleeping => {
+                self.nonactive.insert(h);
+            }
+        }
+    }
+
+    /// Snapshots every rack's free pool into [`Dc::pool_buf`] ahead of a
+    /// placement scan. Under non-pool policies the snapshot is all zeros
+    /// (never read). The scan itself does not mutate pool state, so one
+    /// snapshot serves every candidate host — this is what turns the old
+    /// O(hosts²) placement into O(active + zombies).
+    fn snapshot_pools(&mut self) {
+        let mut buf = std::mem::take(&mut self.pool_buf);
+        buf.clear();
+        let racks = self.cfg.racks;
+        if self.cfg.policy.placement.uses_remote_pool() {
+            buf.extend((0..racks).map(|r| self.pool_free(r)));
+        } else {
+            buf.resize(racks as usize, 0.0);
+        }
+        self.pool_buf = buf;
+    }
+
+    fn usable_mem(&self) -> f64 {
+        self.cfg.usable_mem
+    }
+
+    /// Free remote-pool memory in one rack (zombie hosts only — the pool
+    /// is rack-local as in the paper). Sums over the rack's zombie index
+    /// set in ascending host order, the same order (and therefore the
+    /// same float result) as the old full-fleet filter scan.
+    fn pool_free(&self, rack: u32) -> f64 {
+        self.zombies_by_rack[rack as usize]
+            .iter()
+            .map(|&i| (self.usable_mem() - self.hosts[i].remote_allocated).max(0.0))
+            .sum()
+    }
+
+    /// Free pool across every rack (reporting / demotion policy).
+    fn pool_free_total(&self) -> f64 {
+        (0..self.cfg.racks).map(|r| self.pool_free(r)).sum()
+    }
+
+    /// Carves `amount` of remote memory from one rack's zombie hosts
+    /// (most-free first). Returns how much was actually taken.
+    fn take_remote(&mut self, rack: u32, mut amount: f64) -> f64 {
+        let mut taken = 0.0;
+        while amount > 1e-9 {
+            // Most-free zombie; `>=` keeps the *last* maximum among ties,
+            // matching the old full-scan `max_by`.
+            let mut best: Option<(usize, f64)> = None;
+            for &i in &self.zombies_by_rack[rack as usize] {
+                let free = (self.usable_mem() - self.hosts[i].remote_allocated).max(0.0);
+                if best.is_none_or(|(_, b)| free >= b) {
+                    best = Some((i, free));
+                }
+            }
+            let Some((idx, free)) = best else {
+                break;
+            };
+            if free <= 1e-9 {
+                break;
+            }
+            let take = free.min(amount);
+            self.hosts[idx].remote_allocated += take;
+            taken += take;
+            amount -= take;
+        }
+        taken
+    }
+
+    /// Returns `amount` of remote memory to one rack's pool (drained from
+    /// the most-loaded zombies first, so lightly-used zombies empty out
+    /// and become demotable to S3).
+    fn give_back_remote(&mut self, rack: u32, mut amount: f64) {
+        while amount > 1e-9 {
+            // Most-loaded zombie; `>=` keeps the last maximum among ties,
+            // matching the old full-scan `max_by`.
+            let mut best: Option<(usize, f64)> = None;
+            for &i in &self.zombies_by_rack[rack as usize] {
+                let ra = self.hosts[i].remote_allocated;
+                if ra > 1e-9 && best.is_none_or(|(_, b)| ra >= b) {
+                    best = Some((i, ra));
+                }
+            }
+            let Some((idx, _)) = best else {
+                break;
+            };
+            let back = self.hosts[idx].remote_allocated.min(amount);
+            self.hosts[idx].remote_allocated -= back;
+            amount -= back;
+        }
+    }
+
+    /// The [`HostLoad`] view of `host` the policy traits judge.
+    fn host_load(&self, host: usize) -> HostLoad {
+        let h = &self.hosts[host];
+        HostLoad {
+            cpu_booked: h.cpu_booked,
+            cpu_used: h.cpu_used,
+            free_local: (self.usable_mem() - h.mem_local).max(0.0),
+        }
+    }
+
+    /// Whether `host` can take the task under the policy's placement
+    /// rule; returns the local share it would use. `pool` is the free
+    /// remote pool of the host's rack (snapshot or fresh — the caller
+    /// owns that choice; scans pass the per-scan snapshot).
+    fn fits(&self, host: usize, cpu: f64, cpu_used: f64, mem: f64, pool: f64) -> Option<f64> {
+        if self.hosts[host].state != HState::Active {
+            return None;
+        }
+        self.cfg
+            .policy
+            .placement
+            .admit(&self.host_load(host), cpu, cpu_used, mem, pool)
+    }
+
+    /// Stacking choice: the fittable active host with the highest booked
+    /// CPU (ties to the lowest index, as the old ascending full scan
+    /// resolved them). [`Dc::active_by_booked`] *is* that preference
+    /// order, so the first fitting entry is the answer — no ranking pass.
+    /// One pool snapshot serves the whole scan.
+    fn pick_host(&mut self, cpu: f64, cpu_used: f64, mem: f64) -> Option<usize> {
+        self.snapshot_pools();
+        for &(_, i) in &self.active_by_booked {
+            let pool = self.pool_buf[self.hosts[i].rack as usize];
+            if self.fits(i, cpu, cpu_used, mem, pool).is_some() {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Wakes a host per policy preference. Returns its index.
+    fn wake_one(&mut self) -> Option<usize> {
+        let pick = match self.cfg.policy.placement.wake_preference() {
+            WakePreference::IdleZombieFirst => {
+                // Least-lending zombie; strict `<` keeps the *first*
+                // minimum among ties, matching the old full-scan
+                // `min_by` over ascending host indices.
+                let mut best: Option<(usize, f64)> = None;
+                for &i in &self.nonactive {
+                    if self.hosts[i].state != HState::Zombie {
+                        continue;
+                    }
+                    let ra = self.hosts[i].remote_allocated;
+                    if best.is_none_or(|(_, b)| ra < b) {
+                        best = Some((i, ra));
+                    }
+                }
+                best.map(|(i, _)| i).or_else(|| self.find_sleeping())
+            }
+            WakePreference::FirstSleeping => self.find_sleeping(),
+        }?;
+        // A waking zombie reclaims its memory: re-place its allocations
+        // on its rack's *other* zombies (so reactivate first — a zombie
+        // would happily re-absorb its own shares), and shed whatever the
+        // pool cannot hold onto the owning VMs' local backups, exactly as
+        // the rack-level US_reclaim fallback does.
+        let stranded = self.hosts[pick].remote_allocated;
+        let rack = self.hosts[pick].rack;
+        self.hosts[pick].remote_allocated = 0.0;
+        self.cooldown[pick] = WAKE_COOLDOWN_TICKS;
+        let waking_from = self.hosts[pick].state;
+        self.update_host(pick, |h| {
+            h.state = HState::Active;
+        });
+        self.charge_transition(waking_from, HState::Active);
+        if stranded > 1e-9 {
+            let placed = self.take_remote(rack, stranded);
+            self.shed_vm_remote(rack, stranded - placed);
+        }
+        self.report.wakeups += 1;
+        zombieland_obs::sink::counter_add("sim.wakeups", 1);
+        zombieland_obs::trace_event!(self.last, "simulator", "wake", "host" => pick);
+        Some(pick)
+    }
+
+    /// Reduces VMs' remote shares in `rack` by `amount`: their cold pages
+    /// are now served from the local backups (the revocation fallback).
+    fn shed_vm_remote(&mut self, rack: u32, mut amount: f64) {
+        if amount <= 1e-9 {
+            return;
+        }
+        for task in 0..self.vms.len() {
+            if amount <= 1e-9 {
+                break;
+            }
+            let Some(vm) = self.vms[task].as_mut() else {
+                continue;
+            };
+            if vm.remote <= 1e-9 || self.hosts[vm.host].rack != rack {
+                continue;
+            }
+            let cut = vm.remote.min(amount);
+            vm.remote -= cut;
+            amount -= cut;
+        }
+    }
+
+    fn find_sleeping(&self) -> Option<usize> {
+        // `nonactive` holds exactly the Sleeping|Zombie hosts, ordered by
+        // index, so the first member is what the old `position` scan found.
+        self.nonactive.first().copied()
+    }
+
+    pub(crate) fn arrive(&mut self, trace: &ClusterTrace, task: usize) {
+        let t = &trace.tasks()[task];
+        let (cpu, mem) = (t.cpu_booked, t.mem_booked);
+        let host = match self.pick_host(cpu, t.cpu_used, mem) {
+            Some(h) => h,
+            None => {
+                // Wake hosts until the VM fits; as a last resort,
+                // overcommit the least-used active host (real clouds
+                // queue or overcommit rather than reject booked work).
+                let mut found = None;
+                loop {
+                    if self.wake_one().is_none() {
+                        break;
+                    }
+                    if let Some(h) = self.pick_host(cpu, t.cpu_used, mem) {
+                        found = Some(h);
+                        break;
+                    }
+                }
+                match found {
+                    Some(h) => h,
+                    None => {
+                        // Least-used active host; strict `<` keeps the
+                        // first minimum among ties like the old `min_by`
+                        // over ascending indices.
+                        let mut least: Option<(usize, f64)> = None;
+                        for &i in &self.active {
+                            let used = self.hosts[i].cpu_used;
+                            if least.is_none_or(|(_, b)| used < b) {
+                                least = Some((i, used));
+                            }
+                        }
+                        let Some(h) = least.map(|(i, _)| i) else {
+                            self.report.dropped += 1;
+                            zombieland_obs::sink::counter_add("sim.dropped", 1);
+                            zombieland_obs::trace_event!(
+                                self.last, "simulator", "drop", "task" => task);
+                            return;
+                        };
+                        self.report.overcommitted += 1;
+                        zombieland_obs::sink::counter_add("sim.overcommitted", 1);
+                        h
+                    }
+                }
+            }
+        };
+        let pool = self.pool_free(self.hosts[host].rack);
+        let local = match self.fits(host, cpu, t.cpu_used, mem, pool) {
+            Some(l) => l,
+            None => {
+                // Overcommit fallback: take whatever local memory is left.
+                let free = (self.usable_mem() - self.hosts[host].mem_local).max(0.0);
+                mem.min(free)
+            }
+        };
+        let remote = (mem - local).max(0.0);
+        let rack = self.hosts[host].rack;
+        let taken = if remote > 1e-9 {
+            self.take_remote(rack, remote)
+        } else {
+            0.0
+        };
+        let used = t.cpu_used;
+        self.update_host(host, |h| {
+            h.cpu_booked += cpu;
+            h.cpu_used += used;
+            h.mem_local += local;
+            h.vms.push(task);
+        });
+        self.vms[task] = Some(VmState {
+            host,
+            local_mem: local,
+            remote: taken,
+            parked: 0.0,
+        });
+        zombieland_obs::sink::counter_add("sim.arrivals", 1);
+        zombieland_obs::trace_event!(self.last, "simulator", "arrive",
+            "task" => task, "host" => host);
+    }
+
+    pub(crate) fn depart(&mut self, trace: &ClusterTrace, task: usize) {
+        let Some(vm) = self.vms[task].take() else {
+            return; // Dropped at arrival.
+        };
+        let t = &trace.tasks()[task];
+        let (cpu, used, local) = (t.cpu_booked, t.cpu_used, vm.local_mem);
+        self.update_host(vm.host, |h| {
+            h.cpu_booked = (h.cpu_booked - cpu).max(0.0);
+            h.cpu_used = (h.cpu_used - used).max(0.0);
+            h.mem_local = (h.mem_local - local).max(0.0);
+            h.vms.retain(|&v| v != task);
+        });
+        let rack = self.hosts[vm.host].rack;
+        self.give_back_remote(rack, vm.remote);
+        self.parked_mem = (self.parked_mem - vm.parked).max(0.0);
+        zombieland_obs::sink::counter_add("sim.departures", 1);
+        zombieland_obs::trace_event!(self.last, "simulator", "depart",
+            "task" => task, "host" => vm.host);
+    }
+
+    /// Invariant sweep: VM lists, booked sums, pool accounting and the
+    /// incremental index sets all agree. O(hosts × vms), so it runs only
+    /// when [`validate_enabled`] says so (debug builds by default, the
+    /// scenario `validate` switch opts release builds in).
+    fn validate(&self) {
+        let mut host_vms = 0usize;
+        for (i, h) in self.hosts.iter().enumerate() {
+            host_vms += h.vms.len();
+            for &t in &h.vms {
+                assert_eq!(
+                    self.vms[t].as_ref().map(|v| v.host),
+                    Some(i),
+                    "vm {t} listed on host {i} but placed elsewhere"
+                );
+            }
+            assert!(h.cpu_booked >= -1e-6 && h.mem_local >= -1e-6);
+            if h.state != HState::Zombie {
+                assert!(
+                    h.remote_allocated <= 1e-6,
+                    "non-zombie lends: host {i} {:?} holds {}",
+                    h.state,
+                    h.remote_allocated
+                );
+            }
+            // The index sets mirror host state exactly.
+            assert_eq!(
+                self.active.contains(&i),
+                h.state == HState::Active,
+                "host {i}: active-set membership disagrees with {:?}",
+                h.state
+            );
+            assert_eq!(
+                self.nonactive.contains(&i),
+                h.state != HState::Active,
+                "host {i}: nonactive-set membership disagrees with {:?}",
+                h.state
+            );
+            assert_eq!(
+                self.zombies_by_rack[h.rack as usize].contains(&i),
+                h.state == HState::Zombie,
+                "host {i}: rack {} zombie-set membership disagrees with {:?}",
+                h.rack,
+                h.state
+            );
+        }
+        assert_eq!(
+            self.active_by_booked.len(),
+            self.active.len(),
+            "booked-ordered list covers exactly the active hosts"
+        );
+        for w in self.active_by_booked.windows(2) {
+            assert_eq!(
+                Self::booked_order(&w[0], &w[1]),
+                Ordering::Less,
+                "booked-ordered list stays strictly sorted"
+            );
+        }
+        for &(booked, i) in &self.active_by_booked {
+            assert_eq!(
+                booked.to_bits(),
+                self.hosts[i].cpu_booked.to_bits(),
+                "host {i}: indexed booked key matches the live value"
+            );
+        }
+        let indexed: usize = self.zombies_by_rack.iter().map(|s| s.len()).sum();
+        let zombies = self
+            .hosts
+            .iter()
+            .filter(|h| h.state == HState::Zombie)
+            .count();
+        assert_eq!(indexed, zombies, "zombie index covers every zombie once");
+        let live = self.vms.iter().filter(|v| v.is_some()).count();
+        assert_eq!(host_vms, live, "every live VM is on exactly one host");
+        let vm_remote: f64 = self.vms.iter().flatten().map(|v| v.remote).sum();
+        let host_remote: f64 = self.hosts.iter().map(|h| h.remote_allocated).sum();
+        assert!(
+            (vm_remote - host_remote).abs() < 1e-3,
+            "pool accounting: vms {vm_remote} vs hosts {host_remote}"
+        );
+    }
+
+    /// One consolidation round.
+    pub(crate) fn consolidate(&mut self, trace: &ClusterTrace) {
+        let policy = self.cfg.policy.consolidation;
+        // Oasis first parks idle VMs' cold memory, shrinking footprints.
+        if policy.parks_idle_memory() {
+            self.oasis_park(trace);
+        }
+
+        for c in &mut self.cooldown {
+            *c = c.saturating_sub(1);
+        }
+        // Underloaded hosts, least loaded first. The candidate list comes
+        // from the active index set (ascending, as the old full scan
+        // iterated) and lives in a persistent buffer so consolidation
+        // ticks stop allocating.
+        let underload = policy.underload_threshold();
+        let mut order = std::mem::take(&mut self.order_buf);
+        order.clear();
+        order.extend(
+            self.active
+                .iter()
+                .copied()
+                .filter(|&i| self.cooldown[i] == 0 && self.hosts[i].cpu_used < underload),
+        );
+        // The comparator is a total order (index tie-break), so the
+        // unstable sort is deterministic.
+        order.sort_unstable_by(|&a, &b| {
+            self.hosts[a]
+                .cpu_used
+                .total_cmp(&self.hosts[b].cpu_used)
+                .then(a.cmp(&b))
+        });
+
+        for &host in &order {
+            self.try_evacuate(trace, host);
+        }
+        self.order_buf = order;
+
+        if self.validate_on {
+            self.validate();
+        }
+
+        // §4.4: "If the global-mem-ctr holds huge amounts of free memory
+        // (e.g. more than the total memory of a rack server), the cloud
+        // manager may decide to transition zombie servers to S3." Only
+        // zombies serving nothing are demoted (give_back_remote drains
+        // the least-loaded ones toward zero), and generous headroom stays
+        // in the pool so placements do not start waking zombies.
+        if let Some(threshold) = self.cfg.sz_demote_threshold {
+            while self.cfg.policy.consolidation.demotes_idle_zombies() {
+                // First (lowest-index) idle zombie, as the old full-fleet
+                // `position` scan found it.
+                let candidate = self.nonactive.iter().copied().find(|&i| {
+                    self.hosts[i].state == HState::Zombie && self.hosts[i].remote_allocated <= 1e-9
+                });
+                match candidate {
+                    Some(i)
+                        if self.pool_free_total() - self.usable_mem()
+                            >= threshold + self.usable_mem() =>
+                    {
+                        self.update_host(i, |h| h.state = HState::Sleeping);
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    /// Tries to move every VM off `host`; on success the host suspends
+    /// (Sz for zombie-evacuating policies, S3 otherwise).
+    ///
+    /// Under ZombieStack the host flips into Sz *before* the moves are
+    /// planned, so its own memory backs the departing VMs' remote shares
+    /// — without this, a memory-bound fleet can never bootstrap the
+    /// remote pool (every evacuation would need a pool that only
+    /// evacuations can create).
+    fn try_evacuate(&mut self, trace: &ClusterTrace, host: usize) {
+        let policy = self.cfg.policy.consolidation;
+        let zombie_mode = policy.evacuates_to_zombie();
+        if zombie_mode {
+            self.update_host(host, |h| h.state = HState::Zombie);
+        }
+        // Resident VM ids go through a persistent buffer instead of a
+        // fresh clone per evacuation attempt.
+        let mut resident = std::mem::take(&mut self.evac_buf);
+        resident.clear();
+        resident.extend_from_slice(&self.hosts[host].vms);
+        let mut moves: Vec<PendingMove> = Vec::with_capacity(resident.len());
+        let mut ok = true;
+        for &task in &resident {
+            let t = &trace.tasks()[task];
+            let mem = policy
+                .migration_footprint(t.mem_booked, self.vms[task].as_ref().map(|v| v.local_mem));
+            // Highest-booked fittable target, ties to the lowest index —
+            // the old `max_by(...).then(b.cmp(&a))` full scan. The
+            // booked-ordered walk stops at the first fitting entry; pools
+            // are re-snapshot per VM because each reserve_move shifts
+            // them.
+            self.snapshot_pools();
+            let migrant = crate::policy::MigrantVm {
+                cpu_booked: t.cpu_booked,
+                cpu_used: t.cpu_used,
+                mem,
+                wss: t.mem_used,
+            };
+            let mut target = None;
+            for &(_, i) in &self.active_by_booked {
+                if i == host {
+                    continue;
+                }
+                let pool = self.pool_buf[self.hosts[i].rack as usize];
+                if self.consolidation_fits(i, &migrant, pool) {
+                    target = Some(i);
+                    break;
+                }
+            }
+            match target {
+                Some(tgt) => moves.push(self.reserve_move(trace, task, tgt)),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        self.evac_buf = resident;
+        if !ok {
+            // Roll back reservations; the host stays up (the aborted
+            // transition never left the OS, so no energy is charged).
+            for m in moves.into_iter().rev() {
+                self.rollback_move(trace, m);
+            }
+            if zombie_mode {
+                // Planning may have parked pool shares on this host (it
+                // was briefly a zombie) and the give-backs may have
+                // drained its peers instead. Reactivate first, then
+                // migrate any residue to the peers; whatever cannot fit
+                // sheds to the owning VMs' local backups.
+                let stuck = self.hosts[host].remote_allocated;
+                let rack = self.hosts[host].rack;
+                self.hosts[host].remote_allocated = 0.0;
+                self.update_host(host, |h| h.state = HState::Active);
+                if stuck > 1e-9 {
+                    let moved = self.take_remote(rack, stuck);
+                    self.shed_vm_remote(rack, stuck - moved);
+                }
+            }
+            return;
+        }
+        // Commit: detach every VM from the source.
+        for m in &moves {
+            let t = &trace.tasks()[m.task];
+            let (cpu, used, old_local) = (t.cpu_booked, t.cpu_used, m.old_local);
+            self.update_host(host, |h| {
+                h.cpu_booked = (h.cpu_booked - cpu).max(0.0);
+                h.cpu_used = (h.cpu_used - used).max(0.0);
+                h.mem_local = (h.mem_local - old_local).max(0.0);
+                h.vms.retain(|&v| v != m.task);
+            });
+            self.report.migrations += 1;
+        }
+        zombieland_obs::sink::counter_add("sim.migrations", moves.len() as u64);
+        zombieland_obs::trace_event!(self.last, "simulator", "evacuate",
+            "host" => host, "moves" => moves.len(),
+            "to_zombie" => zombie_mode);
+        if !zombie_mode {
+            self.update_host(host, |h| {
+                debug_assert!(h.vms.is_empty());
+                h.state = HState::Sleeping;
+            });
+        }
+        self.charge_transition(HState::Active, HState::Sleeping);
+    }
+
+    /// Books a pending move on the target host (two-phase evacuate). The
+    /// source host is *not* touched yet; commit or rollback settles it.
+    fn reserve_move(&mut self, trace: &ClusterTrace, task: usize, target: usize) -> PendingMove {
+        let t = &trace.tasks()[task];
+        let free_local = (self.usable_mem() - self.hosts[target].mem_local).max(0.0);
+        let vm = self.vms[task].as_mut().expect("placed");
+        let (old_local, old_remote, source) = (vm.local_mem, vm.remote, vm.host);
+        let mem = t.mem_booked - vm.parked;
+        let new_local = mem.min(free_local);
+        vm.local_mem = new_local;
+        vm.host = target;
+        let (cpu, used) = (t.cpu_booked, t.cpu_used);
+        self.update_host(target, |h| {
+            h.cpu_booked += cpu;
+            h.cpu_used += used;
+            h.mem_local += new_local;
+            h.vms.push(task);
+        });
+        // Remote shares are rack-local: return the source rack's shares
+        // and take the whole new requirement from the target's rack.
+        let source_rack = self.hosts[source].rack;
+        let target_rack = self.hosts[target].rack;
+        if old_remote > 1e-9 {
+            self.give_back_remote(source_rack, old_remote);
+        }
+        let need = (mem - new_local).max(0.0);
+        let taken = if need > 1e-9 {
+            self.take_remote(target_rack, need)
+        } else {
+            0.0
+        };
+        self.vms[task].as_mut().expect("placed").remote = taken;
+        PendingMove {
+            task,
+            source,
+            target,
+            old_local,
+            old_remote,
+            new_local,
+            taken,
+        }
+    }
+
+    /// Undoes a reservation.
+    fn rollback_move(&mut self, trace: &ClusterTrace, m: PendingMove) {
+        let t = &trace.tasks()[m.task];
+        let (cpu, used, new_local) = (t.cpu_booked, t.cpu_used, m.new_local);
+        self.update_host(m.target, |h| {
+            h.cpu_booked = (h.cpu_booked - cpu).max(0.0);
+            h.cpu_used = (h.cpu_used - used).max(0.0);
+            h.mem_local = (h.mem_local - new_local).max(0.0);
+            h.vms.retain(|&v| v != m.task);
+        });
+        if m.taken > 1e-9 {
+            let rack = self.hosts[m.target].rack;
+            self.give_back_remote(rack, m.taken);
+        }
+        // Best effort: re-take the old shares in the source rack (the
+        // pool may have shifted; any shortfall surfaces as pool pressure
+        // on the next placement check, never as lost accounting).
+        let source_rack = self.hosts[m.source].rack;
+        let retaken = if m.old_remote > 1e-9 {
+            self.take_remote(source_rack, m.old_remote)
+        } else {
+            0.0
+        };
+        let vm = self.vms[m.task].as_mut().expect("placed");
+        vm.host = m.source;
+        vm.local_mem = m.old_local;
+        vm.remote = retaken;
+    }
+
+    /// The migration feasibility check, judged by the policy. Vanilla
+    /// Neat "places a VM on a server only if the latter holds all the
+    /// resources booked by the VM"; ZombieStack replaces that with the
+    /// 30 %-of-WSS rule and packs by *actual* CPU usage (overload
+    /// detection guards the overcommit), which is where most of its
+    /// extra consolidation comes from.
+    fn consolidation_fits(&self, target: usize, vm: &crate::policy::MigrantVm, pool: f64) -> bool {
+        if self.hosts[target].state != HState::Active {
+            return false;
+        }
+        self.cfg.policy.consolidation.accepts_migration(
+            &self.host_load(target),
+            vm,
+            pool,
+            self.cfg.cpu_fill_cap,
+        )
+    }
+
+    /// Oasis: park the cold memory of idle VMs on underused hosts.
+    fn oasis_park(&mut self, trace: &ClusterTrace) {
+        for host in 0..self.hosts.len() {
+            if self.hosts[host].state != HState::Active
+                || self.hosts[host].cpu_used >= self.oasis.underload_threshold
+            {
+                continue;
+            }
+            // Index-walk the VM list in place: parking never edits
+            // `vms`, so no defensive clone is needed.
+            for vi in 0..self.hosts[host].vms.len() {
+                let task = self.hosts[host].vms[vi];
+                let t = &trace.tasks()[task];
+                if t.cpu_used >= self.oasis.idle_vm_threshold {
+                    continue;
+                }
+                let vm = self.vms[task].as_mut().expect("placed");
+                if vm.parked > 0.0 {
+                    continue; // Already parked.
+                }
+                // Partial migration: the footprint shrinks to the working
+                // set; the rest parks on memory servers.
+                let park = (vm.local_mem - t.mem_used).max(0.0);
+                if park <= 1e-9 {
+                    continue;
+                }
+                vm.parked = park;
+                vm.local_mem -= park;
+                self.parked_mem += park;
+                self.report.peak_parked = self.report.peak_parked.max(self.parked_mem);
+                self.update_host(host, |h| {
+                    h.mem_local = (h.mem_local - park).max(0.0);
+                });
+            }
+        }
+    }
+}

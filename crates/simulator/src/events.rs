@@ -1,0 +1,120 @@
+//! The event loop: trace replay, consolidation ticks, timeline
+//! sampling.
+
+use zombieland_simcore::{EventQueue, SimTime};
+use zombieland_trace::google::{ClusterTrace, EventKind};
+
+use crate::dc::Dc;
+use crate::report::{SimReport, TimelineSample};
+use crate::SimConfig;
+
+/// What the simulation loop schedules: a trace event (by index) or a
+/// consolidation tick. Trace events are scheduled first, so the queue's
+/// FIFO tie-break fires them before a tick at the same instant — exactly
+/// the order the old two-pointer merge used.
+enum SimEvent {
+    Task(usize),
+    Tick,
+}
+
+thread_local! {
+    /// Recycled event-queue storage. Grid experiments run tens of
+    /// simulations per worker thread; reusing one heap allocation per
+    /// thread keeps N workers from hammering the global allocator with
+    /// multi-megabyte queue builds. [`EventQueue::clear`] resets the
+    /// FIFO tie-break counter, so a recycled queue is observably
+    /// identical to a fresh one.
+    static QUEUE_POOL: std::cell::RefCell<Option<EventQueue<SimEvent>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs one policy over a trace.
+///
+/// # Panics
+///
+/// Panics if `cfg` is invalid (see [`SimConfig::validate`]) — a zero
+/// `racks` or `usable_mem` would silently corrupt the run, so it is
+/// rejected up front instead of clamped at each use site.
+pub fn simulate(trace: &ClusterTrace, cfg: &SimConfig) -> SimReport {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid SimConfig: {e}");
+    }
+    let mut dc = Dc::new(trace, cfg);
+
+    let events = trace.events();
+    let end = SimTime::ZERO + trace.config().duration;
+    // Every trace event plus the single in-flight consolidation tick:
+    // sized up front so the heap never reallocates mid-run. The queue
+    // itself comes from the per-thread pool when a previous run on this
+    // worker left one behind.
+    let mut queue: EventQueue<SimEvent> = QUEUE_POOL
+        .with(|p| p.borrow_mut().take())
+        .unwrap_or_default();
+    queue.clear();
+    queue.reserve(events.len() + 1);
+    for (i, e) in events.iter().enumerate() {
+        queue.schedule(e.0, SimEvent::Task(i));
+    }
+    let first_tick = SimTime::ZERO + cfg.consolidation_interval;
+    if first_tick <= end {
+        queue.schedule(first_tick, SimEvent::Tick);
+    }
+    let consolidation_on = cfg.policy.consolidation.enabled();
+    let mut next_sample = SimTime::ZERO;
+    while let Some((now, ev)) = queue.pop() {
+        dc.advance(now);
+        match ev {
+            SimEvent::Tick => {
+                if consolidation_on {
+                    dc.consolidate(trace);
+                }
+                if let Some(every) = cfg.sample_interval {
+                    if next_sample <= now {
+                        dc.report.timeline.push(TimelineSample {
+                            at: now,
+                            counts: dc.state_counts,
+                            power: dc.total_power,
+                        });
+                        let mw = (dc.total_power.get() * 1000.0).round() as u64;
+                        zombieland_obs::sink::gauge_set("sim.power_mw", mw);
+                        zombieland_obs::trace_event!(now, "simulator", "sample",
+                            "active" => dc.state_counts[0],
+                            "zombie" => dc.state_counts[1],
+                            "sleeping" => dc.state_counts[2],
+                            "power_mw" => mw);
+                        next_sample = now + every;
+                    }
+                }
+                let next = now + cfg.consolidation_interval;
+                if next <= end {
+                    queue.schedule(next, SimEvent::Tick);
+                }
+            }
+            SimEvent::Task(i) => {
+                let (_, kind, task) = events[i];
+                match kind {
+                    EventKind::Arrive => dc.arrive(trace, task),
+                    EventKind::Depart => dc.depart(trace, task),
+                }
+            }
+        }
+    }
+    // The loop drained the queue; park its storage for the next run on
+    // this thread.
+    QUEUE_POOL.with(|p| *p.borrow_mut() = Some(queue));
+    dc.advance(end);
+    dc.report.energy = dc.energy;
+    if zombieland_obs::sink::metrics_enabled() {
+        let r = &dc.report;
+        zombieland_obs::sink::gauge_set("sim.energy_mj", (r.energy.get() * 1000.0).round() as u64);
+        zombieland_obs::sink::counter_add("sim.runs", 1);
+        zombieland_obs::trace_event!(dc.last, "simulator", "run_done",
+            "policy" => r.policy,
+            "energy_mj" => (r.energy.get() * 1000.0).round() as u64,
+            "migrations" => r.migrations,
+            "wakeups" => r.wakeups,
+            "dropped" => r.dropped,
+            "overcommitted" => r.overcommitted);
+    }
+    dc.report
+}

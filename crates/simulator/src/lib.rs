@@ -1,7 +1,8 @@
 //! Datacenter-scale energy simulation (§6.6.2, Fig. 10).
 //!
-//! Replays a (synthetic) Google-style cluster trace against four resource
-//! management policies and integrates the fleet's energy:
+//! Replays a (synthetic) Google-style cluster trace against pluggable
+//! resource-management policies and integrates the fleet's energy. The
+//! paper's evaluation ships four:
 //!
 //! - **AlwaysOn** — no power management; the baseline that "% energy
 //!   saving" is measured against.
@@ -14,54 +15,50 @@
 //!   consolidation under the 30 %-of-WSS rule, emptied hosts enter Sz
 //!   and their memory becomes the rack-wide remote pool.
 //!
+//! The crate splits along the policy/mechanism line:
+//!
+//! - [`policy`] — the [`PlacementPolicy`](policy::PlacementPolicy) /
+//!   [`ConsolidationPolicy`](policy::ConsolidationPolicy) traits, their
+//!   paper implementations and the static [`registry`](policy::REGISTRY)
+//!   that `--policy` / `--list-policies` resolve against.
+//! - [`dc`](self) *(private)* — datacenter state and mechanics: host
+//!   accounting, the rack-local remote pool, two-phase evacuation.
+//! - `power` *(private)* — energy integration through the
+//!   [`zombieland_energy::PowerModel`] in [`SimConfig::power`].
+//! - `events` *(private)* — the event loop ([`simulate`]).
+//! - [`report`](SimReport) — run outcomes.
+//!
 //! The simulator is deliberately *not* page-accurate (that is
 //! `zombieland-hypervisor`'s job): it tracks booked/used resources,
 //! host power states and the remote pool, which is the granularity the
 //! energy result depends on.
 
-use core::cmp::Ordering;
-use std::collections::BTreeSet;
+mod dc;
+mod events;
+pub mod policy;
+mod power;
+mod report;
+#[cfg(test)]
+mod tests;
 
-use zombieland_acpi::SleepState;
-use zombieland_cloud::consolidation::{ConsolidationMode, Neat};
-use zombieland_cloud::oasis::OasisConfig;
-use zombieland_energy::curve::power_fraction;
-use zombieland_energy::MachineProfile;
-use zombieland_simcore::{EventQueue, Joules, SimDuration, SimTime, Watts};
-use zombieland_trace::google::{ClusterTrace, EventKind};
+pub use events::simulate;
+pub use policy::{PolicyKind, PolicySpec};
+pub use report::{SimReport, TimelineSample};
 
-/// The resource-management policy a run simulates.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum PolicyKind {
-    /// No power management (baseline).
-    AlwaysOn,
-    /// Vanilla Neat consolidation (S3 suspends).
-    Neat,
-    /// Oasis hybrid consolidation (partial migration + memory servers).
-    Oasis,
-    /// The paper's system.
-    ZombieStack,
-}
-
-impl PolicyKind {
-    /// Figure label.
-    pub fn name(self) -> &'static str {
-        match self {
-            PolicyKind::AlwaysOn => "AlwaysOn",
-            PolicyKind::Neat => "Neat",
-            PolicyKind::Oasis => "Oasis",
-            PolicyKind::ZombieStack => "ZombieStack",
-        }
-    }
-}
+use zombieland_energy::{MachineProfile, PowerModel, TABLE3};
+use zombieland_simcore::SimDuration;
 
 /// Simulation parameters.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
-    /// Policy under test.
-    pub policy: PolicyKind,
+    /// Policy under test (a [`policy::REGISTRY`] entry; see
+    /// [`policy::lookup`] for resolution by name).
+    pub policy: &'static PolicySpec,
     /// Machine energy profile (HP or Dell, Table 3).
     pub profile: MachineProfile,
+    /// Host power model pricing each state/utilization (the
+    /// Table-3-calibrated [`zombieland_energy::Table3Power`] by default).
+    pub power: &'static dyn PowerModel,
     /// Consolidation period (OpenStack Neat defaults to minutes).
     pub consolidation_interval: SimDuration,
     /// Fraction of a host's memory usable by VMs (the rest is the
@@ -78,7 +75,8 @@ pub struct SimConfig {
     pub transition_costs: bool,
     /// Number of racks the fleet is split into. The remote-memory pool is
     /// **rack-local**, as in the paper: a VM's remote share must come
-    /// from zombies in its own rack. `1` = one giant rack.
+    /// from zombies in its own rack. `1` = one giant rack. Must be ≥ 1
+    /// ([`SimConfig::validate`]).
     pub racks: u32,
     /// Record a fleet snapshot at this period into
     /// [`SimReport::timeline`] (`None` = no timeline).
@@ -88,9 +86,16 @@ pub struct SimConfig {
 impl SimConfig {
     /// The paper's setup for a given policy and machine.
     pub fn new(policy: PolicyKind, profile: MachineProfile) -> Self {
+        Self::with_spec(policy.spec(), profile)
+    }
+
+    /// The paper's setup for any registered policy (including ones
+    /// outside the [`PolicyKind`] enum, like the `noconsolidate` toy).
+    pub fn with_spec(policy: &'static PolicySpec, profile: MachineProfile) -> Self {
         SimConfig {
             policy,
             profile,
+            power: &TABLE3,
             consolidation_interval: SimDuration::from_mins(5),
             usable_mem: 0.94,
             cpu_fill_cap: 0.90,
@@ -100,1321 +105,27 @@ impl SimConfig {
             sample_interval: None,
         }
     }
-}
 
-/// Outcome of one simulation run.
-///
-/// `PartialEq` is derived so tests can assert the runner's bit-for-bit
-/// determinism contract: the same trace, config and seed must produce
-/// an *identical* report at any worker count.
-#[derive(Clone, PartialEq, Debug)]
-pub struct SimReport {
-    /// Policy simulated.
-    pub policy: PolicyKind,
-    /// Fleet energy over the trace.
-    pub energy: Joules,
-    /// VM migrations performed.
-    pub migrations: u64,
-    /// Host wake-ups (S3 or Sz exits).
-    pub wakeups: u64,
-    /// Arrivals that could not be placed even after wake-ups (should be
-    /// ~0 on feasible traces).
-    pub dropped: u64,
-    /// Arrivals placed by overcommitting an active host as a last
-    /// resort.
-    pub overcommitted: u64,
-    /// Integral of host-count in each state, in host-seconds
-    /// (active, zombie, sleeping).
-    pub state_seconds: [f64; 3],
-    /// Peak memory parked on Oasis memory servers (server-equivalents).
-    pub peak_parked: f64,
-    /// Periodic fleet snapshots (empty unless
-    /// [`SimConfig::sample_interval`] is set).
-    pub timeline: Vec<TimelineSample>,
-}
-
-/// One fleet snapshot.
-#[derive(Clone, Copy, PartialEq, Debug)]
-pub struct TimelineSample {
-    /// Snapshot time.
-    pub at: SimTime,
-    /// Hosts active / zombie / sleeping.
-    pub counts: [u64; 3],
-    /// Fleet IT power at that instant.
-    pub power: Watts,
-}
-
-impl SimReport {
-    /// Energy saving versus a baseline run, in percent.
-    ///
-    /// A zero-energy baseline (empty or zero-duration trace) reports
-    /// zero savings rather than letting `0/0 = NaN` leak into tables.
-    pub fn savings_pct(&self, baseline: &SimReport) -> f64 {
-        if baseline.energy.get() == 0.0 {
-            return 0.0;
+    /// Rejects configurations the simulation cannot run meaningfully.
+    /// [`simulate`] calls this up front, so the mechanics never see a
+    /// zero rack count (the old code clamped `racks.max(1)` at four
+    /// separate call sites) or a non-positive memory reserve.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.racks == 0 {
+            return Err("racks must be >= 1 (the remote pool is rack-local)".into());
         }
-        (1.0 - self.energy / baseline.energy) * 100.0
-    }
-}
-
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum HState {
-    Active,
-    Zombie,
-    Sleeping,
-}
-
-#[derive(Clone, Debug)]
-struct Host {
-    state: HState,
-    rack: u32,
-    cpu_booked: f64,
-    cpu_used: f64,
-    mem_local: f64,
-    /// Remote-pool memory allocated *from* this host (only when zombie).
-    remote_allocated: f64,
-    vms: Vec<usize>,
-}
-
-#[derive(Clone, Debug)]
-struct VmState {
-    host: usize,
-    local_mem: f64,
-    /// Remote-pool memory this VM holds (server-equivalents).
-    remote: f64,
-    parked: f64,
-}
-
-/// Ticks a freshly woken host is exempt from consolidation, damping
-/// wake/suspend churn.
-const WAKE_COOLDOWN_TICKS: u32 = 3;
-
-/// Bookkeeping for one in-flight (two-phase) consolidation move.
-#[derive(Clone, Copy, Debug)]
-struct PendingMove {
-    task: usize,
-    source: usize,
-    target: usize,
-    old_local: f64,
-    old_remote: f64,
-    new_local: f64,
-    taken: f64,
-}
-
-struct Dc {
-    cfg: SimConfig,
-    hosts: Vec<Host>,
-    cooldown: Vec<u32>,
-    vms: Vec<Option<VmState>>,
-    parked_mem: f64,
-    total_power: Watts,
-    state_counts: [u64; 3],
-    energy: Joules,
-    last: SimTime,
-    report: SimReport,
-    neat: Neat,
-    oasis: OasisConfig,
-    /// Index sets by host state, maintained by [`Dc::update_host`] so the
-    /// hot paths (placement, wake, pool carving) never scan the full
-    /// fleet. Iteration order is ascending host index — the same order
-    /// the old full scans visited — so every float sum and every
-    /// tie-break is bit-for-bit identical to the O(hosts) versions.
-    active: BTreeSet<usize>,
-    /// Active hosts keyed by `(cpu_booked, index)`, most-booked first
-    /// with ties toward the lower index — exactly the stacking
-    /// preference order, so placement scans stop at the *first* fitting
-    /// entry instead of ranking the whole fleet. The key is the stored
-    /// bits of `cpu_booked` at index time; [`Dc::update_host`]
-    /// repositions entries whenever the value changes.
-    active_by_booked: Vec<(f64, usize)>,
-    /// Sleeping and zombie hosts (the wake candidates).
-    nonactive: BTreeSet<usize>,
-    /// Zombie hosts per rack (the rack-local remote pool's lenders).
-    zombies_by_rack: Vec<BTreeSet<usize>>,
-    /// Persistent sort buffer for the consolidation order (reused every
-    /// tick instead of a fresh allocation).
-    order_buf: Vec<usize>,
-    /// Persistent buffer for the resident-VM snapshot in
-    /// [`Dc::try_evacuate`].
-    evac_buf: Vec<usize>,
-    /// Per-rack free-pool snapshot taken at the start of each placement
-    /// scan, so `fits` stops re-summing the pool per candidate host.
-    pool_buf: Vec<f64>,
-    /// Whether [`Dc::validate`] runs after each consolidation round:
-    /// debug builds by default, or `ZL_VALIDATE=1` in release.
-    validate_on: bool,
-}
-
-/// Whether the O(hosts × vms) invariant sweep runs: always in debug
-/// builds (unless `ZL_VALIDATE=0`), and only on `ZL_VALIDATE=1` in
-/// release — release runs skip the sweep entirely.
-fn validate_enabled() -> bool {
-    match std::env::var_os("ZL_VALIDATE") {
-        Some(v) if v == "1" => true,
-        Some(v) if v == "0" => false,
-        _ => cfg!(debug_assertions),
-    }
-}
-
-/// What the simulation loop schedules: a trace event (by index) or a
-/// consolidation tick. Trace events are scheduled first, so the queue's
-/// FIFO tie-break fires them before a tick at the same instant — exactly
-/// the order the old two-pointer merge used.
-enum SimEvent {
-    Task(usize),
-    Tick,
-}
-
-thread_local! {
-    /// Recycled event-queue storage. Grid experiments run tens of
-    /// simulations per worker thread; reusing one heap allocation per
-    /// thread keeps N workers from hammering the global allocator with
-    /// multi-megabyte queue builds. [`EventQueue::clear`] resets the
-    /// FIFO tie-break counter, so a recycled queue is observably
-    /// identical to a fresh one.
-    static QUEUE_POOL: std::cell::RefCell<Option<EventQueue<SimEvent>>> =
-        const { std::cell::RefCell::new(None) };
-}
-
-/// Runs one policy over a trace.
-pub fn simulate(trace: &ClusterTrace, cfg: &SimConfig) -> SimReport {
-    let n = trace.config().servers as usize;
-    let mode = match cfg.policy {
-        PolicyKind::ZombieStack => ConsolidationMode::ZombieStack,
-        _ => ConsolidationMode::VanillaNeat,
-    };
-    let mut dc = Dc {
-        hosts: (0..n)
-            .map(|i| Host {
-                state: HState::Active,
-                rack: i as u32 % cfg.racks.max(1),
-                cpu_booked: 0.0,
-                cpu_used: 0.0,
-                mem_local: 0.0,
-                remote_allocated: 0.0,
-                vms: Vec::new(),
-            })
-            .collect(),
-        cooldown: vec![0; n],
-        vms: vec![None; trace.tasks().len()],
-        parked_mem: 0.0,
-        total_power: Watts::ZERO,
-        energy: Joules::ZERO,
-        last: SimTime::ZERO,
-        report: SimReport {
-            policy: cfg.policy,
-            energy: Joules::ZERO,
-            migrations: 0,
-            wakeups: 0,
-            dropped: 0,
-            overcommitted: 0,
-            state_seconds: [0.0; 3],
-            peak_parked: 0.0,
-            timeline: Vec::new(),
-        },
-        neat: Neat::new(mode),
-        oasis: OasisConfig::default(),
-        active: (0..n).collect(),
-        active_by_booked: (0..n).map(|i| (0.0, i)).collect(),
-        nonactive: BTreeSet::new(),
-        zombies_by_rack: vec![BTreeSet::new(); cfg.racks.max(1) as usize],
-        order_buf: Vec::new(),
-        evac_buf: Vec::new(),
-        pool_buf: Vec::new(),
-        validate_on: validate_enabled(),
-        cfg: cfg.clone(),
-        state_counts: [n as u64, 0, 0],
-    };
-    // Initial fleet power: everything on and idle.
-    dc.total_power = dc.host_power(0) * n as f64;
-
-    let events = trace.events();
-    let end = SimTime::ZERO + trace.config().duration;
-    // Every trace event plus the single in-flight consolidation tick:
-    // sized up front so the heap never reallocates mid-run. The queue
-    // itself comes from the per-thread pool when a previous run on this
-    // worker left one behind.
-    let mut queue: EventQueue<SimEvent> = QUEUE_POOL
-        .with(|p| p.borrow_mut().take())
-        .unwrap_or_default();
-    queue.clear();
-    queue.reserve(events.len() + 1);
-    for (i, e) in events.iter().enumerate() {
-        queue.schedule(e.0, SimEvent::Task(i));
-    }
-    let first_tick = SimTime::ZERO + cfg.consolidation_interval;
-    if first_tick <= end {
-        queue.schedule(first_tick, SimEvent::Tick);
-    }
-    let mut next_sample = SimTime::ZERO;
-    while let Some((now, ev)) = queue.pop() {
-        dc.advance(now);
-        match ev {
-            SimEvent::Tick => {
-                if cfg.policy != PolicyKind::AlwaysOn {
-                    dc.consolidate(trace);
-                }
-                if let Some(every) = cfg.sample_interval {
-                    if next_sample <= now {
-                        dc.report.timeline.push(TimelineSample {
-                            at: now,
-                            counts: dc.state_counts,
-                            power: dc.total_power,
-                        });
-                        let mw = (dc.total_power.get() * 1000.0).round() as u64;
-                        zombieland_obs::sink::gauge_set("sim.power_mw", mw);
-                        zombieland_obs::trace_event!(now, "simulator", "sample",
-                            "active" => dc.state_counts[0],
-                            "zombie" => dc.state_counts[1],
-                            "sleeping" => dc.state_counts[2],
-                            "power_mw" => mw);
-                        next_sample = now + every;
-                    }
-                }
-                let next = now + cfg.consolidation_interval;
-                if next <= end {
-                    queue.schedule(next, SimEvent::Tick);
-                }
-            }
-            SimEvent::Task(i) => {
-                let (_, kind, task) = events[i];
-                match kind {
-                    EventKind::Arrive => dc.arrive(trace, task),
-                    EventKind::Depart => dc.depart(trace, task),
-                }
-            }
+        if !self.usable_mem.is_finite() || self.usable_mem <= 0.0 {
+            return Err(format!(
+                "usable_mem must be a positive fraction, got {}",
+                self.usable_mem
+            ));
         }
-    }
-    // The loop drained the queue; park its storage for the next run on
-    // this thread.
-    QUEUE_POOL.with(|p| *p.borrow_mut() = Some(queue));
-    dc.advance(end);
-    dc.report.energy = dc.energy;
-    if zombieland_obs::sink::metrics_enabled() {
-        let r = &dc.report;
-        zombieland_obs::sink::gauge_set("sim.energy_mj", (r.energy.get() * 1000.0).round() as u64);
-        zombieland_obs::sink::counter_add("sim.runs", 1);
-        zombieland_obs::trace_event!(dc.last, "simulator", "run_done",
-            "policy" => r.policy.name(),
-            "energy_mj" => (r.energy.get() * 1000.0).round() as u64,
-            "migrations" => r.migrations,
-            "wakeups" => r.wakeups,
-            "dropped" => r.dropped,
-            "overcommitted" => r.overcommitted);
-    }
-    dc.report
-}
-
-impl Dc {
-    fn profile(&self) -> &MachineProfile {
-        &self.cfg.profile
-    }
-
-    /// Current power of one host given its state/utilization, as a Watts
-    /// value (index arg is a convenience for the all-idle initial state).
-    fn host_power(&self, host: usize) -> Watts {
-        let h = self.hosts.get(host);
-        let p = self.profile();
-        match h.map(|h| h.state).unwrap_or(HState::Active) {
-            HState::Active => {
-                let util = h.map(|h| h.cpu_used).unwrap_or(0.0).clamp(0.0, 1.0);
-                p.max_power() * power_fraction(p, util)
-            }
-            HState::Zombie => p.max_power() * p.sz_fraction(),
-            HState::Sleeping => p.max_power() * p.state_fraction(SleepState::S3),
+        if !self.cpu_fill_cap.is_finite() || self.cpu_fill_cap <= 0.0 {
+            return Err(format!(
+                "cpu_fill_cap must be positive, got {}",
+                self.cpu_fill_cap
+            ));
         }
-    }
-
-    /// Integrates energy up to `now` and advances the clock.
-    fn advance(&mut self, now: SimTime) {
-        let dt = now.saturating_since(self.last);
-        if dt > SimDuration::ZERO {
-            let parked_power =
-                self.profile().max_power() * self.oasis.memory_server_power(self.parked_mem);
-            self.energy += (self.total_power + parked_power).over(dt);
-            let secs = dt.as_secs_f64();
-            for (i, &count) in self.state_counts.iter().enumerate() {
-                self.report.state_seconds[i] += count as f64 * secs;
-            }
-            self.last = now;
-        } else if now > self.last {
-            self.last = now;
-        }
-    }
-
-    /// Applies a mutation to host `h`, keeping the fleet power total
-    /// consistent.
-    fn update_host(&mut self, h: usize, f: impl FnOnce(&mut Host)) {
-        let before = self.host_power(h);
-        let state_before = self.hosts[h].state;
-        let booked_before = self.hosts[h].cpu_booked;
-        f(&mut self.hosts[h]);
-        let after = self.host_power(h);
-        let state_after = self.hosts[h].state;
-        let booked_after = self.hosts[h].cpu_booked;
-        if state_before != state_after {
-            self.state_counts[state_index(state_before)] -= 1;
-            self.state_counts[state_index(state_after)] += 1;
-            self.index_host(h, state_before, state_after, booked_before, booked_after);
-        } else if state_after == HState::Active
-            && booked_after.total_cmp(&booked_before) != Ordering::Equal
-        {
-            // total_cmp (not `!=`) so a -0.0/+0.0 flip still repositions
-            // and the stored key always matches the host's exact bits.
-            self.reposition_booked(h, booked_before, booked_after);
-        }
-        self.total_power =
-            Watts::new((self.total_power.get() - before.get() + after.get()).max(0.0));
-    }
-
-    /// The ordering of [`Dc::active_by_booked`]: most-booked first, ties
-    /// toward the lower host index (the stacking preference order).
-    fn booked_order(a: &(f64, usize), b: &(f64, usize)) -> Ordering {
-        b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
-    }
-
-    /// Re-slots `h` in the booked-ordered list after its `cpu_booked`
-    /// moved from `old` to `new`.
-    fn reposition_booked(&mut self, h: usize, old: f64, new: f64) {
-        let pos = self
-            .active_by_booked
-            .binary_search_by(|e| Self::booked_order(e, &(old, h)))
-            .expect("active host indexed under its old booked key");
-        self.active_by_booked.remove(pos);
-        let ins = self
-            .active_by_booked
-            .partition_point(|e| Self::booked_order(e, &(new, h)) == Ordering::Less);
-        self.active_by_booked.insert(ins, (new, h));
-    }
-
-    /// Moves `h` between the per-state index sets on a state change.
-    fn index_host(&mut self, h: usize, from: HState, to: HState, booked_old: f64, booked_new: f64) {
-        let rack = self.hosts[h].rack as usize;
-        match from {
-            HState::Active => {
-                self.active.remove(&h);
-                let pos = self
-                    .active_by_booked
-                    .binary_search_by(|e| Self::booked_order(e, &(booked_old, h)))
-                    .expect("active host indexed under its old booked key");
-                self.active_by_booked.remove(pos);
-            }
-            HState::Zombie => {
-                self.nonactive.remove(&h);
-                self.zombies_by_rack[rack].remove(&h);
-            }
-            HState::Sleeping => {
-                self.nonactive.remove(&h);
-            }
-        }
-        match to {
-            HState::Active => {
-                self.active.insert(h);
-                let ins = self
-                    .active_by_booked
-                    .partition_point(|e| Self::booked_order(e, &(booked_new, h)) == Ordering::Less);
-                self.active_by_booked.insert(ins, (booked_new, h));
-            }
-            HState::Zombie => {
-                self.nonactive.insert(h);
-                self.zombies_by_rack[rack].insert(h);
-            }
-            HState::Sleeping => {
-                self.nonactive.insert(h);
-            }
-        }
-    }
-
-    /// Snapshots every rack's free pool into [`Dc::pool_buf`] ahead of a
-    /// placement scan. Under non-pool policies the snapshot is all zeros
-    /// (never read). The scan itself does not mutate pool state, so one
-    /// snapshot serves every candidate host — this is what turns the old
-    /// O(hosts²) placement into O(active + zombies).
-    fn snapshot_pools(&mut self) {
-        let mut buf = std::mem::take(&mut self.pool_buf);
-        buf.clear();
-        let racks = self.cfg.racks.max(1);
-        if self.cfg.policy == PolicyKind::ZombieStack {
-            buf.extend((0..racks).map(|r| self.pool_free(r)));
-        } else {
-            buf.resize(racks as usize, 0.0);
-        }
-        self.pool_buf = buf;
-    }
-
-    fn usable_mem(&self) -> f64 {
-        self.cfg.usable_mem
-    }
-
-    /// Free remote-pool memory in one rack (zombie hosts only — the pool
-    /// is rack-local as in the paper). Sums over the rack's zombie index
-    /// set in ascending host order, the same order (and therefore the
-    /// same float result) as the old full-fleet filter scan.
-    fn pool_free(&self, rack: u32) -> f64 {
-        self.zombies_by_rack[rack as usize]
-            .iter()
-            .map(|&i| (self.usable_mem() - self.hosts[i].remote_allocated).max(0.0))
-            .sum()
-    }
-
-    /// Free pool across every rack (reporting / demotion policy).
-    fn pool_free_total(&self) -> f64 {
-        (0..self.cfg.racks.max(1)).map(|r| self.pool_free(r)).sum()
-    }
-
-    /// Carves `amount` of remote memory from one rack's zombie hosts
-    /// (most-free first). Returns how much was actually taken.
-    fn take_remote(&mut self, rack: u32, mut amount: f64) -> f64 {
-        let mut taken = 0.0;
-        while amount > 1e-9 {
-            // Most-free zombie; `>=` keeps the *last* maximum among ties,
-            // matching the old full-scan `max_by`.
-            let mut best: Option<(usize, f64)> = None;
-            for &i in &self.zombies_by_rack[rack as usize] {
-                let free = (self.usable_mem() - self.hosts[i].remote_allocated).max(0.0);
-                if best.is_none_or(|(_, b)| free >= b) {
-                    best = Some((i, free));
-                }
-            }
-            let Some((idx, free)) = best else {
-                break;
-            };
-            if free <= 1e-9 {
-                break;
-            }
-            let take = free.min(amount);
-            self.hosts[idx].remote_allocated += take;
-            taken += take;
-            amount -= take;
-        }
-        taken
-    }
-
-    /// Returns `amount` of remote memory to one rack's pool (drained from
-    /// the most-loaded zombies first, so lightly-used zombies empty out
-    /// and become demotable to S3).
-    fn give_back_remote(&mut self, rack: u32, mut amount: f64) {
-        while amount > 1e-9 {
-            // Most-loaded zombie; `>=` keeps the last maximum among ties,
-            // matching the old full-scan `max_by`.
-            let mut best: Option<(usize, f64)> = None;
-            for &i in &self.zombies_by_rack[rack as usize] {
-                let ra = self.hosts[i].remote_allocated;
-                if ra > 1e-9 && best.is_none_or(|(_, b)| ra >= b) {
-                    best = Some((i, ra));
-                }
-            }
-            let Some((idx, _)) = best else {
-                break;
-            };
-            let back = self.hosts[idx].remote_allocated.min(amount);
-            self.hosts[idx].remote_allocated -= back;
-            amount -= back;
-        }
-    }
-
-    /// Whether `host` can take the task under the policy's placement
-    /// rule; returns the local share it would use. `pool` is the free
-    /// remote pool of the host's rack (snapshot or fresh — the caller
-    /// owns that choice; scans pass the per-scan snapshot).
-    fn fits(&self, host: usize, cpu: f64, cpu_used: f64, mem: f64, pool: f64) -> Option<f64> {
-        let h = &self.hosts[host];
-        if h.state != HState::Active {
-            return None;
-        }
-        let free_local = (self.usable_mem() - h.mem_local).max(0.0);
-        match self.cfg.policy {
-            PolicyKind::ZombieStack => {
-                // Usage-aware CPU admission with a bounded booking
-                // overcommit, mirroring the consolidation rule, so that
-                // arrivals can land on usage-packed hosts instead of
-                // waking zombies.
-                if h.cpu_used + cpu_used > 0.85 + 1e-9 || h.cpu_booked + cpu > 1.3 + 1e-9 {
-                    return None;
-                }
-                let local = mem.min(free_local);
-                if local + 1e-9 < 0.5 * mem {
-                    return None;
-                }
-                if mem - local > pool + 1e-9 {
-                    return None;
-                }
-                Some(local)
-            }
-            _ => {
-                if h.cpu_booked + cpu > 1.0 + 1e-9 || free_local + 1e-9 < mem {
-                    None
-                } else {
-                    Some(mem)
-                }
-            }
-        }
-    }
-
-    /// Stacking choice: the fittable active host with the highest booked
-    /// CPU (ties to the lowest index, as the old ascending full scan
-    /// resolved them). [`Dc::active_by_booked`] *is* that preference
-    /// order, so the first fitting entry is the answer — no ranking pass.
-    /// One pool snapshot serves the whole scan.
-    fn pick_host(&mut self, cpu: f64, cpu_used: f64, mem: f64) -> Option<usize> {
-        self.snapshot_pools();
-        for &(_, i) in &self.active_by_booked {
-            let pool = self.pool_buf[self.hosts[i].rack as usize];
-            if self.fits(i, cpu, cpu_used, mem, pool).is_some() {
-                return Some(i);
-            }
-        }
-        None
-    }
-
-    /// Wakes a host per policy preference. Returns its index.
-    fn wake_one(&mut self) -> Option<usize> {
-        let pick = match self.cfg.policy {
-            PolicyKind::ZombieStack => {
-                // Least-lending zombie; strict `<` keeps the *first*
-                // minimum among ties, matching the old full-scan
-                // `min_by` over ascending host indices.
-                let mut best: Option<(usize, f64)> = None;
-                for &i in &self.nonactive {
-                    if self.hosts[i].state != HState::Zombie {
-                        continue;
-                    }
-                    let ra = self.hosts[i].remote_allocated;
-                    if best.is_none_or(|(_, b)| ra < b) {
-                        best = Some((i, ra));
-                    }
-                }
-                best.map(|(i, _)| i).or_else(|| self.find_sleeping())
-            }
-            _ => self.find_sleeping(),
-        }?;
-        // A waking zombie reclaims its memory: re-place its allocations
-        // on its rack's *other* zombies (so reactivate first — a zombie
-        // would happily re-absorb its own shares), and shed whatever the
-        // pool cannot hold onto the owning VMs' local backups, exactly as
-        // the rack-level US_reclaim fallback does.
-        let stranded = self.hosts[pick].remote_allocated;
-        let rack = self.hosts[pick].rack;
-        self.hosts[pick].remote_allocated = 0.0;
-        self.cooldown[pick] = WAKE_COOLDOWN_TICKS;
-        let waking_from = self.hosts[pick].state;
-        self.update_host(pick, |h| {
-            h.state = HState::Active;
-        });
-        self.charge_transition(waking_from, HState::Active);
-        if stranded > 1e-9 {
-            let placed = self.take_remote(rack, stranded);
-            self.shed_vm_remote(rack, stranded - placed);
-        }
-        self.report.wakeups += 1;
-        zombieland_obs::sink::counter_add("sim.wakeups", 1);
-        zombieland_obs::trace_event!(self.last, "simulator", "wake", "host" => pick);
-        Some(pick)
-    }
-
-    /// Charges the energy of one power-state transition: the platform
-    /// runs its enter/exit sequence at near-full draw for the latency the
-    /// firmware model reports.
-    fn charge_transition(&mut self, from: HState, to: HState) {
-        if !self.cfg.transition_costs {
-            return;
-        }
-        // Latencies from the firmware model: S3/Sz enter ~3 s, exit ~4 s.
-        let latency = match (from, to) {
-            (HState::Active, _) => SimDuration::from_millis(2_950),
-            (_, HState::Active) => SimDuration::from_millis(3_800),
-            _ => SimDuration::ZERO,
-        };
-        if latency > SimDuration::ZERO {
-            zombieland_obs::sink::counter_add("sim.transitions", 1);
-            zombieland_obs::sink::hist_record("sim.transition_ns", latency.as_nanos());
-        }
-        self.energy += (self.profile().max_power() * 0.9).over(latency);
-    }
-
-    /// Reduces VMs' remote shares in `rack` by `amount`: their cold pages
-    /// are now served from the local backups (the revocation fallback).
-    fn shed_vm_remote(&mut self, rack: u32, mut amount: f64) {
-        if amount <= 1e-9 {
-            return;
-        }
-        for task in 0..self.vms.len() {
-            if amount <= 1e-9 {
-                break;
-            }
-            let Some(vm) = self.vms[task].as_mut() else {
-                continue;
-            };
-            if vm.remote <= 1e-9 || self.hosts[vm.host].rack != rack {
-                continue;
-            }
-            let cut = vm.remote.min(amount);
-            vm.remote -= cut;
-            amount -= cut;
-        }
-    }
-
-    fn find_sleeping(&self) -> Option<usize> {
-        // `nonactive` holds exactly the Sleeping|Zombie hosts, ordered by
-        // index, so the first member is what the old `position` scan found.
-        self.nonactive.first().copied()
-    }
-
-    fn arrive(&mut self, trace: &ClusterTrace, task: usize) {
-        let t = &trace.tasks()[task];
-        let (cpu, mem) = (t.cpu_booked, t.mem_booked);
-        let host = match self.pick_host(cpu, t.cpu_used, mem) {
-            Some(h) => h,
-            None => {
-                // Wake hosts until the VM fits; as a last resort,
-                // overcommit the least-used active host (real clouds
-                // queue or overcommit rather than reject booked work).
-                let mut found = None;
-                loop {
-                    if self.wake_one().is_none() {
-                        break;
-                    }
-                    if let Some(h) = self.pick_host(cpu, t.cpu_used, mem) {
-                        found = Some(h);
-                        break;
-                    }
-                }
-                match found {
-                    Some(h) => h,
-                    None => {
-                        // Least-used active host; strict `<` keeps the
-                        // first minimum among ties like the old `min_by`
-                        // over ascending indices.
-                        let mut least: Option<(usize, f64)> = None;
-                        for &i in &self.active {
-                            let used = self.hosts[i].cpu_used;
-                            if least.is_none_or(|(_, b)| used < b) {
-                                least = Some((i, used));
-                            }
-                        }
-                        let Some(h) = least.map(|(i, _)| i) else {
-                            self.report.dropped += 1;
-                            zombieland_obs::sink::counter_add("sim.dropped", 1);
-                            zombieland_obs::trace_event!(
-                                self.last, "simulator", "drop", "task" => task);
-                            return;
-                        };
-                        self.report.overcommitted += 1;
-                        zombieland_obs::sink::counter_add("sim.overcommitted", 1);
-                        h
-                    }
-                }
-            }
-        };
-        let pool = self.pool_free(self.hosts[host].rack);
-        let local = match self.fits(host, cpu, t.cpu_used, mem, pool) {
-            Some(l) => l,
-            None => {
-                // Overcommit fallback: take whatever local memory is left.
-                let free = (self.usable_mem() - self.hosts[host].mem_local).max(0.0);
-                mem.min(free)
-            }
-        };
-        let remote = (mem - local).max(0.0);
-        let rack = self.hosts[host].rack;
-        let taken = if remote > 1e-9 {
-            self.take_remote(rack, remote)
-        } else {
-            0.0
-        };
-        let used = t.cpu_used;
-        self.update_host(host, |h| {
-            h.cpu_booked += cpu;
-            h.cpu_used += used;
-            h.mem_local += local;
-            h.vms.push(task);
-        });
-        self.vms[task] = Some(VmState {
-            host,
-            local_mem: local,
-            remote: taken,
-            parked: 0.0,
-        });
-        zombieland_obs::sink::counter_add("sim.arrivals", 1);
-        zombieland_obs::trace_event!(self.last, "simulator", "arrive",
-            "task" => task, "host" => host);
-    }
-
-    fn depart(&mut self, trace: &ClusterTrace, task: usize) {
-        let Some(vm) = self.vms[task].take() else {
-            return; // Dropped at arrival.
-        };
-        let t = &trace.tasks()[task];
-        let (cpu, used, local) = (t.cpu_booked, t.cpu_used, vm.local_mem);
-        self.update_host(vm.host, |h| {
-            h.cpu_booked = (h.cpu_booked - cpu).max(0.0);
-            h.cpu_used = (h.cpu_used - used).max(0.0);
-            h.mem_local = (h.mem_local - local).max(0.0);
-            h.vms.retain(|&v| v != task);
-        });
-        let rack = self.hosts[vm.host].rack;
-        self.give_back_remote(rack, vm.remote);
-        self.parked_mem = (self.parked_mem - vm.parked).max(0.0);
-        zombieland_obs::sink::counter_add("sim.departures", 1);
-        zombieland_obs::trace_event!(self.last, "simulator", "depart",
-            "task" => task, "host" => vm.host);
-    }
-
-    /// Invariant sweep: VM lists, booked sums, pool accounting and the
-    /// incremental index sets all agree. O(hosts × vms), so it runs only
-    /// when [`validate_enabled`] says so (debug builds by default,
-    /// `ZL_VALIDATE=1` opts release builds in).
-    fn validate(&self) {
-        let mut host_vms = 0usize;
-        for (i, h) in self.hosts.iter().enumerate() {
-            host_vms += h.vms.len();
-            for &t in &h.vms {
-                assert_eq!(
-                    self.vms[t].as_ref().map(|v| v.host),
-                    Some(i),
-                    "vm {t} listed on host {i} but placed elsewhere"
-                );
-            }
-            assert!(h.cpu_booked >= -1e-6 && h.mem_local >= -1e-6);
-            if h.state != HState::Zombie {
-                assert!(
-                    h.remote_allocated <= 1e-6,
-                    "non-zombie lends: host {i} {:?} holds {}",
-                    h.state,
-                    h.remote_allocated
-                );
-            }
-            // The index sets mirror host state exactly.
-            assert_eq!(
-                self.active.contains(&i),
-                h.state == HState::Active,
-                "host {i}: active-set membership disagrees with {:?}",
-                h.state
-            );
-            assert_eq!(
-                self.nonactive.contains(&i),
-                h.state != HState::Active,
-                "host {i}: nonactive-set membership disagrees with {:?}",
-                h.state
-            );
-            assert_eq!(
-                self.zombies_by_rack[h.rack as usize].contains(&i),
-                h.state == HState::Zombie,
-                "host {i}: rack {} zombie-set membership disagrees with {:?}",
-                h.rack,
-                h.state
-            );
-        }
-        assert_eq!(
-            self.active_by_booked.len(),
-            self.active.len(),
-            "booked-ordered list covers exactly the active hosts"
-        );
-        for w in self.active_by_booked.windows(2) {
-            assert_eq!(
-                Self::booked_order(&w[0], &w[1]),
-                Ordering::Less,
-                "booked-ordered list stays strictly sorted"
-            );
-        }
-        for &(booked, i) in &self.active_by_booked {
-            assert_eq!(
-                booked.to_bits(),
-                self.hosts[i].cpu_booked.to_bits(),
-                "host {i}: indexed booked key matches the live value"
-            );
-        }
-        let indexed: usize = self.zombies_by_rack.iter().map(|s| s.len()).sum();
-        let zombies = self
-            .hosts
-            .iter()
-            .filter(|h| h.state == HState::Zombie)
-            .count();
-        assert_eq!(indexed, zombies, "zombie index covers every zombie once");
-        let live = self.vms.iter().filter(|v| v.is_some()).count();
-        assert_eq!(host_vms, live, "every live VM is on exactly one host");
-        let vm_remote: f64 = self.vms.iter().flatten().map(|v| v.remote).sum();
-        let host_remote: f64 = self.hosts.iter().map(|h| h.remote_allocated).sum();
-        assert!(
-            (vm_remote - host_remote).abs() < 1e-3,
-            "pool accounting: vms {vm_remote} vs hosts {host_remote}"
-        );
-    }
-
-    /// One consolidation round.
-    fn consolidate(&mut self, trace: &ClusterTrace) {
-        // Oasis first parks idle VMs' cold memory, shrinking footprints.
-        if self.cfg.policy == PolicyKind::Oasis {
-            self.oasis_park(trace);
-        }
-
-        for c in &mut self.cooldown {
-            *c = c.saturating_sub(1);
-        }
-        // Underloaded hosts, least loaded first. The candidate list comes
-        // from the active index set (ascending, as the old full scan
-        // iterated) and lives in a persistent buffer so consolidation
-        // ticks stop allocating.
-        let mut order = std::mem::take(&mut self.order_buf);
-        order.clear();
-        order.extend(self.active.iter().copied().filter(|&i| {
-            self.cooldown[i] == 0 && self.hosts[i].cpu_used < self.neat.underload_threshold
-        }));
-        // The comparator is a total order (index tie-break), so the
-        // unstable sort is deterministic.
-        order.sort_unstable_by(|&a, &b| {
-            self.hosts[a]
-                .cpu_used
-                .total_cmp(&self.hosts[b].cpu_used)
-                .then(a.cmp(&b))
-        });
-
-        for &host in &order {
-            self.try_evacuate(trace, host);
-        }
-        self.order_buf = order;
-
-        if self.validate_on {
-            self.validate();
-        }
-
-        // §4.4: "If the global-mem-ctr holds huge amounts of free memory
-        // (e.g. more than the total memory of a rack server), the cloud
-        // manager may decide to transition zombie servers to S3." Only
-        // zombies serving nothing are demoted (give_back_remote drains
-        // the least-loaded ones toward zero), and generous headroom stays
-        // in the pool so placements do not start waking zombies.
-        if let Some(threshold) = self.cfg.sz_demote_threshold {
-            while self.cfg.policy == PolicyKind::ZombieStack {
-                // First (lowest-index) idle zombie, as the old full-fleet
-                // `position` scan found it.
-                let candidate = self.nonactive.iter().copied().find(|&i| {
-                    self.hosts[i].state == HState::Zombie && self.hosts[i].remote_allocated <= 1e-9
-                });
-                match candidate {
-                    Some(i)
-                        if self.pool_free_total() - self.usable_mem()
-                            >= threshold + self.usable_mem() =>
-                    {
-                        self.update_host(i, |h| h.state = HState::Sleeping);
-                    }
-                    _ => break,
-                }
-            }
-        }
-    }
-
-    /// Tries to move every VM off `host`; on success the host suspends
-    /// (Sz for ZombieStack, S3 otherwise).
-    ///
-    /// Under ZombieStack the host flips into Sz *before* the moves are
-    /// planned, so its own memory backs the departing VMs' remote shares
-    /// — without this, a memory-bound fleet can never bootstrap the
-    /// remote pool (every evacuation would need a pool that only
-    /// evacuations can create).
-    fn try_evacuate(&mut self, trace: &ClusterTrace, host: usize) {
-        let zombie_mode = self.cfg.policy == PolicyKind::ZombieStack;
-        if zombie_mode {
-            self.update_host(host, |h| h.state = HState::Zombie);
-        }
-        // Resident VM ids go through a persistent buffer instead of a
-        // fresh clone per evacuation attempt.
-        let mut resident = std::mem::take(&mut self.evac_buf);
-        resident.clear();
-        resident.extend_from_slice(&self.hosts[host].vms);
-        let mut moves: Vec<PendingMove> = Vec::with_capacity(resident.len());
-        let mut ok = true;
-        for &task in &resident {
-            let t = &trace.tasks()[task];
-            let mem = match self.cfg.policy {
-                // The 30 %-of-WSS rule applies to migrations.
-                PolicyKind::ZombieStack => t.mem_booked,
-                _ => self.vms[task]
-                    .as_ref()
-                    .map_or(t.mem_booked, |v| v.local_mem),
-            };
-            // Highest-booked fittable target, ties to the lowest index —
-            // the old `max_by(...).then(b.cmp(&a))` full scan. The
-            // booked-ordered walk stops at the first fitting entry; pools
-            // are re-snapshot per VM because each reserve_move shifts
-            // them.
-            self.snapshot_pools();
-            let mut target = None;
-            for &(_, i) in &self.active_by_booked {
-                if i == host {
-                    continue;
-                }
-                let pool = self.pool_buf[self.hosts[i].rack as usize];
-                if self.consolidation_fits(i, t.cpu_booked, t.cpu_used, mem, t.mem_used, pool) {
-                    target = Some(i);
-                    break;
-                }
-            }
-            match target {
-                Some(tgt) => moves.push(self.reserve_move(trace, task, tgt)),
-                None => {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-        self.evac_buf = resident;
-        if !ok {
-            // Roll back reservations; the host stays up (the aborted
-            // transition never left the OS, so no energy is charged).
-            for m in moves.into_iter().rev() {
-                self.rollback_move(trace, m);
-            }
-            if zombie_mode {
-                // Planning may have parked pool shares on this host (it
-                // was briefly a zombie) and the give-backs may have
-                // drained its peers instead. Reactivate first, then
-                // migrate any residue to the peers; whatever cannot fit
-                // sheds to the owning VMs' local backups.
-                let stuck = self.hosts[host].remote_allocated;
-                let rack = self.hosts[host].rack;
-                self.hosts[host].remote_allocated = 0.0;
-                self.update_host(host, |h| h.state = HState::Active);
-                if stuck > 1e-9 {
-                    let moved = self.take_remote(rack, stuck);
-                    self.shed_vm_remote(rack, stuck - moved);
-                }
-            }
-            return;
-        }
-        // Commit: detach every VM from the source.
-        for m in &moves {
-            let t = &trace.tasks()[m.task];
-            let (cpu, used, old_local) = (t.cpu_booked, t.cpu_used, m.old_local);
-            self.update_host(host, |h| {
-                h.cpu_booked = (h.cpu_booked - cpu).max(0.0);
-                h.cpu_used = (h.cpu_used - used).max(0.0);
-                h.mem_local = (h.mem_local - old_local).max(0.0);
-                h.vms.retain(|&v| v != m.task);
-            });
-            self.report.migrations += 1;
-        }
-        zombieland_obs::sink::counter_add("sim.migrations", moves.len() as u64);
-        zombieland_obs::trace_event!(self.last, "simulator", "evacuate",
-            "host" => host, "moves" => moves.len(),
-            "to_zombie" => zombie_mode);
-        if !zombie_mode {
-            self.update_host(host, |h| {
-                debug_assert!(h.vms.is_empty());
-                h.state = HState::Sleeping;
-            });
-        }
-        self.charge_transition(HState::Active, HState::Sleeping);
-    }
-
-    /// Books a pending move on the target host (two-phase evacuate). The
-    /// source host is *not* touched yet; commit or rollback settles it.
-    fn reserve_move(&mut self, trace: &ClusterTrace, task: usize, target: usize) -> PendingMove {
-        let t = &trace.tasks()[task];
-        let free_local = (self.usable_mem() - self.hosts[target].mem_local).max(0.0);
-        let vm = self.vms[task].as_mut().expect("placed");
-        let (old_local, old_remote, source) = (vm.local_mem, vm.remote, vm.host);
-        let mem = t.mem_booked - vm.parked;
-        let new_local = mem.min(free_local);
-        vm.local_mem = new_local;
-        vm.host = target;
-        let (cpu, used) = (t.cpu_booked, t.cpu_used);
-        self.update_host(target, |h| {
-            h.cpu_booked += cpu;
-            h.cpu_used += used;
-            h.mem_local += new_local;
-            h.vms.push(task);
-        });
-        // Remote shares are rack-local: return the source rack's shares
-        // and take the whole new requirement from the target's rack.
-        let source_rack = self.hosts[source].rack;
-        let target_rack = self.hosts[target].rack;
-        if old_remote > 1e-9 {
-            self.give_back_remote(source_rack, old_remote);
-        }
-        let need = (mem - new_local).max(0.0);
-        let taken = if need > 1e-9 {
-            self.take_remote(target_rack, need)
-        } else {
-            0.0
-        };
-        self.vms[task].as_mut().expect("placed").remote = taken;
-        PendingMove {
-            task,
-            source,
-            target,
-            old_local,
-            old_remote,
-            new_local,
-            taken,
-        }
-    }
-
-    /// Undoes a reservation.
-    fn rollback_move(&mut self, trace: &ClusterTrace, m: PendingMove) {
-        let t = &trace.tasks()[m.task];
-        let (cpu, used, new_local) = (t.cpu_booked, t.cpu_used, m.new_local);
-        self.update_host(m.target, |h| {
-            h.cpu_booked = (h.cpu_booked - cpu).max(0.0);
-            h.cpu_used = (h.cpu_used - used).max(0.0);
-            h.mem_local = (h.mem_local - new_local).max(0.0);
-            h.vms.retain(|&v| v != m.task);
-        });
-        if m.taken > 1e-9 {
-            let rack = self.hosts[m.target].rack;
-            self.give_back_remote(rack, m.taken);
-        }
-        // Best effort: re-take the old shares in the source rack (the
-        // pool may have shifted; any shortfall surfaces as pool pressure
-        // on the next placement check, never as lost accounting).
-        let source_rack = self.hosts[m.source].rack;
-        let retaken = if m.old_remote > 1e-9 {
-            self.take_remote(source_rack, m.old_remote)
-        } else {
-            0.0
-        };
-        let vm = self.vms[m.task].as_mut().expect("placed");
-        vm.host = m.source;
-        vm.local_mem = m.old_local;
-        vm.remote = retaken;
-    }
-
-    /// The migration feasibility check. Vanilla Neat "places a VM on a
-    /// server only if the latter holds all the resources booked by the
-    /// VM"; ZombieStack replaces that with the 30 %-of-WSS rule and packs
-    /// by *actual* CPU usage (overload detection guards the overcommit),
-    /// which is where most of its extra consolidation comes from.
-    fn consolidation_fits(
-        &self,
-        target: usize,
-        cpu_booked: f64,
-        cpu_used: f64,
-        mem: f64,
-        wss: f64,
-        pool: f64,
-    ) -> bool {
-        let h = &self.hosts[target];
-        if h.state != HState::Active {
-            return false;
-        }
-        let free_local = (self.usable_mem() - h.mem_local).max(0.0);
-        match self.cfg.policy {
-            PolicyKind::ZombieStack => {
-                // Usage-based CPU packing with a bounded booking
-                // overcommit.
-                if h.cpu_used + cpu_used > 0.85 + 1e-9 || h.cpu_booked + cpu_booked > 1.3 + 1e-9 {
-                    return false;
-                }
-                let local = mem.min(free_local);
-                local + 1e-9 >= 0.30 * wss && (mem - local) <= pool + 1e-9
-            }
-            _ => {
-                h.cpu_booked + cpu_booked <= self.cfg.cpu_fill_cap + 1e-9
-                    && free_local + 1e-9 >= mem
-            }
-        }
-    }
-
-    /// Oasis: park the cold memory of idle VMs on underused hosts.
-    fn oasis_park(&mut self, trace: &ClusterTrace) {
-        for host in 0..self.hosts.len() {
-            if self.hosts[host].state != HState::Active
-                || self.hosts[host].cpu_used >= self.oasis.underload_threshold
-            {
-                continue;
-            }
-            // Index-walk the VM list in place: parking never edits
-            // `vms`, so no defensive clone is needed.
-            for vi in 0..self.hosts[host].vms.len() {
-                let task = self.hosts[host].vms[vi];
-                let t = &trace.tasks()[task];
-                if t.cpu_used >= self.oasis.idle_vm_threshold {
-                    continue;
-                }
-                let vm = self.vms[task].as_mut().expect("placed");
-                if vm.parked > 0.0 {
-                    continue; // Already parked.
-                }
-                // Partial migration: the footprint shrinks to the working
-                // set; the rest parks on memory servers.
-                let park = (vm.local_mem - t.mem_used).max(0.0);
-                if park <= 1e-9 {
-                    continue;
-                }
-                vm.parked = park;
-                vm.local_mem -= park;
-                self.parked_mem += park;
-                self.report.peak_parked = self.report.peak_parked.max(self.parked_mem);
-                self.update_host(host, |h| {
-                    h.mem_local = (h.mem_local - park).max(0.0);
-                });
-            }
-        }
-    }
-}
-
-fn state_index(s: HState) -> usize {
-    match s {
-        HState::Active => 0,
-        HState::Zombie => 1,
-        HState::Sleeping => 2,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use zombieland_trace::TraceConfig;
-
-    fn small_trace(ratio: f64) -> ClusterTrace {
-        let mut cfg = TraceConfig::small(11);
-        cfg.servers = 40;
-        cfg.duration = SimDuration::from_hours(24);
-        cfg.avg_utilization = 0.35;
-        cfg.mem_cpu_ratio = ratio;
-        ClusterTrace::generate(cfg)
-    }
-
-    fn run(policy: PolicyKind, trace: &ClusterTrace) -> SimReport {
-        simulate(trace, &SimConfig::new(policy, MachineProfile::hp()))
-    }
-
-    #[test]
-    fn baseline_keeps_everything_on() {
-        let trace = small_trace(1.0);
-        let r = run(PolicyKind::AlwaysOn, &trace);
-        assert_eq!(r.migrations, 0);
-        assert_eq!(r.state_seconds[1], 0.0);
-        assert_eq!(r.state_seconds[2], 0.0);
-        assert!(r.energy.get() > 0.0);
-    }
-
-    #[test]
-    fn policies_order_as_in_figure10() {
-        let trace = small_trace(1.0);
-        let base = run(PolicyKind::AlwaysOn, &trace);
-        let neat = run(PolicyKind::Neat, &trace);
-        let oasis = run(PolicyKind::Oasis, &trace);
-        let zombie = run(PolicyKind::ZombieStack, &trace);
-        let (sn, so, sz) = (
-            neat.savings_pct(&base),
-            oasis.savings_pct(&base),
-            zombie.savings_pct(&base),
-        );
-        assert!(sn > 5.0, "Neat saves something: {sn}");
-        // Oasis ~ Neat at small scale (its memory-server cost quantizes
-        // to whole servers); the paper's +4-point edge needs DC scale.
-        assert!(so >= sn - 2.5, "Oasis ~ Neat: {so} vs {sn}");
-        assert!(sz > sn, "ZombieStack wins: {sz} vs {sn}");
-        assert_eq!(zombie.dropped, 0);
-        assert!(zombie.state_seconds[1] > 0.0, "zombies existed");
-    }
-
-    #[test]
-    fn memory_pressure_widens_the_gap() {
-        // The paper's modified traces (mem = 2× cpu) hurt Neat much more
-        // than ZombieStack.
-        let original = small_trace(1.0);
-        let modified = original.modified();
-        let gap = |trace: &ClusterTrace| {
-            let base = run(PolicyKind::AlwaysOn, trace);
-            let neat = run(PolicyKind::Neat, trace).savings_pct(&base);
-            let zombie = run(PolicyKind::ZombieStack, trace).savings_pct(&base);
-            zombie - neat
-        };
-        let g_orig = gap(&original);
-        let g_mod = gap(&modified);
-        assert!(
-            g_mod > g_orig,
-            "gap widens under memory pressure: {g_orig} -> {g_mod}"
-        );
-    }
-
-    #[test]
-    fn nothing_dropped_on_feasible_traces() {
-        let trace = small_trace(1.0);
-        for p in [PolicyKind::Neat, PolicyKind::Oasis, PolicyKind::ZombieStack] {
-            let r = run(p, &trace);
-            assert_eq!(r.dropped, 0, "{:?}", p);
-        }
-    }
-
-    #[test]
-    fn rack_local_pools_constrain_but_work() {
-        let trace = small_trace(1.5); // Memory-pressured: the pool matters.
-        let base = run(PolicyKind::AlwaysOn, &trace);
-        let global = simulate(
-            &trace,
-            &SimConfig::new(PolicyKind::ZombieStack, MachineProfile::hp()),
-        );
-        let racked = simulate(
-            &trace,
-            &SimConfig {
-                racks: 8,
-                ..SimConfig::new(PolicyKind::ZombieStack, MachineProfile::hp())
-            },
-        );
-        assert_eq!(racked.dropped, 0);
-        assert!(racked.state_seconds[1] > 0.0, "zombies per rack exist");
-        // Fragmenting the pool can only cost savings, never gain much.
-        assert!(
-            racked.savings_pct(&base) <= global.savings_pct(&base) + 2.0,
-            "racked {} vs global {}",
-            racked.savings_pct(&base),
-            global.savings_pct(&base)
-        );
-    }
-
-    #[test]
-    fn transition_costs_reduce_savings() {
-        let trace = small_trace(1.0);
-        let base = run(PolicyKind::AlwaysOn, &trace);
-        let with = simulate(
-            &trace,
-            &SimConfig::new(PolicyKind::ZombieStack, MachineProfile::hp()),
-        );
-        let without = simulate(
-            &trace,
-            &SimConfig {
-                transition_costs: false,
-                ..SimConfig::new(PolicyKind::ZombieStack, MachineProfile::hp())
-            },
-        );
-        assert!(with.energy.get() > without.energy.get());
-        // But they stay second-order (< 5 points of savings).
-        assert!(without.savings_pct(&base) - with.savings_pct(&base) < 5.0);
-    }
-
-    #[test]
-    fn timeline_sampling() {
-        let trace = small_trace(1.0);
-        let r = simulate(
-            &trace,
-            &SimConfig {
-                sample_interval: Some(SimDuration::from_hours(1)),
-                ..SimConfig::new(PolicyKind::ZombieStack, MachineProfile::hp())
-            },
-        );
-        assert!(
-            r.timeline.len() >= 20,
-            "hourly samples over a day: {}",
-            r.timeline.len()
-        );
-        // Snapshots are chronological and internally consistent.
-        assert!(r.timeline.windows(2).all(|w| w[0].at <= w[1].at));
-        for s in &r.timeline {
-            assert_eq!(s.counts.iter().sum::<u64>(), 40);
-            assert!(s.power.get() > 0.0);
-        }
-        // No timeline unless asked.
-        let quiet = run(PolicyKind::ZombieStack, &trace);
-        assert!(quiet.timeline.is_empty());
-    }
-
-    #[test]
-    fn oasis_parks_idle_memory() {
-        let trace = small_trace(1.0);
-        let r = run(PolicyKind::Oasis, &trace);
-        assert!(r.peak_parked > 0.0);
+        Ok(())
     }
 }

@@ -1,0 +1,58 @@
+//! Simulation outcomes: the per-run report and timeline snapshots.
+
+use zombieland_simcore::{Joules, SimTime, Watts};
+
+/// Outcome of one simulation run.
+///
+/// `PartialEq` is derived so tests can assert the runner's bit-for-bit
+/// determinism contract: the same trace, config and seed must produce
+/// an *identical* report at any worker count.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SimReport {
+    /// Label of the policy simulated ([`crate::policy::PolicySpec::label`]).
+    pub policy: &'static str,
+    /// Fleet energy over the trace.
+    pub energy: Joules,
+    /// VM migrations performed.
+    pub migrations: u64,
+    /// Host wake-ups (S3 or Sz exits).
+    pub wakeups: u64,
+    /// Arrivals that could not be placed even after wake-ups (should be
+    /// ~0 on feasible traces).
+    pub dropped: u64,
+    /// Arrivals placed by overcommitting an active host as a last
+    /// resort.
+    pub overcommitted: u64,
+    /// Integral of host-count in each state, in host-seconds
+    /// (active, zombie, sleeping).
+    pub state_seconds: [f64; 3],
+    /// Peak memory parked on Oasis memory servers (server-equivalents).
+    pub peak_parked: f64,
+    /// Periodic fleet snapshots (empty unless
+    /// [`crate::SimConfig::sample_interval`] is set).
+    pub timeline: Vec<TimelineSample>,
+}
+
+/// One fleet snapshot.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TimelineSample {
+    /// Snapshot time.
+    pub at: SimTime,
+    /// Hosts active / zombie / sleeping.
+    pub counts: [u64; 3],
+    /// Fleet IT power at that instant.
+    pub power: Watts,
+}
+
+impl SimReport {
+    /// Energy saving versus a baseline run, in percent.
+    ///
+    /// A zero-energy baseline (empty or zero-duration trace) reports
+    /// zero savings rather than letting `0/0 = NaN` leak into tables.
+    pub fn savings_pct(&self, baseline: &SimReport) -> f64 {
+        if baseline.energy.get() == 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.energy / baseline.energy) * 100.0
+    }
+}

@@ -42,4 +42,36 @@ if ! cmp "$ZL_J1" "$ZL_J2"; then
     exit 1
 fi
 
+echo "==> scenario smoke (--scenario file matches the equivalent ZL_* env run)"
+ZL_SCEN=$(mktemp /tmp/zl-scenario.XXXXXX.txt)
+ZL_ENV=$(mktemp /tmp/zl-env.XXXXXX.txt)
+trap 'rm -f "$ZL_TRACE" "$ZL_BENCH" "$ZL_J1" "$ZL_J2" "$ZL_SCEN" "$ZL_ENV"' EXIT
+./target/release/zombieland-cli --scenario scenarios/smoke.toml \
+    experiment table1 > "$ZL_SCEN"
+ZL_SCALE=0.02 ZL_JOBS=1 ./target/release/zombieland-cli \
+    experiment table1 > "$ZL_ENV"
+if ! cmp "$ZL_SCEN" "$ZL_ENV"; then
+    echo "verify: FAIL — scenario-file config diverged from the ZL_* env path" >&2
+    exit 1
+fi
+if ./target/release/zombieland-cli --scenario /nonexistent.toml \
+    experiment table1 > /dev/null 2>&1; then
+    echo "verify: FAIL — unreadable --scenario file must be an error" >&2
+    exit 1
+fi
+
+echo "==> policy registry smoke (--list-policies names every registered policy)"
+ZL_POL=$(./target/release/zombieland-cli --list-policies)
+for key in alwayson neat oasis zombiestack noconsolidate; do
+    if ! grep -q "$key" <<< "$ZL_POL"; then
+        echo "verify: FAIL — --list-policies is missing '$key'" >&2
+        exit 1
+    fi
+done
+if ./target/release/zombieland-cli simulate --policy nosuchpolicy \
+    > /dev/null 2>&1; then
+    echo "verify: FAIL — unknown --policy must be an error" >&2
+    exit 1
+fi
+
 echo "verify: OK"
