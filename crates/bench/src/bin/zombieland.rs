@@ -7,10 +7,17 @@
 //! zombieland simulate [--servers N] [--days D] [--policy P] [--modified] [--machine hp|dell] [--trace FILE] [--timeline] [--pue X] [--jobs N]
 //! zombieland trace [--servers N] [--days D] [--seed S] --out FILE
 //! zombieland validate-trace <FILE>
+//! zombieland replay --connect ENDPOINT [--requests N] [--clients N] [--seed S] [--window W] [--servers N]
 //! zombieland suspend <mem|disk|zom>
 //! zombieland list
 //! zombieland --list-policies
 //! ```
+//!
+//! `replay` fires a seeded request stream at a running `zombied` daemon
+//! (see `crates/daemon`) and reports throughput plus p50/p99 decision
+//! latency; with `--metrics-out` the deterministic part of the capture
+//! (per-op counters, request sizes, decision-latency histogram) exports
+//! byte-identically for the same seed.
 //!
 //! `--jobs N` fans the independent simulation runs of an experiment
 //! across N worker threads. Results are bit-for-bit identical at any
@@ -57,6 +64,8 @@ fn usage() -> ExitCode {
          [--modified] [--machine hp|dell] [--trace FILE] [--timeline] [--pue X] [--jobs N]\n  \
          zombieland trace [--servers N] [--days D] [--seed S] --out FILE\n  \
          zombieland validate-trace <FILE>\n  \
+         zombieland replay --connect ENDPOINT [--requests N] [--clients N] \
+         [--seed S] [--window W] [--servers N]\n  \
          zombieland suspend <mem|disk|zom>\n  \
          zombieland list\n  \
          zombieland --list-policies\n\
@@ -199,16 +208,20 @@ impl BenchTiming {
         self.runs as f64 * 1e9 / self.wall_ns as f64
     }
 
-    fn to_json(&self, jobs1_wall_ns: Option<u128>) -> Value {
+    fn to_json(&self, jobs1_wall_ns: Option<u128>, host_parallelism: usize) -> Value {
         let mut fields = vec![
             ("jobs".into(), Value::UInt(self.jobs as u64)),
             ("wall_ns".into(), Value::UInt(self.wall_ns as u64)),
             ("runs_per_sec".into(), Value::Float(self.runs_per_sec())),
         ];
         if let Some(base) = jobs1_wall_ns.filter(|_| self.jobs > 1) {
+            let speedup = base as f64 / self.wall_ns as f64;
+            fields.push(("speedup_vs_jobs1".into(), Value::Float(speedup)));
+            // Sub-1.0 scaling is only the harness's fault when the host
+            // could actually have run the workers concurrently.
             fields.push((
-                "speedup_vs_jobs1".into(),
-                Value::Float(base as f64 / self.wall_ns as f64),
+                "regression".into(),
+                Value::Bool(speedup < 1.0 && host_parallelism > 1),
             ));
         }
         Value::Object(fields)
@@ -218,11 +231,15 @@ impl BenchTiming {
 /// Times `grid` across the scaling curve — every worker count in
 /// `{1, 2, 4, jobs}` that does not exceed `jobs` — and prints a human
 /// line per pass, with its speedup over the `jobs = 1` pass. A parallel
-/// pass slower than serial is called out as a `REGRESSION`.
+/// pass slower than serial is called out as a `REGRESSION` — but only
+/// when `host_parallelism > 1`: on a single-core host the curve is
+/// hardware-capped and a sub-1.0 "speedup" says nothing about the
+/// harness.
 fn time_grid(
     name: &str,
     runs: usize,
     jobs: usize,
+    host_parallelism: usize,
     mut grid: impl FnMut(usize),
 ) -> Vec<BenchTiming> {
     let mut counts: Vec<usize> = [1, 2, 4, jobs].into_iter().filter(|&j| j <= jobs).collect();
@@ -245,7 +262,11 @@ fn time_grid(
             let scaling = match jobs1_wall {
                 Some(base) if j > 1 => {
                     let speedup = base as f64 / t.wall_ns as f64;
-                    let flag = if speedup < 1.0 { "  REGRESSION" } else { "" };
+                    let flag = if speedup < 1.0 && host_parallelism > 1 {
+                        "  REGRESSION"
+                    } else {
+                        ""
+                    };
                     format!("  {speedup:.2}x vs jobs=1{flag}")
                 }
                 _ => String::new(),
@@ -306,13 +327,13 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let trace = experiments::fig10_trace(servers, days, 11);
     let modified = trace.modified();
     let fig10_runs = 2 * 2 * experiments::FIG10_POLICIES.len();
-    let fig10 = time_grid("fig10", fig10_runs, jobs, |j| {
+    let fig10 = time_grid("fig10", fig10_runs, jobs, host, |j| {
         std::hint::black_box(experiments::figure10_grid(&trace, &modified, j));
     });
 
     let fig8_policies = [Policy::Fifo, Policy::Clock, Policy::MIXED_DEFAULT];
     let fig8_runs = fig8_policies.len() * 9;
-    let fig8 = time_grid("fig8", fig8_runs, jobs, |j| {
+    let fig8 = time_grid("fig8", fig8_runs, jobs, host, |j| {
         for p in fig8_policies {
             std::hint::black_box(experiments::figure8_jobs(p, scale, j));
         }
@@ -325,7 +346,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         fields.push(("runs".into(), Value::UInt(timings[0].runs as u64)));
         fields.push((
             "timings".into(),
-            Value::Array(timings.iter().map(|t| t.to_json(jobs1)).collect()),
+            Value::Array(timings.iter().map(|t| t.to_json(jobs1, host)).collect()),
         ));
         fields
     };
@@ -540,6 +561,74 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     }
 }
 
+/// `zombieland replay`: the daemon load harness. Deterministic metrics
+/// land in the current observe scope (exported via the global
+/// `--metrics-out`); wall-clock throughput and the interleaving-dependent
+/// error count go to stdout only.
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let Some(connect) = flag_value(args, "--connect") else {
+        eprintln!("replay: --connect ENDPOINT is required (tcp:HOST:PORT or unix:PATH)");
+        return ExitCode::from(2);
+    };
+    let endpoint = match zombieland_daemon::Endpoint::parse(&connect) {
+        Ok(ep) => ep,
+        Err(e) => {
+            eprintln!("replay: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let defaults = zombieland_daemon::replay::ReplayConfig::default();
+    let cfg = zombieland_daemon::replay::ReplayConfig {
+        endpoint,
+        requests: flag_value(args, "--requests")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.requests),
+        clients: flag_value(args, "--clients")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.clients),
+        seed: flag_value(args, "--seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.seed),
+        window: flag_value(args, "--window")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.window),
+        servers: flag_value(args, "--servers")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.servers),
+    };
+    println!(
+        "replay: {} requests, {} client(s), window {}, seed {} -> {}",
+        cfg.requests, cfg.clients, cfg.window, cfg.seed, cfg.endpoint
+    );
+    match zombieland_daemon::replay::run_replay(&cfg) {
+        Ok((summary, run)) => {
+            // Hand the deterministic capture to the CLI's observe scope
+            // (no-op when no --metrics-out/--obs-level was given).
+            zombieland_obs::sink::absorb_current(run);
+            println!(
+                "replay: {} requests in {:.2} s  ({:.0} req/s, {} typed errors)",
+                summary.requests,
+                summary.wall_secs,
+                summary.throughput(),
+                summary.errors,
+            );
+            match (summary.p50_decision_ns, summary.p99_decision_ns) {
+                (Some(p50), Some(p99)) => println!(
+                    "replay: decision latency p50 <= {:.1} us, p99 <= {:.1} us (modeled)",
+                    p50 as f64 / 1_000.0,
+                    p99 as f64 / 1_000.0
+                ),
+                _ => println!("replay: no decision latency recorded"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("replay: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_suspend(args: &[String]) -> ExitCode {
     let Some(kw) = args.first() else {
         return usage();
@@ -741,6 +830,19 @@ fn dispatch(args: &[String]) -> ExitCode {
             cmd_trace,
         ),
         Some("validate-trace") => checked(&args[1..], 1, &[], cmd_validate_trace),
+        Some("replay") => checked(
+            &args[1..],
+            0,
+            &[
+                ("--connect", true),
+                ("--requests", true),
+                ("--clients", true),
+                ("--seed", true),
+                ("--window", true),
+                ("--servers", true),
+            ],
+            cmd_replay,
+        ),
         Some("suspend") => checked(&args[1..], 1, &[], cmd_suspend),
         Some("list") => checked(&args[1..], 0, &[], |_| {
             println!("experiments: {}", EXPERIMENTS.join(" "));

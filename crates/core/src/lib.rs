@@ -18,7 +18,9 @@
 //!   `GS_reclaim`, `US_reclaim`, `GS_alloc_ext`, `GS_alloc_swap`,
 //!   `AS_get_free_mem`, `GS_get_lru_zombie`) with their RPC cost model.
 //! - [`codec`] — the versioned little-endian wire encoding of those
-//!   operations (total decoders; corrupt input errors, never panics).
+//!   operations and their responses (buffer-descriptor lists, LRU-zombie
+//!   answers, typed error frames). Total decoders with sanity limits:
+//!   corrupt or absurd input errors, never panics.
 //! - [`manager`] — the remote-mem-mgr agent: granted-buffer slot
 //!   bookkeeping, page handles, the asynchronous local backup that makes
 //!   revocation safe.

@@ -86,20 +86,27 @@ impl RackOp {
     /// Serialized response size: header plus buffer descriptors where the
     /// response carries a list (allocations return up to
     /// `mem_size / BUFF_SIZE` descriptors).
+    ///
+    /// All arithmetic saturates: operations carrying adversarial sizes
+    /// (decoded from the wire, or constructed in-process) model a clamped
+    /// response rather than overflowing.
     pub fn response_len(&self) -> Bytes {
         const HDR: u64 = 64;
         let extra = match self {
             RackOp::AllocExt { mem_size, .. } | RackOp::AllocSwap { mem_size, .. } => {
-                zombieland_mem::buffer::buffers_for(*mem_size) * 32
+                zombieland_mem::buffer::buffers_for(*mem_size).saturating_mul(32)
             }
-            RackOp::Reclaim { nb_buffers, .. } => nb_buffers * 16,
+            RackOp::Reclaim { nb_buffers, .. } => nb_buffers.saturating_mul(16),
             _ => 0,
         };
-        Bytes::new(HDR + extra)
+        Bytes::new(HDR.saturating_add(extra))
     }
 
     /// Controller-side processing time: in-memory database operations in
     /// the tens of microseconds, scaling mildly with the touched rows.
+    /// Saturates instead of overflowing on absurd row counts (see
+    /// [`RackOp::response_len`]); [`crate::codec::decode`] additionally
+    /// rejects such sizes at the wire with [`crate::codec::CodecError::Oversized`].
     pub fn server_time(&self) -> SimDuration {
         let rows = match self {
             RackOp::GotoZombie { buffers, .. } => *buffers,
@@ -111,7 +118,8 @@ impl RackOp {
             RackOp::AsGetFreeMem { .. } => 1,
             RackOp::GetLruZombie => 1,
         };
-        SimDuration::from_micros(15) + SimDuration::from_nanos(200) * rows
+        SimDuration::from_micros(15)
+            .saturating_add(SimDuration::from_nanos(200).saturating_mul(rows))
     }
 }
 
@@ -175,6 +183,26 @@ mod tests {
         assert!(large.response_len() > small.response_len());
         assert!(large.server_time() > small.server_time());
         assert_eq!(small.request_len(), large.request_len());
+    }
+
+    #[test]
+    fn adversarial_sizes_saturate_instead_of_overflowing() {
+        // `u64::MAX` bytes is reachable by in-process construction (and,
+        // before decode-side limits, from the wire). Both cost models
+        // must clamp, not wrap or panic.
+        let op = RackOp::AllocExt {
+            user: ServerId::new(0),
+            mem_size: Bytes::new(u64::MAX),
+        };
+        assert_eq!(op.server_time(), op.server_time());
+        assert!(op.server_time() >= SimDuration::from_micros(15));
+        assert!(op.response_len() >= Bytes::new(64));
+        let op = RackOp::Reclaim {
+            host: ServerId::new(0),
+            nb_buffers: u64::MAX,
+        };
+        assert_eq!(op.server_time().as_nanos(), u64::MAX);
+        assert_eq!(op.response_len(), Bytes::new(u64::MAX));
     }
 
     #[test]

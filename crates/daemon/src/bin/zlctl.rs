@@ -1,0 +1,185 @@
+//! `zlctl` — one control-plane request per invocation.
+//!
+//! ```text
+//! zlctl --connect ENDPOINT goto-zombie HOST NB
+//! zlctl --connect ENDPOINT reclaim HOST NB
+//! zlctl --connect ENDPOINT us-reclaim USER [ID ...]
+//! zlctl --connect ENDPOINT alloc-ext USER MIB
+//! zlctl --connect ENDPOINT alloc-swap USER MIB
+//! zlctl --connect ENDPOINT free-mem HOST
+//! zlctl --connect ENDPOINT lru-zombie
+//! zlctl --connect ENDPOINT shutdown
+//! ```
+//!
+//! Exit status: 0 for any well-formed server answer — *including* a typed
+//! error frame (the request was served; the answer happens to be "no").
+//! 1 for transport or codec failures, 2 for usage errors.
+
+use std::process::ExitCode;
+
+use zombieland_core::codec::ResponseBody;
+use zombieland_core::protocol::RackOp;
+use zombieland_core::ServerId;
+use zombieland_daemon::client::ZlClient;
+use zombieland_daemon::Endpoint;
+use zombieland_mem::buffer::BufferId;
+use zombieland_simcore::Bytes;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: zlctl --connect ENDPOINT <command>\n  \
+         goto-zombie HOST NB | reclaim HOST NB | us-reclaim USER [ID ...]\n  \
+         alloc-ext USER MIB | alloc-swap USER MIB | free-mem HOST\n  \
+         lru-zombie | shutdown\n\
+         ENDPOINT: tcp:HOST:PORT or unix:PATH"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_op(cmd: &str, rest: &[String]) -> Result<RackOp, String> {
+    let id = |s: &String| -> Result<ServerId, String> {
+        s.parse::<u32>()
+            .map(ServerId::new)
+            .map_err(|_| format!("bad server id {s:?}"))
+    };
+    let num = |s: &String| -> Result<u64, String> {
+        s.parse::<u64>().map_err(|_| format!("bad number {s:?}"))
+    };
+    match (cmd, rest) {
+        ("goto-zombie", [host, nb]) => Ok(RackOp::GotoZombie {
+            host: id(host)?,
+            buffers: num(nb)?,
+        }),
+        ("reclaim", [host, nb]) => Ok(RackOp::Reclaim {
+            host: id(host)?,
+            nb_buffers: num(nb)?,
+        }),
+        ("us-reclaim", [user, ids @ ..]) => Ok(RackOp::UsReclaim {
+            user: id(user)?,
+            buff_ids: ids
+                .iter()
+                .map(|s| num(s).map(BufferId::new))
+                .collect::<Result<_, _>>()?,
+        }),
+        ("alloc-ext", [user, mib]) => Ok(RackOp::AllocExt {
+            user: id(user)?,
+            mem_size: Bytes::mib(num(mib)?),
+        }),
+        ("alloc-swap", [user, mib]) => Ok(RackOp::AllocSwap {
+            user: id(user)?,
+            mem_size: Bytes::mib(num(mib)?),
+        }),
+        ("free-mem", [host]) => Ok(RackOp::AsGetFreeMem { host: id(host)? }),
+        ("lru-zombie", []) => Ok(RackOp::GetLruZombie),
+        _ => Err(format!("bad arguments for {cmd:?}")),
+    }
+}
+
+fn print_response(decision_ns: u64, body: &ResponseBody) {
+    print!("decision {:.1} us  ", decision_ns as f64 / 1_000.0);
+    match body {
+        ResponseBody::Lent { buffers } => {
+            println!(
+                "lent {} buffer(s): {:?}",
+                buffers.len(),
+                buffers.iter().map(|b| b.get()).collect::<Vec<_>>()
+            );
+        }
+        ResponseBody::Reclaimed {
+            returned_free,
+            revoked,
+        } => {
+            println!(
+                "reclaimed {} free + {} revoked",
+                returned_free.len(),
+                revoked.len()
+            );
+        }
+        ResponseBody::Revoked {
+            relocated,
+            fell_back,
+        } => {
+            println!("revoked: {relocated} page(s) relocated, {fell_back} fell back to backup");
+        }
+        ResponseBody::Granted { buffers } => {
+            println!("granted {} buffer(s):", buffers.len());
+            for d in buffers {
+                println!(
+                    "  buffer {} on srv:{} (mr {}, {} MiB, {})",
+                    d.id.get(),
+                    d.host.get(),
+                    d.mr_key,
+                    d.size.get() >> 20,
+                    if d.zombie { "zombie" } else { "active" }
+                );
+            }
+        }
+        ResponseBody::LruZombie { host } => match host {
+            Some(h) => println!("lru zombie: srv:{}", h.get()),
+            None => println!("lru zombie: none"),
+        },
+        ResponseBody::Error(e) => println!("error: {e}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(pos) = args.iter().position(|a| a == "--connect") else {
+        return usage();
+    };
+    let Some(endpoint) = args.get(pos + 1) else {
+        eprintln!("error: --connect needs a value");
+        return usage();
+    };
+    let endpoint = match Endpoint::parse(endpoint) {
+        Ok(ep) => ep,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let mut rest: Vec<String> = args;
+    rest.drain(pos..=pos + 1);
+    let Some(cmd) = rest.first().cloned() else {
+        return usage();
+    };
+
+    let mut client = match ZlClient::connect(&endpoint) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {endpoint}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cmd == "shutdown" {
+        return match client.shutdown_server() {
+            Ok(()) => {
+                println!("daemon acknowledged shutdown");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let op = match parse_op(&cmd, &rest[1..]) {
+        Ok(op) => op,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    match client.call(&op) {
+        Ok(resp) => {
+            print_response(resp.decision.as_nanos(), &resp.body);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

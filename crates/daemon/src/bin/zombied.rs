@@ -1,0 +1,110 @@
+//! `zombied` — the control-plane daemon.
+//!
+//! ```text
+//! zombied [--listen tcp:HOST:PORT|unix:PATH] [--servers N] [--seed S]
+//!         [--lendable-mib M] [--fail-primary-after N]
+//! ```
+//!
+//! Boots a deterministic [`ClusterModel`] and serves the seven §4.3–4.4
+//! wire functions until a client sends the admin shutdown frame (see
+//! `zlctl shutdown`). The resolved listen endpoint is printed on stdout
+//! (and flushed) before the first accept, so scripts can wait for it.
+
+use std::process::ExitCode;
+
+use zombieland_daemon::model::{ClusterModel, ModelConfig};
+use zombieland_daemon::server::Daemon;
+use zombieland_daemon::Endpoint;
+use zombieland_simcore::Bytes;
+
+fn flag_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: zombied [--listen tcp:HOST:PORT|unix:PATH] [--servers N] \
+         [--seed S] [--lendable-mib M] [--fail-primary-after N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    const FLAGS: [&str; 5] = [
+        "--listen",
+        "--servers",
+        "--seed",
+        "--lendable-mib",
+        "--fail-primary-after",
+    ];
+    let mut i = 0;
+    while i < args.len() {
+        if !FLAGS.contains(&args[i].as_str()) {
+            eprintln!("error: unknown argument {:?}", args[i]);
+            return usage();
+        }
+        if i + 1 >= args.len() {
+            eprintln!("error: flag {:?} needs a value", args[i]);
+            return usage();
+        }
+        i += 2;
+    }
+
+    let listen = flag_value(&args, "--listen").unwrap_or_else(|| "tcp:127.0.0.1:0".into());
+    let endpoint = match Endpoint::parse(&listen) {
+        Ok(ep) => ep,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let servers: u32 = flag_value(&args, "--servers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+    let seed: u64 = flag_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(11);
+    let lendable_mib: u64 = flag_value(&args, "--lendable-mib")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024);
+    let fail_primary_after: Option<u64> =
+        flag_value(&args, "--fail-primary-after").and_then(|v| v.parse().ok());
+
+    let model = ClusterModel::boot(ModelConfig {
+        servers: servers.max(2),
+        seed,
+        lendable: Bytes::mib(lendable_mib),
+        fail_primary_after,
+    });
+    println!(
+        "zombied: {} servers, {} booted as zombies, {} buffers in the pool (seed {seed})",
+        servers.max(2),
+        model.initial_zombies(),
+        model.free_buffers()
+    );
+
+    let daemon = match Daemon::bind(&endpoint, model) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot bind {endpoint}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("zombied: listening on {}", daemon.local_endpoint());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    match daemon.run() {
+        Ok(()) => {
+            println!("zombied: shutdown");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The `zombied` server: thread-per-connection over TCP or Unix sockets.
+//!
+//! Each connection is a sequence of framed requests ([`crate::framing`]);
+//! each request frame holds one encoded [`RackOp`] and is answered with
+//! one encoded [`RackResponse`] frame, in order — so clients may pipeline
+//! a window of requests and read answers back positionally. A frame whose
+//! payload fails to decode is answered with a typed
+//! [`ErrorFrame::BadRequest`] frame (the connection survives; framing
+//! kept us in sync). The one-byte admin payload [`framing::SHUTDOWN`] is
+//! acknowledged with the same byte and stops the whole daemon once every
+//! in-flight request has been answered.
+//!
+//! All state lives in one [`ClusterModel`] behind a mutex: the controller
+//! is intentionally a single serialization point (the paper's GS is one
+//! process too), and each op holds the lock only for its in-memory
+//! database work.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use zombieland_core::codec::{decode, encode_response, ErrorFrame, RackResponse, ResponseBody};
+use zombieland_simcore::SimDuration;
+
+use crate::framing::{read_frame, write_frame, SHUTDOWN};
+use crate::model::ClusterModel;
+use crate::Endpoint;
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound daemon, ready to serve.
+pub struct Daemon {
+    listener: Listener,
+    local: Endpoint,
+    model: Arc<Mutex<ClusterModel>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Daemon {
+    /// Binds to `endpoint`. For `tcp:HOST:0` the kernel picks the port;
+    /// [`Daemon::local_endpoint`] reports the resolved address. A Unix
+    /// socket path must not already exist.
+    pub fn bind(endpoint: &Endpoint, model: ClusterModel) -> io::Result<Daemon> {
+        let (listener, local) = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                let local = Endpoint::Tcp(l.local_addr()?.to_string());
+                (Listener::Tcp(l), local)
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let l = UnixListener::bind(path)?;
+                (Listener::Unix(l), Endpoint::Unix(path.clone()))
+            }
+        };
+        Ok(Daemon {
+            listener,
+            local,
+            model: Arc::new(Mutex::new(model)),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The resolved listen endpoint (port filled in for `tcp:…:0`).
+    pub fn local_endpoint(&self) -> Endpoint {
+        self.local.clone()
+    }
+
+    /// Serves until a client sends the admin shutdown frame. Removes a
+    /// Unix socket file on the way out.
+    pub fn run(self) -> io::Result<()> {
+        loop {
+            let stream = match &self.listener {
+                Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                    let _ = s.set_nodelay(true);
+                    Stream::Tcp(s)
+                }),
+                #[cfg(unix)]
+                Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            };
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                // A failed accept is not fatal to the daemon.
+                Err(_) => continue,
+            };
+            let model = Arc::clone(&self.model);
+            let stop = Arc::clone(&self.stop);
+            let local = self.local.clone();
+            std::thread::spawn(move || {
+                let _ = serve_conn(stream, &model, &stop, &local);
+            });
+        }
+        #[cfg(unix)]
+        if let Endpoint::Unix(path) = &self.local {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+/// Wakes a daemon blocked in `accept` so it can observe its stop flag.
+fn poke(endpoint: &Endpoint) {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let _ = TcpStream::connect(addr.as_str());
+        }
+        #[cfg(unix)]
+        Endpoint::Unix(path) => {
+            let _ = UnixStream::connect(path);
+        }
+    }
+}
+
+fn serve_conn(
+    stream: Stream,
+    model: &Mutex<ClusterModel>,
+    stop: &AtomicBool,
+    local: &Endpoint,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(payload) = read_frame(&mut reader)? {
+        if payload == [SHUTDOWN] {
+            write_frame(&mut writer, &[SHUTDOWN])?;
+            writer.flush()?;
+            stop.store(true, Ordering::SeqCst);
+            poke(local);
+            return Ok(());
+        }
+        let response = match decode(&payload) {
+            Ok(op) => model.lock().expect("model lock").apply(&op),
+            Err(e) => RackResponse {
+                decision: SimDuration::ZERO,
+                body: ResponseBody::Error(ErrorFrame::bad_request(e)),
+            },
+        };
+        write_frame(&mut writer, &encode_response(&response))?;
+        writer.flush()?;
+    }
+    Ok(())
+}

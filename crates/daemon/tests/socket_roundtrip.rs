@@ -1,0 +1,204 @@
+//! End-to-end tests over real sockets: a `Daemon` serving a booted
+//! `ClusterModel`, driven by `ZlClient` and the replay harness.
+
+use std::thread::JoinHandle;
+
+use zombieland_core::codec::{ErrorFrame, ResponseBody};
+use zombieland_core::protocol::RackOp;
+use zombieland_core::ServerId;
+use zombieland_daemon::client::ZlClient;
+use zombieland_daemon::framing::{read_frame, write_frame};
+use zombieland_daemon::model::{ClusterModel, ModelConfig};
+use zombieland_daemon::replay::{run_replay, ReplayConfig};
+use zombieland_daemon::server::Daemon;
+use zombieland_daemon::Endpoint;
+use zombieland_mem::buffer::BufferId;
+use zombieland_simcore::Bytes;
+
+/// Boots a small daemon on an ephemeral TCP port; returns its endpoint
+/// and the serving thread (joined after `zlctl shutdown`).
+fn spawn_daemon(cfg: ModelConfig) -> (Endpoint, JoinHandle<()>) {
+    let daemon = Daemon::bind(
+        &Endpoint::Tcp("127.0.0.1:0".into()),
+        ClusterModel::boot(cfg),
+    )
+    .expect("bind ephemeral port");
+    let endpoint = daemon.local_endpoint();
+    let handle = std::thread::spawn(move || daemon.run().expect("daemon run"));
+    (endpoint, handle)
+}
+
+fn shutdown(endpoint: &Endpoint, handle: JoinHandle<()>) {
+    let mut c = ZlClient::connect(endpoint).expect("connect for shutdown");
+    c.shutdown_server().expect("shutdown ack");
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn all_seven_ops_round_trip_over_tcp() {
+    let (endpoint, handle) = spawn_daemon(ModelConfig::new(8, 11));
+    let mut c = ZlClient::connect(&endpoint).expect("connect");
+
+    let alloc = RackOp::AllocExt {
+        user: ServerId::new(1),
+        mem_size: Bytes::mib(128),
+    };
+    let r = c.call(&alloc).expect("alloc_ext");
+    assert_eq!(r.decision, alloc.server_time(), "decision is modeled time");
+    let ResponseBody::Granted { buffers } = r.body else {
+        panic!("alloc_ext answered {:?}", r.body);
+    };
+    assert_eq!(buffers.len(), 2);
+    let ids: Vec<BufferId> = buffers.iter().map(|d| d.id).collect();
+
+    let r = c
+        .call(&RackOp::AllocSwap {
+            user: ServerId::new(1),
+            mem_size: Bytes::mib(64),
+        })
+        .expect("alloc_swap");
+    assert!(matches!(r.body, ResponseBody::Granted { .. }));
+
+    let r = c.call(&RackOp::GetLruZombie).expect("lru");
+    assert!(matches!(r.body, ResponseBody::LruZombie { host: Some(_) }));
+
+    let r = c
+        .call(&RackOp::UsReclaim {
+            user: ServerId::new(1),
+            buff_ids: ids,
+        })
+        .expect("us_reclaim");
+    assert!(matches!(r.body, ResponseBody::Revoked { .. }));
+
+    let r = c
+        .call(&RackOp::GotoZombie {
+            host: ServerId::new(7),
+            buffers: 2,
+        })
+        .expect("goto_zombie");
+    assert!(matches!(r.body, ResponseBody::Lent { .. }));
+
+    let r = c
+        .call(&RackOp::AsGetFreeMem {
+            host: ServerId::new(7),
+        })
+        .expect("as_get_free_mem");
+    assert!(matches!(r.body, ResponseBody::Lent { .. }));
+
+    let r = c
+        .call(&RackOp::Reclaim {
+            host: ServerId::new(7),
+            nb_buffers: 1,
+        })
+        .expect("gs_reclaim");
+    assert!(matches!(r.body, ResponseBody::Reclaimed { .. }));
+
+    shutdown(&endpoint, handle);
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_serves_and_cleans_up() {
+    let path = std::env::temp_dir().join(format!("zombied-test-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let daemon = Daemon::bind(
+        &Endpoint::Unix(path.clone()),
+        ClusterModel::boot(ModelConfig::new(4, 7)),
+    )
+    .expect("bind unix socket");
+    let endpoint = daemon.local_endpoint();
+    let handle = std::thread::spawn(move || daemon.run().expect("daemon run"));
+
+    let mut c = ZlClient::connect(&endpoint).expect("connect over unix socket");
+    let r = c.call(&RackOp::GetLruZombie).expect("lru over unix");
+    assert!(matches!(r.body, ResponseBody::LruZombie { .. }));
+
+    shutdown(&endpoint, handle);
+    assert!(!path.exists(), "socket file removed on shutdown");
+}
+
+#[test]
+fn malformed_frame_gets_a_typed_bad_request_and_connection_survives() {
+    let (endpoint, handle) = spawn_daemon(ModelConfig::new(4, 3));
+    let mut c = ZlClient::connect(&endpoint).expect("connect");
+
+    // Raw garbage payload in a well-formed frame: the server answers
+    // with a BadRequest error frame instead of dropping the connection.
+    let Endpoint::Tcp(addr) = &endpoint else {
+        unreachable!()
+    };
+    let mut raw = std::net::TcpStream::connect(addr.as_str()).expect("raw connect");
+    write_frame(&mut raw, &[0xEE, 0xEE, 0xEE]).expect("send garbage");
+    let payload = read_frame(&mut raw).expect("read answer").expect("frame");
+    let resp = zombieland_core::codec::decode_response(&payload).expect("typed answer");
+    assert_eq!(
+        resp.body,
+        ResponseBody::Error(ErrorFrame::BadRequest { code: 2 }),
+        "unknown opcode class"
+    );
+    // The same connection still serves well-formed requests.
+    write_frame(
+        &mut raw,
+        &zombieland_core::codec::encode(&RackOp::GetLruZombie),
+    )
+    .expect("send valid");
+    let payload = read_frame(&mut raw).expect("read answer").expect("frame");
+    let resp = zombieland_core::codec::decode_response(&payload).expect("decode");
+    assert!(matches!(resp.body, ResponseBody::LruZombie { .. }));
+    drop(raw);
+
+    // Typed state errors come back over the socket too.
+    let r = c
+        .call(&RackOp::GotoZombie {
+            host: ServerId::new(999),
+            buffers: 1,
+        })
+        .expect("unknown host call");
+    assert_eq!(
+        r.body,
+        ResponseBody::Error(ErrorFrame::UnknownHost(ServerId::new(999)))
+    );
+
+    shutdown(&endpoint, handle);
+}
+
+#[test]
+fn failover_mid_stream_is_invisible_to_the_client() {
+    let (endpoint, handle) = spawn_daemon(ModelConfig {
+        fail_primary_after: Some(5),
+        ..ModelConfig::new(8, 11)
+    });
+    let mut c = ZlClient::connect(&endpoint).expect("connect");
+    // Drive well past the injected crash: every answer stays well-formed.
+    for _ in 0..32 {
+        let r = c.call(&RackOp::GetLruZombie).expect("call across failover");
+        assert!(matches!(r.body, ResponseBody::LruZombie { .. }));
+    }
+    shutdown(&endpoint, handle);
+}
+
+/// Two fresh same-seed daemons, two same-seed replays: the deterministic
+/// metric registries must serialize identically, byte for byte.
+#[test]
+fn replay_metrics_are_byte_identical_across_daemons() {
+    let mut exports = Vec::new();
+    for _ in 0..2 {
+        let (endpoint, handle) = spawn_daemon(ModelConfig::new(8, 11));
+        let cfg = ReplayConfig {
+            endpoint: endpoint.clone(),
+            requests: 2_000,
+            clients: 3,
+            seed: 42,
+            window: 16,
+            servers: 8,
+        };
+        let (summary, run) = run_replay(&cfg).expect("replay");
+        assert_eq!(summary.requests, 2_000);
+        assert!(summary.p50_decision_ns.is_some());
+        assert!(summary.p99_decision_ns.unwrap() >= summary.p50_decision_ns.unwrap());
+        assert_eq!(run.metrics.counter("replay.requests"), 2_000);
+        exports.push(run.metrics.to_json().pretty());
+        shutdown(&endpoint, handle);
+    }
+    assert_eq!(exports[0], exports[1], "same seed, same bytes");
+}

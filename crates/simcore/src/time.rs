@@ -124,6 +124,19 @@ impl SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))
     }
 
+    /// Scales the duration by an integer count, saturating at `u64::MAX`
+    /// nanoseconds instead of overflowing. Cost models multiplying a
+    /// per-row time by a row count reachable from the wire must use this
+    /// rather than `*`, which panics in debug builds and wraps in release.
+    pub const fn saturating_mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+
     /// Scales the duration by a non-negative float, rounding to the nearest
     /// nanosecond and saturating at `u64::MAX` nanoseconds.
     ///
@@ -317,6 +330,22 @@ mod tests {
     #[should_panic(expected = "negative factor")]
     fn mul_f64_rejects_negative() {
         let _ = SimDuration::from_secs(1).mul_f64(-0.5);
+    }
+
+    #[test]
+    fn saturating_mul_and_add_clamp() {
+        assert_eq!(
+            SimDuration::from_nanos(200).saturating_mul(3),
+            SimDuration::from_nanos(600)
+        );
+        assert_eq!(
+            SimDuration::from_nanos(200).saturating_mul(u64::MAX),
+            SimDuration::from_nanos(u64::MAX)
+        );
+        assert_eq!(
+            SimDuration::from_nanos(u64::MAX).saturating_add(SimDuration::from_secs(1)),
+            SimDuration::from_nanos(u64::MAX)
+        );
     }
 
     #[test]
