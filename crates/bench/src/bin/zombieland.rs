@@ -7,17 +7,26 @@
 //! zombieland simulate [--servers N] [--days D] [--policy P] [--modified] [--machine hp|dell] [--trace FILE] [--timeline] [--pue X] [--jobs N]
 //! zombieland trace [--servers N] [--days D] [--seed S] --out FILE
 //! zombieland validate-trace <FILE>
-//! zombieland replay --connect ENDPOINT [--requests N] [--clients N] [--seed S] [--window W] [--servers N]
+//! zombieland replay --connect ENDPOINT [--requests N] [--clients N] [--seed S] [--window W] [--servers N] [--out FILE]
 //! zombieland suspend <mem|disk|zom>
 //! zombieland list
 //! zombieland --list-policies
 //! ```
 //!
 //! `replay` fires a seeded request stream at a running `zombied` daemon
-//! (see `crates/daemon`) and reports throughput plus p50/p99 decision
-//! latency; with `--metrics-out` the deterministic part of the capture
-//! (per-op counters, request sizes, decision-latency histogram) exports
-//! byte-identically for the same seed.
+//! (see `crates/daemon`), reports throughput plus p50/p99 decision
+//! latency, and writes a machine-readable `REPLAY_<stamp>.json` (path
+//! overridable with `--out`); with `--metrics-out` the deterministic
+//! part of the capture (per-op counters, request sizes, decision-latency
+//! histogram) exports byte-identically for the same seed.
+//!
+//! The global `--profile` flag wraps the run's phases — trace
+//! generation, simulator event-loop phases (arrivals, departures,
+//! consolidation, wake-ups, sampling), hypervisor fault batches, replay
+//! send/recv — in wall-time span timers, prints a per-phase breakdown
+//! and writes `PROFILE_<stamp>.json`. Profiling defaults `--jobs` to 1
+//! (phases are summed across workers) and never touches simulation
+//! state: outputs stay byte-identical with and without it.
 //!
 //! `--jobs N` fans the independent simulation runs of an experiment
 //! across N worker threads. Results are bit-for-bit identical at any
@@ -44,6 +53,7 @@ use std::process::ExitCode;
 use zombieland_bench::experiments;
 use zombieland_energy::MachineProfile;
 use zombieland_hypervisor::Policy;
+use zombieland_obs::profile;
 use zombieland_obs::{observe, run_indexed_obs, ObsLevel, ObsRun};
 use zombieland_simcore::SimDuration;
 use zombieland_simulator::{policy, simulate, PolicyKind, SimConfig};
@@ -65,12 +75,12 @@ fn usage() -> ExitCode {
          zombieland trace [--servers N] [--days D] [--seed S] --out FILE\n  \
          zombieland validate-trace <FILE>\n  \
          zombieland replay --connect ENDPOINT [--requests N] [--clients N] \
-         [--seed S] [--window W] [--servers N]\n  \
+         [--seed S] [--window W] [--servers N] [--out FILE]\n  \
          zombieland suspend <mem|disk|zom>\n  \
          zombieland list\n  \
          zombieland --list-policies\n\
          global flags: --scenario FILE --obs-level off|summary|full \
-         --trace-out FILE --metrics-out FILE"
+         --trace-out FILE --metrics-out FILE --profile"
     );
     ExitCode::from(2)
 }
@@ -132,14 +142,26 @@ fn flag_value(args: &[String], key: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-/// The `--jobs N` worker count. Precedence: `--jobs` flag, then the
-/// scenario layer (`ZL_JOBS`, a scenario file's `jobs` key, available
-/// parallelism — see [`experiments::jobs_from_env`]).
+/// The `--jobs N` worker count. Precedence: `--jobs` flag, then — under
+/// `--profile` — one worker, then the scenario layer (`ZL_JOBS`, a
+/// scenario file's `jobs` key, available parallelism — see
+/// [`experiments::jobs_from_env`]).
 fn jobs_flag(args: &[String]) -> usize {
-    flag_value(args, "--jobs")
+    if let Some(j) = flag_value(args, "--jobs")
         .and_then(|v| v.parse().ok())
         .filter(|&j| j >= 1)
-        .unwrap_or_else(experiments::jobs_from_env)
+    {
+        return j;
+    }
+    // Phase timers accumulate across every worker thread, so N workers
+    // report up to N seconds of phase time per wall second. Profiling
+    // defaults to a serial run so the breakdown sums to the run's wall
+    // clock; an explicit --jobs wins (the coverage line then says how
+    // much parallelism inflated the sum).
+    if profile::enabled() {
+        return 1;
+    }
+    experiments::jobs_from_env()
 }
 
 fn run_experiment(name: &str, scale: f64, jobs: usize) -> bool {
@@ -620,13 +642,61 @@ fn cmd_replay(args: &[String]) -> ExitCode {
                 ),
                 _ => println!("replay: no decision latency recorded"),
             }
-            ExitCode::SUCCESS
+            match write_replay_json(args, &cfg, &summary) {
+                Ok(out) => {
+                    println!("wrote {out}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("replay: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         Err(e) => {
             eprintln!("replay: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Writes the machine-readable replay artifact (`REPLAY_<stamp>.json`,
+/// or `--out FILE`) so throughput is not stdout-only. Returns the path.
+fn write_replay_json(
+    args: &[String],
+    cfg: &zombieland_daemon::replay::ReplayConfig,
+    summary: &zombieland_daemon::replay::ReplaySummary,
+) -> Result<String, String> {
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let out = flag_value(args, "--out").unwrap_or_else(|| format!("REPLAY_{stamp}.json"));
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut fields = vec![
+        ("schema".into(), Value::Str("zombieland-replay-v1".into())),
+        ("created_unix".into(), Value::UInt(stamp)),
+        ("endpoint".into(), Value::Str(cfg.endpoint.to_string())),
+        ("requests".into(), Value::UInt(summary.requests)),
+        ("clients".into(), Value::UInt(cfg.clients as u64)),
+        ("window".into(), Value::UInt(cfg.window as u64)),
+        ("seed".into(), Value::UInt(cfg.seed)),
+        ("servers".into(), Value::UInt(cfg.servers as u64)),
+        ("host_parallelism".into(), Value::UInt(host as u64)),
+        ("wall_secs".into(), Value::Float(summary.wall_secs)),
+        ("throughput_rps".into(), Value::Float(summary.throughput())),
+        ("errors".into(), Value::UInt(summary.errors)),
+    ];
+    if let Some(p50) = summary.p50_decision_ns {
+        fields.push(("p50_decision_ns".into(), Value::UInt(p50)));
+    }
+    if let Some(p99) = summary.p99_decision_ns {
+        fields.push(("p99_decision_ns".into(), Value::UInt(p99)));
+    }
+    let mut body = Value::Object(fields).pretty();
+    body.push('\n');
+    std::fs::write(&out, body).map_err(|e| format!("cannot write {out:?}: {e}"))?;
+    Ok(out)
 }
 
 fn cmd_suspend(args: &[String]) -> ExitCode {
@@ -697,6 +767,8 @@ struct GlobalOpts {
     scenario: Option<zombieland_core::scenario::Scenario>,
     /// `--list-policies`: print the registry and exit.
     list_policies: bool,
+    /// `--profile`: wall-time phase breakdown + `PROFILE_<stamp>.json`.
+    profile: bool,
 }
 
 /// Splits the global flags (valid anywhere on the command line) out of
@@ -710,6 +782,7 @@ fn split_global_flags(args: Vec<String>) -> Result<(Vec<String>, GlobalOpts), St
     let mut metrics_out = None;
     let mut scenario = None;
     let mut list_policies = false;
+    let mut profile = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -731,6 +804,7 @@ fn split_global_flags(args: Vec<String>) -> Result<(Vec<String>, GlobalOpts), St
                 scenario = Some(zombieland_core::scenario::Scenario::load(&path)?);
             }
             "--list-policies" => list_policies = true,
+            "--profile" => profile = true,
             _ => rest.push(a),
         }
     }
@@ -747,6 +821,7 @@ fn split_global_flags(args: Vec<String>) -> Result<(Vec<String>, GlobalOpts), St
             metrics_out,
             scenario,
             list_policies,
+            profile,
         },
     ))
 }
@@ -840,6 +915,7 @@ fn dispatch(args: &[String]) -> ExitCode {
                 ("--seed", true),
                 ("--window", true),
                 ("--servers", true),
+                ("--out", true),
             ],
             cmd_replay,
         ),
@@ -867,13 +943,88 @@ fn main() -> ExitCode {
     if opts.list_policies {
         return list_policies();
     }
-    if opts.level == ObsLevel::Off {
-        return dispatch(&args);
-    }
-    let (code, run) = observe(opts.level, || dispatch(&args));
-    if let Err(e) = export_obs(&opts, &run) {
-        eprintln!("{e}");
-        return ExitCode::FAILURE;
+    let profile_started = opts.profile.then(|| {
+        profile::set_enabled(true);
+        profile::reset();
+        std::time::Instant::now()
+    });
+    let code = if opts.level == ObsLevel::Off {
+        dispatch(&args)
+    } else {
+        let (code, run) = observe(opts.level, || dispatch(&args));
+        if let Err(e) = export_obs(&opts, &run) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        code
+    };
+    if let Some(started) = profile_started {
+        if let Err(e) = report_profile(started.elapsed(), &args) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     }
     code
+}
+
+/// Prints the `--profile` phase breakdown and writes `PROFILE_<stamp>.json`.
+fn report_profile(total: std::time::Duration, args: &[String]) -> Result<(), String> {
+    let total_ns = (total.as_nanos() as u64).max(1);
+    let stats = profile::snapshot();
+    let covered_ns: u64 = stats.iter().map(|s| s.wall_ns).sum();
+    let coverage_pct = 100.0 * covered_ns as f64 / total_ns as f64;
+
+    let mut t = zombieland_simcore::report::Table::new(
+        "Profile: wall time by phase (self time)",
+        &["phase", "wall ms", "spans", "% of run"],
+    );
+    for s in &stats {
+        t.row(&[
+            s.phase.name().to_string(),
+            format!("{:.2}", s.wall_ns as f64 / 1e6),
+            s.spans.to_string(),
+            format!("{:.1}", 100.0 * s.wall_ns as f64 / total_ns as f64),
+        ]);
+    }
+    t.row(&[
+        "(total run)".to_string(),
+        format!("{:.2}", total_ns as f64 / 1e6),
+        "-".to_string(),
+        format!("{coverage_pct:.1} covered"),
+    ]);
+    t.print();
+
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let out = format!("PROFILE_{stamp}.json");
+    let phases = stats
+        .iter()
+        .map(|s| {
+            Value::Object(vec![
+                ("phase".into(), Value::Str(s.phase.name().into())),
+                ("wall_ns".into(), Value::UInt(s.wall_ns)),
+                ("spans".into(), Value::UInt(s.spans)),
+                (
+                    "pct_of_total".into(),
+                    Value::Float(100.0 * s.wall_ns as f64 / total_ns as f64),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("schema".into(), Value::Str("zombieland-profile-v1".into())),
+        ("created_unix".into(), Value::UInt(stamp)),
+        ("command".into(), Value::Str(args.join(" "))),
+        ("total_ns".into(), Value::UInt(total_ns)),
+        ("covered_ns".into(), Value::UInt(covered_ns)),
+        ("coverage_pct".into(), Value::Float(coverage_pct)),
+        ("phases".into(), Value::Array(phases)),
+    ]);
+    let mut body = doc.pretty();
+    body.push('\n');
+    std::fs::write(&out, body).map_err(|e| format!("cannot write profile {out:?}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
 }

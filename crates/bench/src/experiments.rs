@@ -11,7 +11,7 @@ use zombieland_energy::rack::{figure4, RackDemand, RackEnergy};
 use zombieland_energy::MachineProfile;
 use zombieland_hypervisor::engine::{self, Backing, EngineConfig, RunStats};
 use zombieland_hypervisor::{Mode, Policy, SwapBackend};
-use zombieland_obs::run_indexed_obs;
+use zombieland_obs::{profile, run_indexed_obs};
 use zombieland_simcore::report::{fmt_penalty, Table};
 use zombieland_simcore::{derive_seed, Bytes, SimDuration};
 use zombieland_simulator::{simulate, PolicyKind, SimConfig, SimReport};
@@ -102,6 +102,7 @@ fn cached_workload(name: &str, wss: Bytes, seed: u64) -> Box<dyn Workload> {
         {
             return proto.clone_box();
         }
+        let _span = profile::span(profile::Phase::TraceGen);
         let proto = by_name(name, pages, seed).expect("known workload");
         let fresh = proto.clone_box();
         cache.push(((name.to_string(), pages.count(), seed), proto));
@@ -123,11 +124,13 @@ pub fn run_ram_ext_seeded(
     policy: Policy,
     seed: u64,
 ) -> RunStats {
+    let setup = profile::span(profile::Phase::HvSetup);
     let (mut rack, user) = testbed_rack();
     let remote = geo.reserved.saturating_sub(local);
     if remote > Bytes::ZERO {
         rack.alloc_ext(user, remote).unwrap();
     }
+    drop(setup);
     let mut w = cached_workload(name, geo.wss, seed);
     let cfg = EngineConfig {
         policy,
@@ -239,6 +242,7 @@ pub fn print_figure8(scale: f64, jobs: usize) {
     let fifo = figure8_jobs(Policy::Fifo, scale, jobs);
     let clock = figure8_jobs(Policy::Clock, scale, jobs);
     let mixed = figure8_jobs(Policy::MIXED_DEFAULT, scale, jobs);
+    let _span = profile::span(profile::Phase::Render);
     let mut t = Table::new(
         "Fig 8: FIFO vs Clock vs Mixed (micro-benchmark)",
         &[
@@ -514,6 +518,7 @@ pub fn dc_scale_from_env() -> (u32, u64) {
 /// Builds the Fig. 10 trace uncached (what [`fig10_trace`] memoizes;
 /// the input-caching test compares the two paths byte for byte).
 pub fn generate_fig10_trace(servers: u32, days: u64, seed: u64) -> ClusterTrace {
+    let _span = profile::span(profile::Phase::TraceGen);
     ClusterTrace::generate(TraceConfig {
         servers,
         duration: SimDuration::from_days(days),

@@ -198,6 +198,11 @@ impl CtrlDb {
         self.hosts.get(&host).is_some_and(|h| h.is_zombie)
     }
 
+    /// Number of hosts currently in the zombie state.
+    pub fn zombie_count(&self) -> u64 {
+        self.hosts.values().filter(|h| h.is_zombie).count() as u64
+    }
+
     /// Number of free (unallocated) buffers rack-wide.
     pub fn free_buffers(&self) -> u64 {
         self.buffers.values().filter(|b| b.user.is_none()).count() as u64

@@ -8,14 +8,21 @@
 //! zlctl --connect ENDPOINT alloc-swap USER MIB
 //! zlctl --connect ENDPOINT free-mem HOST
 //! zlctl --connect ENDPOINT lru-zombie
+//! zlctl --connect ENDPOINT stats
+//! zlctl --connect ENDPOINT top [--interval-ms N] [--frames N]
 //! zlctl --connect ENDPOINT shutdown
 //! ```
+//!
+//! `stats` prints one raw exposition scrape. `top` re-scrapes on an
+//! interval and prints one *delta* row per frame — req/s, error rate and
+//! latency quantiles over the window, not since daemon start.
 //!
 //! Exit status: 0 for any well-formed server answer — *including* a typed
 //! error frame (the request was served; the answer happens to be "no").
 //! 1 for transport or codec failures, 2 for usage errors.
 
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use zombieland_core::codec::ResponseBody;
 use zombieland_core::protocol::RackOp;
@@ -23,6 +30,7 @@ use zombieland_core::ServerId;
 use zombieland_daemon::client::ZlClient;
 use zombieland_daemon::Endpoint;
 use zombieland_mem::buffer::BufferId;
+use zombieland_obs::telemetry::{parse_exposition, Snapshot};
 use zombieland_simcore::Bytes;
 
 fn usage() -> ExitCode {
@@ -30,7 +38,7 @@ fn usage() -> ExitCode {
         "usage: zlctl --connect ENDPOINT <command>\n  \
          goto-zombie HOST NB | reclaim HOST NB | us-reclaim USER [ID ...]\n  \
          alloc-ext USER MIB | alloc-swap USER MIB | free-mem HOST\n  \
-         lru-zombie | shutdown\n\
+         lru-zombie | stats | top [--interval-ms N] [--frames N] | shutdown\n\
          ENDPOINT: tcp:HOST:PORT or unix:PATH"
     );
     ExitCode::from(2)
@@ -122,6 +130,94 @@ fn print_response(decision_ns: u64, body: &ResponseBody) {
     }
 }
 
+/// One `top` delta row computed from two consecutive scrapes.
+fn top_row(elapsed: Duration, prev: &Snapshot, cur: &Snapshot) -> String {
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let ops = cur.counter_sum("zombied_op_") - prev.counter_sum("zombied_op_");
+    let errs = cur.counters.get("zombied_resp_error").copied().unwrap_or(0)
+        - prev
+            .counters
+            .get("zombied_resp_error")
+            .copied()
+            .unwrap_or(0);
+    let err_pct = if ops == 0 {
+        0.0
+    } else {
+        100.0 * errs as f64 / ops as f64
+    };
+    let (p50, p99) = match (cur.histograms.get("zombied_decision_ns"), {
+        prev.histograms.get("zombied_decision_ns")
+    }) {
+        (Some(now), Some(before)) => {
+            let d = now.since(before);
+            (d.quantile(0.5), d.quantile(0.99))
+        }
+        (Some(now), None) => (now.quantile(0.5), now.quantile(0.99)),
+        _ => (None, None),
+    };
+    let us = |q: Option<u64>| q.map_or("-".to_string(), |ns| format!("{:.1}", ns as f64 / 1e3));
+    let gauge = |name: &str| {
+        cur.gauges
+            .get(name)
+            .map_or("-".to_string(), |v| format!("{v:.0}"))
+    };
+    format!(
+        "{:>8.1} {:>9.0} {:>7.2} {:>9} {:>9} {:>8} {:>8}",
+        secs,
+        ops as f64 / secs,
+        err_pct,
+        us(p50),
+        us(p99),
+        gauge("zombied_pool_zombies"),
+        gauge("zombied_pool_free_buffers"),
+    )
+}
+
+/// `zlctl top`: re-scrape every `interval` and print a delta row per
+/// window. `frames == 0` runs until the connection drops (or ^C).
+fn run_top(client: &mut ZlClient, interval: Duration, frames: u64) -> Result<(), String> {
+    let scrape = |client: &mut ZlClient| -> Result<Snapshot, String> {
+        let text = client.stats().map_err(|e| e.to_string())?;
+        parse_exposition(&text).map_err(|e| format!("bad exposition: {e}"))
+    };
+    println!(
+        "{:>8} {:>9} {:>7} {:>9} {:>9} {:>8} {:>8}",
+        "window_s", "req/s", "err%", "p50_us", "p99_us", "zombies", "free"
+    );
+    let mut prev = scrape(client)?;
+    let mut last = Instant::now();
+    let mut printed = 0u64;
+    while frames == 0 || printed < frames {
+        std::thread::sleep(interval);
+        let cur = scrape(client)?;
+        let now = Instant::now();
+        println!("{}", top_row(now.duration_since(last), &prev, &cur));
+        (prev, last) = (cur, now);
+        printed += 1;
+    }
+    Ok(())
+}
+
+/// Parses `top`'s optional flags.
+fn top_flags(rest: &[String]) -> Result<(Duration, u64), String> {
+    let mut interval = Duration::from_millis(1_000);
+    let mut frames = 0u64;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse::<u64>()
+            .map_err(|_| format!("bad value for {flag}"))?;
+        match flag.as_str() {
+            "--interval-ms" => interval = Duration::from_millis(value.max(1)),
+            "--frames" => frames = value,
+            _ => return Err(format!("unknown top flag {flag:?}")),
+        }
+    }
+    Ok((interval, frames))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(pos) = args.iter().position(|a| a == "--connect") else {
@@ -151,6 +247,36 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if cmd == "stats" {
+        return match client.stats() {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if cmd == "top" {
+        let (interval, frames) = match top_flags(&rest[1..]) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return usage();
+            }
+        };
+        return match run_top(&mut client, interval, frames) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     if cmd == "shutdown" {
         return match client.shutdown_server() {

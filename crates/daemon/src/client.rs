@@ -14,7 +14,7 @@ use std::os::unix::net::UnixStream;
 use zombieland_core::codec::{decode_response, encode, CodecError, RackResponse};
 use zombieland_core::protocol::RackOp;
 
-use crate::framing::{read_frame, write_frame, SHUTDOWN};
+use crate::framing::{read_frame, write_frame, SHUTDOWN, STATS};
 use crate::Endpoint;
 
 /// Client-side failures. A typed [`ErrorFrame`] answer from the server
@@ -141,6 +141,20 @@ impl ZlClient {
         self.send(op)?;
         self.flush()?;
         self.recv()
+    }
+
+    /// Scrapes the daemon's telemetry: one `[STATS]` admin frame out,
+    /// one frame of Prometheus-style exposition text back.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        write_frame(&mut self.writer, &[STATS])?;
+        self.flush()?;
+        let payload = read_frame(&mut self.reader)?.ok_or(ClientError::Closed)?;
+        String::from_utf8(payload).map_err(|_| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stats payload is not UTF-8",
+            ))
+        })
     }
 
     /// Asks the daemon to shut down; resolves once it acknowledges.

@@ -17,6 +17,10 @@ pub const MAX_FRAME: usize = 4 << 20;
 /// (request opcodes are 1–7, response tags 0x81–0x86).
 pub const SHUTDOWN: u8 = 0xFF;
 
+/// The admin stats payload: the daemon answers a one-byte `[STATS]`
+/// frame with one frame of Prometheus-style exposition text (UTF-8).
+pub const STATS: u8 = 0xFE;
+
 /// Writes one frame. Does not flush — callers batch then flush.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     debug_assert!(payload.len() <= MAX_FRAME);

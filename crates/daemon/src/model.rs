@@ -71,6 +71,7 @@ pub struct ClusterModel {
     unlent: Vec<Bytes>,
     clock: SimTime,
     ops_applied: u64,
+    heartbeats: u64,
     fail_primary_after: Option<u64>,
     primary_crashed: bool,
     initial_zombies: u64,
@@ -114,6 +115,7 @@ impl ClusterModel {
             unlent: vec![cfg.lendable; cfg.servers as usize],
             clock: SimTime::ZERO,
             ops_applied: 0,
+            heartbeats: 0,
             fail_primary_after: cfg.fail_primary_after,
             primary_crashed: false,
             initial_zombies: zombies,
@@ -146,6 +148,26 @@ impl ClusterModel {
     /// Controller failovers so far.
     pub fn failovers(&self) -> u32 {
         self.ha.failovers()
+    }
+
+    /// Writes the model's current state into a scrape registry: lifetime
+    /// counters (ops, heartbeats, failovers) and point-in-time gauges
+    /// (pool pressure, zombie population, HA liveness, the model clock).
+    /// Called with the model lock held, on the merged scrape copy — the
+    /// per-connection telemetry shards never see these names, so gauges
+    /// reflect *now* rather than an average of past scrapes.
+    pub fn observe_into(&self, reg: &mut zombieland_obs::MetricRegistry) {
+        reg.counter_add("zombied.ops_applied", self.ops_applied);
+        reg.counter_add("zombied.ha.heartbeats", self.heartbeats);
+        reg.counter_add("zombied.ha.failovers", self.ha.failovers() as u64);
+        reg.gauge_set(
+            "zombied.ha.primary_alive",
+            u64::from(self.ha.primary_alive()),
+        );
+        reg.gauge_set("zombied.pool.free_buffers", self.ha.db().free_buffers());
+        reg.gauge_set("zombied.pool.zombies", self.ha.db().zombie_count());
+        reg.gauge_set("zombied.managers", self.managers.len() as u64);
+        reg.gauge_set("zombied.clock_ns", self.clock.as_nanos());
     }
 
     /// Registers `n ≤ max_buffers` MRs on `host` (bounded by its unlent
@@ -221,6 +243,7 @@ impl ClusterModel {
         self.clock += decision;
         if !self.primary_crashed {
             self.ha.heartbeat(self.clock);
+            self.heartbeats += 1;
         }
         self.ha.check(self.clock);
 

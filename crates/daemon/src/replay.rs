@@ -27,6 +27,7 @@ use zombieland_core::codec::{encode, ResponseBody};
 use zombieland_core::protocol::RackOp;
 use zombieland_core::ServerId;
 use zombieland_mem::buffer::BufferId;
+use zombieland_obs::profile;
 use zombieland_obs::sink::{counter_add, hist_record};
 use zombieland_obs::{observe, ObsRun};
 use zombieland_simcore::{derive_seed, Bytes, DetRng};
@@ -153,15 +154,19 @@ fn client_stream(
     let mut sent = 0u64;
     let mut received = 0u64;
     while received < requests {
-        while sent < requests && sent - received < window {
-            let op = gen_op(&mut rng, servers);
-            counter_add("replay.requests", 1);
-            counter_add(op_counter(&op), 1);
-            hist_record("replay.request_bytes", encode(&op).len() as u64);
-            client.send(&op)?;
-            sent += 1;
+        {
+            let _span = profile::span(profile::Phase::ReplaySend);
+            while sent < requests && sent - received < window {
+                let op = gen_op(&mut rng, servers);
+                counter_add("replay.requests", 1);
+                counter_add(op_counter(&op), 1);
+                hist_record("replay.request_bytes", encode(&op).len() as u64);
+                client.send(&op)?;
+                sent += 1;
+            }
+            client.flush()?;
         }
-        client.flush()?;
+        let _span = profile::span(profile::Phase::ReplayRecv);
         let resp = client.recv()?;
         received += 1;
         hist_record("replay.decision_ns", resp.decision.as_nanos());

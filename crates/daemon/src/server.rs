@@ -8,7 +8,10 @@
 //! [`ErrorFrame::BadRequest`] frame (the connection survives; framing
 //! kept us in sync). The one-byte admin payload [`framing::SHUTDOWN`] is
 //! acknowledged with the same byte and stops the whole daemon once every
-//! in-flight request has been answered.
+//! in-flight request has been answered; the one-byte [`framing::STATS`]
+//! payload is answered with one frame of Prometheus-style exposition
+//! text (merged from the per-connection telemetry shards, with the
+//! model's live gauges overlaid).
 //!
 //! All state lives in one [`ClusterModel`] behind a mutex: the controller
 //! is intentionally a single serialization point (the paper's GS is one
@@ -23,9 +26,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use zombieland_core::codec::{decode, encode_response, ErrorFrame, RackResponse, ResponseBody};
+use zombieland_core::protocol::RackOp;
+use zombieland_obs::telemetry::{self, Telemetry, TelemetryHandle};
 use zombieland_simcore::SimDuration;
 
-use crate::framing::{read_frame, write_frame, SHUTDOWN};
+use crate::framing::{read_frame, write_frame, SHUTDOWN, STATS};
 use crate::model::ClusterModel;
 use crate::Endpoint;
 
@@ -85,6 +90,7 @@ pub struct Daemon {
     local: Endpoint,
     model: Arc<Mutex<ClusterModel>>,
     stop: Arc<AtomicBool>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl Daemon {
@@ -109,6 +115,7 @@ impl Daemon {
             local,
             model: Arc::new(Mutex::new(model)),
             stop: Arc::new(AtomicBool::new(false)),
+            telemetry: Arc::new(Telemetry::new(telemetry::DEFAULT_SHARDS)),
         })
     }
 
@@ -140,8 +147,9 @@ impl Daemon {
             let model = Arc::clone(&self.model);
             let stop = Arc::clone(&self.stop);
             let local = self.local.clone();
+            let telemetry = self.telemetry.handle();
             std::thread::spawn(move || {
-                let _ = serve_conn(stream, &model, &stop, &local);
+                let _ = serve_conn(stream, &model, &stop, &local, &telemetry);
             });
         }
         #[cfg(unix)]
@@ -165,14 +173,63 @@ fn poke(endpoint: &Endpoint) {
     }
 }
 
+/// The telemetry counter for one request op. Static names keep the
+/// registry allocation-free; the spellings mirror
+/// [`RackOp::wire_name`] in lower-case.
+fn op_counter(op: &RackOp) -> &'static str {
+    match op {
+        RackOp::GotoZombie { .. } => "zombied.op.gs_goto_zombie",
+        RackOp::Reclaim { .. } => "zombied.op.gs_reclaim",
+        RackOp::UsReclaim { .. } => "zombied.op.us_reclaim",
+        RackOp::AllocExt { .. } => "zombied.op.gs_alloc_ext",
+        RackOp::AllocSwap { .. } => "zombied.op.gs_alloc_swap",
+        RackOp::AsGetFreeMem { .. } => "zombied.op.as_get_free_mem",
+        RackOp::GetLruZombie => "zombied.op.gs_get_lru_zombie",
+    }
+}
+
+/// The telemetry counter for one response tag.
+fn resp_counter(body: &ResponseBody) -> &'static str {
+    match body {
+        ResponseBody::Lent { .. } => "zombied.resp.lent",
+        ResponseBody::Reclaimed { .. } => "zombied.resp.reclaimed",
+        ResponseBody::Revoked { .. } => "zombied.resp.revoked",
+        ResponseBody::Granted { .. } => "zombied.resp.granted",
+        ResponseBody::LruZombie { .. } => "zombied.resp.lru_zombie",
+        ResponseBody::Error(_) => "zombied.resp.error",
+    }
+}
+
+/// The telemetry counter for one typed error class.
+fn err_counter(e: &ErrorFrame) -> &'static str {
+    match e {
+        ErrorFrame::UnknownHost(_) => "zombied.err.unknown_host",
+        ErrorFrame::UnknownBuffer(_) => "zombied.err.unknown_buffer",
+        ErrorFrame::AdmissionDenied { .. } => "zombied.err.admission_denied",
+        ErrorFrame::NotTheUser { .. } => "zombied.err.not_the_user",
+        ErrorFrame::NoCapacity => "zombied.err.no_capacity",
+        ErrorFrame::BadRequest { .. } => "zombied.err.bad_request",
+    }
+}
+
+/// Answers a `[STATS]` admin frame: merge the telemetry shards, overlay
+/// the model's live state (under the model lock, briefly), render.
+fn scrape_exposition(model: &Mutex<ClusterModel>, telemetry: &Arc<Telemetry>) -> String {
+    let mut merged = telemetry.scrape();
+    model.lock().expect("model lock").observe_into(&mut merged);
+    telemetry::expose(&merged)
+}
+
 fn serve_conn(
     stream: Stream,
     model: &Mutex<ClusterModel>,
     stop: &AtomicBool,
     local: &Endpoint,
+    telemetry: &TelemetryHandle,
 ) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    telemetry.counter_add("zombied.connections", 1);
     while let Some(payload) = read_frame(&mut reader)? {
         if payload == [SHUTDOWN] {
             write_frame(&mut writer, &[SHUTDOWN])?;
@@ -181,13 +238,39 @@ fn serve_conn(
             poke(local);
             return Ok(());
         }
-        let response = match decode(&payload) {
-            Ok(op) => model.lock().expect("model lock").apply(&op),
-            Err(e) => RackResponse {
-                decision: SimDuration::ZERO,
-                body: ResponseBody::Error(ErrorFrame::bad_request(e)),
-            },
+        if payload == [STATS] {
+            telemetry.counter_add("zombied.stats_scrapes", 1);
+            let text = scrape_exposition(model, telemetry.telemetry());
+            write_frame(&mut writer, text.as_bytes())?;
+            writer.flush()?;
+            continue;
+        }
+        let (op, response) = match decode(&payload) {
+            Ok(op) => {
+                let response = model.lock().expect("model lock").apply(&op);
+                (Some(op), response)
+            }
+            Err(e) => (
+                None,
+                RackResponse {
+                    decision: SimDuration::ZERO,
+                    body: ResponseBody::Error(ErrorFrame::bad_request(e)),
+                },
+            ),
         };
+        // One shard lock for the whole request's worth of samples; the
+        // model lock is already released.
+        telemetry.with(|reg| {
+            match &op {
+                Some(op) => reg.counter_add(op_counter(op), 1),
+                None => reg.counter_add("zombied.bad_frames", 1),
+            }
+            reg.counter_add(resp_counter(&response.body), 1);
+            if let ResponseBody::Error(e) = &response.body {
+                reg.counter_add(err_counter(e), 1);
+            }
+            reg.hist_record("zombied.decision_ns", response.decision.as_nanos());
+        });
         write_frame(&mut writer, &encode_response(&response))?;
         writer.flush()?;
     }

@@ -177,6 +177,66 @@ fn failover_mid_stream_is_invisible_to_the_client() {
     shutdown(&endpoint, handle);
 }
 
+/// The STATS admin frame: per-op counters account for exactly the ops
+/// served, gauges reflect the model, and consecutive scrapes are
+/// monotone on every counter.
+#[test]
+fn stats_scrape_counts_ops_exactly_and_is_monotone() {
+    use zombieland_obs::telemetry::parse_exposition;
+
+    let (endpoint, handle) = spawn_daemon(ModelConfig::new(8, 11));
+    let mut c = ZlClient::connect(&endpoint).expect("connect");
+
+    // A scrape before any op: valid exposition, zero op counters, live
+    // model gauges already present.
+    let first = parse_exposition(&c.stats().expect("first scrape")).expect("valid exposition");
+    assert_eq!(first.counter_sum("zombied_op_"), 0);
+    assert_eq!(first.counters["zombied_ops_applied"], 0);
+    assert!(first.gauges["zombied_pool_free_buffers"] > 0.0);
+    assert!(first.gauges["zombied_pool_zombies"] >= 1.0);
+    assert_eq!(first.gauges["zombied_ha_primary_alive"], 1.0);
+
+    for _ in 0..5 {
+        let r = c.call(&RackOp::GetLruZombie).expect("op");
+        assert!(matches!(r.body, ResponseBody::LruZombie { .. }));
+    }
+    let r = c.call(&RackOp::GotoZombie {
+        host: ServerId::new(999),
+        buffers: 1,
+    });
+    assert!(matches!(
+        r.expect("op").body,
+        ResponseBody::Error(ErrorFrame::UnknownHost(_))
+    ));
+
+    let second = parse_exposition(&c.stats().expect("second scrape")).expect("valid exposition");
+    assert_eq!(second.counter_sum("zombied_op_"), 6, "5 reads + 1 error op");
+    assert_eq!(second.counters["zombied_op_gs_get_lru_zombie"], 5);
+    assert_eq!(second.counters["zombied_op_gs_goto_zombie"], 1);
+    assert_eq!(second.counters["zombied_resp_lru_zombie"], 5);
+    assert_eq!(second.counters["zombied_resp_error"], 1);
+    assert_eq!(second.counters["zombied_err_unknown_host"], 1);
+    assert_eq!(second.counters["zombied_ops_applied"], 6);
+    assert_eq!(second.histograms["zombied_decision_ns"].count, 6);
+    assert!(second.histograms["zombied_decision_ns"]
+        .quantile(0.5)
+        .is_some());
+
+    // Stats frames are admin, not ops: a third scrape moves only the
+    // scrape counter, and every counter is monotone across scrapes.
+    let third = parse_exposition(&c.stats().expect("third scrape")).expect("valid exposition");
+    assert_eq!(third.counter_sum("zombied_op_"), 6);
+    assert_eq!(third.counters["zombied_stats_scrapes"], 3);
+    for (name, &v) in &second.counters {
+        assert!(
+            third.counters.get(name).copied().unwrap_or(0) >= v,
+            "counter {name} went backwards"
+        );
+    }
+
+    shutdown(&endpoint, handle);
+}
+
 /// Two fresh same-seed daemons, two same-seed replays: the deterministic
 /// metric registries must serialize identically, byte for byte.
 #[test]

@@ -285,6 +285,7 @@ pub fn run_ops(
     if local_pages.count() == 0 {
         return Err(EngineError::NoLocalMemory);
     }
+    let setup = zombieland_obs::profile::span(zombieland_obs::profile::Phase::HvSetup);
     let table_pages = cfg.reserved.pages().max(workload.wss());
     let pages = table_pages.count();
     let mut scratch = SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
@@ -343,9 +344,13 @@ pub fn run_ops(
         // worth of accesses (the paper's "periodically cleared").
         clear_interval: local_pages.count().max(1024),
     };
-    for _ in 0..ops {
-        let access = workload.next_access();
-        engine.step(access.page, access.write, workload.base_op_cost())?;
+    drop(setup);
+    {
+        let _span = zombieland_obs::profile::span(zombieland_obs::profile::Phase::FaultBatch);
+        for _ in 0..ops {
+            let access = workload.next_access();
+            engine.step(access.page, access.write, workload.base_op_cost())?;
+        }
     }
     engine.stats.ops = ops;
     if engine.wss_round_open {
@@ -374,6 +379,7 @@ pub fn run_ops(
     }
     // Teardown: release every remote page the VM still holds, then park
     // the dense tables in the per-thread scratch pool for the next run.
+    let _teardown = zombieland_obs::profile::span(zombieland_obs::profile::Phase::HvSetup);
     let Engine {
         backing,
         gpt,

@@ -24,14 +24,23 @@
 //! [`zombieland_trace::json`] module: traces as JSONL (one compact object
 //! per event), metrics as a single pretty JSON document plus a
 //! human-readable [`zombieland_simcore::report::Table`].
+//!
+//! Two modules sit deliberately on the *other* side of the sim-time
+//! wall: [`telemetry`] (live, sharded metrics for serving processes,
+//! scraped while requests are in flight) and [`profile`] (wall-clock
+//! phase timers for hot-path hunting). Both observe the host, never the
+//! simulation, and nothing in the deterministic export paths reads them.
 
 pub mod metrics;
+pub mod profile;
 pub mod runner;
 pub mod sink;
+pub mod telemetry;
 
 pub use metrics::MetricRegistry;
 pub use runner::run_indexed_obs;
 pub use sink::{observe, ObsRun};
+pub use telemetry::{Telemetry, TelemetryHandle};
 
 use zombieland_simcore::SimTime;
 use zombieland_trace::json::Value;

@@ -163,6 +163,21 @@ impl MetricRegistry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// All counters, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All gauges, in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, &Gauge)> + '_ {
+        self.gauges.iter().map(|(&k, g)| (k, g))
+    }
+
+    /// All histograms, in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, h)| (k, h))
+    }
+
     /// Reads a gauge.
     pub fn gauge(&self, name: &str) -> Option<&Gauge> {
         self.gauges.get(name)

@@ -1,0 +1,169 @@
+//! Property tests for the metric registry algebra the telemetry plane
+//! leans on: `merge` must be order-independent, associative and have the
+//! empty registry as identity (sharded scrape = merge in any order), and
+//! `Histogram::quantile` must stay inside its bucket bounds and be
+//! monotone in `q`. The exposition encoder must round-trip through its
+//! parser for any registry.
+
+use proptest::prelude::*;
+use zombieland_obs::metrics::{Histogram, MetricRegistry};
+use zombieland_obs::telemetry::{expose, hist_snapshot, parse_exposition};
+
+/// The registry API takes `&'static str` names; draw from a fixed menu.
+const NAMES: [&str; 4] = ["alpha.ops", "beta.depth", "gamma-lat", "delta_4"];
+
+/// One recorded sample: which instrument, which name, what value.
+#[derive(Clone, Copy, Debug)]
+enum Sample {
+    Counter(usize, u64),
+    Gauge(usize, u64),
+    Hist(usize, u64),
+}
+
+/// Metric values: full-range draws shifted down six bits. Instruments
+/// running-sum their samples in a `u64`, so 63 samples must not overflow
+/// it (63 × (2⁵⁸ − 1) < 2⁶⁴); the shift still exercises bucket edges up
+/// to 2⁵⁸ − 1.
+fn values() -> impl Strategy<Value = u64> {
+    any::<u64>().prop_map(|v| v >> 6)
+}
+
+fn samples() -> impl Strategy<Value = Vec<Sample>> {
+    let one = prop_oneof![
+        (0..NAMES.len(), any::<u32>()).prop_map(|(n, v)| Sample::Counter(n, v as u64)),
+        (0..NAMES.len(), values()).prop_map(|(n, v)| Sample::Gauge(n, v)),
+        (0..NAMES.len(), values()).prop_map(|(n, v)| Sample::Hist(n, v)),
+    ];
+    prop::collection::vec(one, 0..64)
+}
+
+fn registry_of(samples: &[Sample]) -> MetricRegistry {
+    let mut r = MetricRegistry::new();
+    for &s in samples {
+        match s {
+            Sample::Counter(n, v) => r.counter_add(NAMES[n], v),
+            Sample::Gauge(n, v) => r.gauge_set(NAMES[n], v),
+            Sample::Hist(n, v) => r.hist_record(NAMES[n], v),
+        }
+    }
+    r
+}
+
+/// Upper edge of the log₂ bucket holding `v` (0 lands on edge 0).
+fn bucket_edge(v: u64) -> u64 {
+    ((1u128 << (64 - v.leading_zeros())) - 1) as u64
+}
+
+/// A quantile in `[0, 1]` *inclusive* — the endpoints are the edge cases
+/// worth hitting, and the shim's `Range<f64>` strategy is half-open.
+fn quantiles() -> impl Strategy<Value = f64> {
+    (0u64..1001).prop_map(|n| n as f64 / 1000.0)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_order_independent(parts in prop::collection::vec(samples(), 0..6)) {
+        let regs: Vec<MetricRegistry> = parts.iter().map(|p| registry_of(p)).collect();
+        let mut forward = MetricRegistry::new();
+        for r in &regs {
+            forward.merge(r);
+        }
+        let mut backward = MetricRegistry::new();
+        for r in regs.iter().rev() {
+            backward.merge(r);
+        }
+        prop_assert_eq!(&forward, &backward);
+        // The exported bytes — what the golden tests pin — match too.
+        prop_assert_eq!(forward.to_json().pretty(), backward.to_json().pretty());
+    }
+
+    #[test]
+    fn merge_is_associative(a in samples(), b in samples(), c in samples()) {
+        let (ra, rb, rc) = (registry_of(&a), registry_of(&b), registry_of(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = MetricRegistry::new();
+        left.merge(&ra);
+        left.merge(&rb);
+        let mut left_outer = MetricRegistry::new();
+        left_outer.merge(&left);
+        left_outer.merge(&rc);
+        // a ⊕ (b ⊕ c)
+        let mut right = MetricRegistry::new();
+        right.merge(&rb);
+        right.merge(&rc);
+        let mut right_outer = MetricRegistry::new();
+        right_outer.merge(&ra);
+        right_outer.merge(&right);
+        prop_assert_eq!(left_outer, right_outer);
+    }
+
+    #[test]
+    fn empty_registry_is_merge_identity(s in samples()) {
+        let r = registry_of(&s);
+        let mut left = MetricRegistry::new();
+        left.merge(&r);
+        prop_assert_eq!(&left, &r, "empty ⊕ r = r");
+        let mut right = r.clone();
+        right.merge(&MetricRegistry::new());
+        prop_assert_eq!(&right, &r, "r ⊕ empty = r");
+    }
+
+    #[test]
+    fn quantile_stays_inside_bucket_bounds(
+        values in prop::collection::vec(values(), 1..64),
+        q in quantiles(),
+    ) {
+        let mut reg = MetricRegistry::new();
+        for &v in &values {
+            reg.hist_record("h", v);
+        }
+        let h = reg.histogram("h").unwrap();
+        let answer = h.quantile(q).expect("non-empty");
+        let lo = values.iter().copied().map(bucket_edge).min().unwrap();
+        let hi = values.iter().copied().map(bucket_edge).max().unwrap();
+        prop_assert!(answer >= lo, "quantile {answer} below lowest edge {lo}");
+        prop_assert!(answer <= hi, "quantile {answer} above highest edge {hi}");
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(
+        values in prop::collection::vec(values(), 1..64),
+        q1 in quantiles(),
+        q2 in quantiles(),
+    ) {
+        let (q1, q2) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let mut reg = MetricRegistry::new();
+        for &v in &values {
+            reg.hist_record("h", v);
+        }
+        let h = reg.histogram("h").unwrap();
+        prop_assert!(h.quantile(q1) <= h.quantile(q2));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantile(q in quantiles()) {
+        prop_assert_eq!(Histogram::default().quantile(q), None);
+    }
+
+    #[test]
+    fn exposition_round_trips(s in samples()) {
+        let reg = registry_of(&s);
+        let snap = parse_exposition(&expose(&reg)).expect("own exposition parses");
+        for (name, v) in reg.counters() {
+            let exposed = name.replace(['.', '-'], "_");
+            prop_assert_eq!(snap.counters.get(exposed.as_str()).copied(), Some(v));
+        }
+        for (name, g) in reg.gauges() {
+            let exposed = name.replace(['.', '-'], "_");
+            let got = snap.gauges.get(exposed.as_str()).copied().expect("gauge present");
+            prop_assert!((got - g.mean()).abs() <= g.mean().abs() * 1e-3 + 1e-3);
+        }
+        for (name, h) in reg.histograms() {
+            let exposed = name.replace(['.', '-'], "_");
+            let got = snap.histograms.get(exposed.as_str()).expect("histogram present");
+            prop_assert_eq!(got, &hist_snapshot(h));
+            prop_assert_eq!(got.quantile(0.5), h.quantile(0.5));
+            prop_assert_eq!(got.quantile(0.99), h.quantile(0.99));
+        }
+    }
+}

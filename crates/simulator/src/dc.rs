@@ -395,6 +395,9 @@ impl Dc {
 
     /// Wakes a host per policy preference. Returns its index.
     fn wake_one(&mut self) -> Option<usize> {
+        // Nested inside an Arrivals/Consolidation span; self-time
+        // accounting moves these nanoseconds out of the caller's phase.
+        let _span = zombieland_obs::profile::span(zombieland_obs::profile::Phase::WakeUps);
         let pick = match self.cfg.policy.placement.wake_preference() {
             WakePreference::IdleZombieFirst => {
                 // Least-lending zombie; strict `<` keeps the *first*

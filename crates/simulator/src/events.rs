@@ -1,6 +1,7 @@
 //! The event loop: trace replay, consolidation ticks, timeline
 //! sampling.
 
+use zombieland_obs::profile;
 use zombieland_simcore::{EventQueue, SimTime};
 use zombieland_trace::google::{ClusterTrace, EventKind};
 
@@ -39,6 +40,7 @@ pub fn simulate(trace: &ClusterTrace, cfg: &SimConfig) -> SimReport {
     if let Err(e) = cfg.validate() {
         panic!("invalid SimConfig: {e}");
     }
+    let setup = profile::span(profile::Phase::SimSetup);
     let mut dc = Dc::new(trace, cfg);
 
     let events = trace.events();
@@ -59,6 +61,7 @@ pub fn simulate(trace: &ClusterTrace, cfg: &SimConfig) -> SimReport {
     if first_tick <= end {
         queue.schedule(first_tick, SimEvent::Tick);
     }
+    drop(setup);
     let consolidation_on = cfg.policy.consolidation.enabled();
     let mut next_sample = SimTime::ZERO;
     while let Some((now, ev)) = queue.pop() {
@@ -66,10 +69,12 @@ pub fn simulate(trace: &ClusterTrace, cfg: &SimConfig) -> SimReport {
         match ev {
             SimEvent::Tick => {
                 if consolidation_on {
+                    let _span = profile::span(profile::Phase::Consolidation);
                     dc.consolidate(trace);
                 }
                 if let Some(every) = cfg.sample_interval {
                     if next_sample <= now {
+                        let _span = profile::span(profile::Phase::Sampling);
                         dc.report.timeline.push(TimelineSample {
                             at: now,
                             counts: dc.state_counts,
@@ -93,8 +98,14 @@ pub fn simulate(trace: &ClusterTrace, cfg: &SimConfig) -> SimReport {
             SimEvent::Task(i) => {
                 let (_, kind, task) = events[i];
                 match kind {
-                    EventKind::Arrive => dc.arrive(trace, task),
-                    EventKind::Depart => dc.depart(trace, task),
+                    EventKind::Arrive => {
+                        let _span = profile::span(profile::Phase::Arrivals);
+                        dc.arrive(trace, task);
+                    }
+                    EventKind::Depart => {
+                        let _span = profile::span(profile::Phase::Departures);
+                        dc.depart(trace, task);
+                    }
                 }
             }
         }

@@ -10,6 +10,18 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings -W clippy::perf"
 cargo clippy --workspace --all-targets -- -D warnings -W clippy::perf
 
+echo "==> determinism lint (wall-clock reads only in telemetry/profiling/load modules)"
+# The sim-time wall: deterministic code must never read the host clock.
+# Instant/SystemTime are allowed only where wall time IS the measurement
+# — the profiler, the replay load harness, zlctl's top loop, and the CLI
+# artifact stamps / bench timers.
+WALL_ALLOW='^crates/(obs/src/profile\.rs|obs/src/telemetry\.rs|daemon/src/replay\.rs|daemon/src/bin/zlctl\.rs|bench/src/bin/zombieland\.rs|bench/benches/)'
+if grep -rn --include='*.rs' -E 'Instant::now|SystemTime::now' crates \
+    | grep -Ev "$WALL_ALLOW"; then
+    echo "verify: FAIL — wall-clock read outside the allowlisted telemetry/profiling modules" >&2
+    exit 1
+fi
+
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
 
@@ -112,18 +124,77 @@ fi
 # Two same-seed replay bursts: the exported metric registries must be
 # byte-identical (decisions are modeled, not interleaving-dependent).
 ./target/release/zombieland-cli --metrics-out "$ZL_DIR/m1.json" replay \
-    --connect "$ZL_EP" --requests 2000 --clients 2 --seed 9 --servers 8 > /dev/null
+    --connect "$ZL_EP" --requests 2000 --clients 2 --seed 9 --servers 8 \
+    --out "$ZL_DIR/r1.json" > /dev/null
 ./target/release/zombieland-cli --metrics-out "$ZL_DIR/m2.json" replay \
-    --connect "$ZL_EP" --requests 2000 --clients 2 --seed 9 --servers 8 > /dev/null
+    --connect "$ZL_EP" --requests 2000 --clients 2 --seed 9 --servers 8 \
+    --out "$ZL_DIR/r2.json" > /dev/null
 if ! cmp "$ZL_DIR/m1.json" "$ZL_DIR/m2.json"; then
     echo "verify: FAIL — same-seed replays diverged in exported metrics" >&2
     exit 1
 fi
+# The machine-readable replay artifact carries the run's vital signs.
+grep -q '"schema": "zombieland-replay-v1"' "$ZL_DIR/r1.json"
+grep -q '"requests": 2000' "$ZL_DIR/r1.json"
+grep -q '"throughput_rps"' "$ZL_DIR/r1.json"
+grep -q '"host_parallelism"' "$ZL_DIR/r1.json"
+# Telemetry: the per-op counters scraped over the STATS op must equal
+# exactly the ops served so far (7 one-shot zlctl ops + 2×2000 replay
+# requests; STATS frames themselves are not ops).
+./target/release/zlctl --connect "$ZL_EP" stats > "$ZL_DIR/s1.txt"
+grep -q '^# TYPE zombied_ops_applied counter' "$ZL_DIR/s1.txt"
+grep -q '^# TYPE zombied_decision_ns histogram' "$ZL_DIR/s1.txt"
+SUM1=$(awk '/^zombied_op_/ { s += $2 } END { print s + 0 }' "$ZL_DIR/s1.txt")
+if [ "$SUM1" -ne 4007 ]; then
+    echo "verify: FAIL — scraped op counters sum to $SUM1, expected 4007" >&2
+    exit 1
+fi
+# Scraping again must be monotone and count the scrape itself.
+./target/release/zlctl --connect "$ZL_EP" stats > "$ZL_DIR/s2.txt"
+SUM2=$(awk '/^zombied_op_/ { s += $2 } END { print s + 0 }' "$ZL_DIR/s2.txt")
+if [ "$SUM2" -lt "$SUM1" ]; then
+    echo "verify: FAIL — op counters went backwards across scrapes ($SUM1 -> $SUM2)" >&2
+    exit 1
+fi
+SCRAPES=$(awk '$1 == "zombied_stats_scrapes" { print $2 }' "$ZL_DIR/s2.txt")
+if [ "${SCRAPES:-0}" -lt 2 ]; then
+    echo "verify: FAIL — zombied_stats_scrapes is '${SCRAPES:-}', expected >= 2" >&2
+    exit 1
+fi
+# `top` renders its header plus one delta row per frame.
+./target/release/zlctl --connect "$ZL_EP" top --interval-ms 100 --frames 2 \
+    > "$ZL_DIR/top.txt"
+if [ "$(wc -l < "$ZL_DIR/top.txt")" -ne 3 ]; then
+    echo "verify: FAIL — zlctl top did not render 2 delta frames" >&2
+    cat "$ZL_DIR/top.txt" >&2
+    exit 1
+fi
+grep -q 'req/s' "$ZL_DIR/top.txt"
 ./target/release/zlctl --connect "$ZL_EP" shutdown > /dev/null
 wait "$ZOMBIED_PID"
 ZOMBIED_PID=""
 if [ -S "$ZL_DIR/zombied.sock" ]; then
     echo "verify: FAIL — zombied left its socket file behind" >&2
+    exit 1
+fi
+
+echo "==> profile smoke (--profile emits a phase table and a PROFILE json covering the run)"
+ZL_PROF=$(mktemp -d /tmp/zl-profile.XXXXXX)
+trap '[ -n "${ZOMBIED_PID:-}" ] && kill "$ZOMBIED_PID" 2>/dev/null || true; \
+     rm -rf "$ZL_DIR" "$ZL_PROF"; \
+     rm -f "$ZL_TRACE" "$ZL_BENCH" "$ZL_J1" "$ZL_J2" "$ZL_SCEN" "$ZL_ENV"' EXIT
+ZL_ROOT=$PWD
+(cd "$ZL_PROF" && "$ZL_ROOT/target/release/zombieland-cli" \
+    experiment fig8 --scale 0.02 --profile > run.txt)
+grep -q 'Profile: wall time by phase' "$ZL_PROF/run.txt"
+ZL_PROF_JSON=$(echo "$ZL_PROF"/PROFILE_*.json)
+grep -q '"schema": "zombieland-profile-v1"' "$ZL_PROF_JSON"
+grep -q '"phase": "fault_batch"' "$ZL_PROF_JSON"
+# Self-time spans must partition the run: phase wall times sum to within
+# 10% of total wall time (each nanosecond attributed at most once).
+ZL_COV=$(grep -o '"coverage_pct": [0-9.]*' "$ZL_PROF_JSON" | awk '{ print $2 }')
+if ! awk -v c="${ZL_COV:-0}" 'BEGIN { exit !(c >= 90.0 && c <= 100.5) }'; then
+    echo "verify: FAIL — profile coverage is ${ZL_COV:-unset}%, want ~100%" >&2
     exit 1
 fi
 
