@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! zombieland experiment <name|all> [--scale S] [--jobs N]
-//! zombieland bench [--quick] [--servers N] [--days D] [--scale S] [--jobs N] [--out FILE] [--baseline-ns NS] [--baseline-label STR]
+//! zombieland bench [--quick|--paper] [--servers N] [--days D] [--scale S] [--jobs N] [--out FILE] [--baseline-ns NS] [--baseline-label STR]
 //! zombieland simulate [--servers N] [--days D] [--policy P] [--modified] [--machine hp|dell] [--trace FILE] [--timeline] [--pue X] [--jobs N]
 //! zombieland trace [--servers N] [--days D] [--seed S] --out FILE
 //! zombieland validate-trace <FILE>
@@ -32,11 +32,16 @@
 //! across N worker threads. Results are bit-for-bit identical at any
 //! thread count.
 //!
+//! `bench --paper` replaces the scaling grids with one full-paper-scale
+//! pass (12,583 servers × 29 days, seeded): AlwaysOn and ZombieStack on
+//! the rack-sharded event loop, recording `events_per_sec` and
+//! `peak_event_queue_len` per run in the `BENCH_<stamp>.json`.
+//!
 //! Experiment knobs resolve through the typed scenario layer
-//! (`zombieland_core::scenario`), highest precedence first: CLI flags,
-//! `ZL_*` environment variables, a `--scenario FILE` (`key = value`
-//! lines: scale, servers, days, racks, runs, jobs, validate), then the
-//! paper's defaults.
+//! (`zombieland_core::scenario`), highest precedence first: CLI flags
+//! (`--shards N` is global), `ZL_*` environment variables, a
+//! `--scenario FILE` (`key = value` lines: scale, servers, days, racks,
+//! shards, runs, jobs, validate), then the paper's defaults.
 //!
 //! The global flags work with every subcommand: `--scenario FILE` loads
 //! a scenario, `--obs-level off|summary|full` selects what gets
@@ -68,7 +73,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          zombieland experiment <name|all> [--scale S] [--jobs N]\n  \
-         zombieland bench [--quick] [--servers N] [--days D] [--scale S] [--jobs N] \
+         zombieland bench [--quick|--paper] [--servers N] [--days D] [--scale S] [--jobs N] \
          [--out FILE] [--baseline-ns NS] [--baseline-label STR]\n  \
          zombieland simulate [--servers N] [--days D] [--policy NAME|all] \
          [--modified] [--machine hp|dell] [--trace FILE] [--timeline] [--pue X] [--jobs N]\n  \
@@ -79,7 +84,7 @@ fn usage() -> ExitCode {
          zombieland suspend <mem|disk|zom>\n  \
          zombieland list\n  \
          zombieland --list-policies\n\
-         global flags: --scenario FILE --obs-level off|summary|full \
+         global flags: --scenario FILE --shards N --obs-level off|summary|full \
          --trace-out FILE --metrics-out FILE --profile"
     );
     ExitCode::from(2)
@@ -223,6 +228,9 @@ struct BenchTiming {
     jobs: usize,
     wall_ns: u128,
     runs: usize,
+    /// Trace events replayed across the pass's runs (`0` when the grid
+    /// is not a trace replay, e.g. fig8).
+    events: u64,
 }
 
 impl BenchTiming {
@@ -236,6 +244,12 @@ impl BenchTiming {
             ("wall_ns".into(), Value::UInt(self.wall_ns as u64)),
             ("runs_per_sec".into(), Value::Float(self.runs_per_sec())),
         ];
+        if self.events > 0 {
+            fields.push((
+                "events_per_sec".into(),
+                Value::Float(self.events as f64 * 1e9 / self.wall_ns as f64),
+            ));
+        }
         if let Some(base) = jobs1_wall_ns.filter(|_| self.jobs > 1) {
             let speedup = base as f64 / self.wall_ns as f64;
             fields.push(("speedup_vs_jobs1".into(), Value::Float(speedup)));
@@ -260,6 +274,7 @@ impl BenchTiming {
 fn time_grid(
     name: &str,
     runs: usize,
+    events: u64,
     jobs: usize,
     host_parallelism: usize,
     mut grid: impl FnMut(usize),
@@ -277,6 +292,7 @@ fn time_grid(
                 jobs: j,
                 wall_ns: start.elapsed().as_nanos(),
                 runs,
+                events,
             };
             if j == 1 {
                 jobs1_wall = Some(t.wall_ns);
@@ -317,7 +333,14 @@ fn time_grid(
 /// before/after comparison.
 fn cmd_bench(args: &[String]) -> ExitCode {
     let quick = args.iter().any(|a| a == "--quick");
-    let (def_servers, def_days, def_scale) = if quick { (48, 1, 0.04) } else { (600, 2, 0.25) };
+    let paper = args.iter().any(|a| a == "--paper");
+    let (def_servers, def_days, def_scale) = if paper {
+        (12_583, 29, 0.25)
+    } else if quick {
+        (48, 1, 0.04)
+    } else {
+        (600, 2, 0.25)
+    };
     let servers = flag_value(args, "--servers")
         .and_then(|v| v.parse().ok())
         .unwrap_or(def_servers);
@@ -338,6 +361,9 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let out = flag_value(args, "--out").unwrap_or_else(|| format!("BENCH_{stamp}.json"));
 
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if paper {
+        return bench_paper(servers, days, jobs, &out, stamp, host);
+    }
     println!("bench: fig10 {servers} servers x {days} day(s), fig8 scale {scale}, jobs {jobs}");
     if host < jobs {
         println!(
@@ -349,13 +375,16 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let trace = experiments::fig10_trace(servers, days, 11);
     let modified = trace.modified();
     let fig10_runs = 2 * 2 * experiments::FIG10_POLICIES.len();
-    let fig10 = time_grid("fig10", fig10_runs, jobs, host, |j| {
+    // Every grid run replays the full event stream (the modified trace
+    // keeps the task count), so the pass's event total is exact.
+    let fig10_events = fig10_runs as u64 * trace.events_len() as u64;
+    let fig10 = time_grid("fig10", fig10_runs, fig10_events, jobs, host, |j| {
         std::hint::black_box(experiments::figure10_grid(&trace, &modified, j));
     });
 
     let fig8_policies = [Policy::Fifo, Policy::Clock, Policy::MIXED_DEFAULT];
     let fig8_runs = fig8_policies.len() * 9;
-    let fig8 = time_grid("fig8", fig8_runs, jobs, host, |j| {
+    let fig8 = time_grid("fig8", fig8_runs, 0, jobs, host, |j| {
         for p in fig8_policies {
             std::hint::black_box(experiments::figure8_jobs(p, scale, j));
         }
@@ -410,6 +439,117 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let mut body = doc.pretty();
     body.push('\n');
     match std::fs::write(&out, body) {
+        Ok(()) => {
+            println!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {out:?}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `zombieland bench --paper`: one full-paper-scale pass — the Fig. 10
+/// trace family at the paper's fleet (12,583 servers × 29 days by
+/// default, seeded), AlwaysOn baseline plus ZombieStack on the
+/// rack-sharded event loop. Racks follow the paper's ~40-host geometry
+/// (`servers / 40`, rounded up); shards resolve through the scenario
+/// layer (`--shards` / `ZL_SHARDS` / file, default racks-proportional).
+/// The run itself is the subject here, so reports are kept: the JSON's
+/// `paper` grid records `events_per_sec`, `peak_event_queue_len` (the
+/// streaming-memory guard) and the energy outcome per policy.
+fn bench_paper(
+    servers: u32,
+    days: u64,
+    jobs: usize,
+    out: &str,
+    stamp: u64,
+    host: usize,
+) -> ExitCode {
+    let racks = servers.div_ceil(40).max(1);
+    let shards = zombieland_core::scenario::current().shards_for(racks);
+    println!("bench --paper: {servers} servers x {days} day(s), {racks} racks, {shards} shard(s), jobs {jobs}");
+    let t0 = std::time::Instant::now();
+    let trace = experiments::fig10_trace(servers, days, 11);
+    let trace_gen_ns = t0.elapsed().as_nanos() as u64;
+    println!(
+        "trace: {} tasks, {} events  (generated in {:.1} s)",
+        trace.tasks().len(),
+        trace.events_len(),
+        trace_gen_ns as f64 / 1e9
+    );
+
+    let specs = [PolicyKind::AlwaysOn.spec(), PolicyKind::ZombieStack.spec()];
+    let mut baseline: Option<zombieland_simulator::SimReport> = None;
+    let mut runs = Vec::new();
+    for spec in specs {
+        let cfg = SimConfig {
+            racks,
+            shards,
+            ..SimConfig::with_spec(spec, MachineProfile::hp())
+        };
+        let start = std::time::Instant::now();
+        let report = zombieland_simcore::with_thread_budget(jobs, || simulate(&trace, &cfg));
+        let wall_ns = start.elapsed().as_nanos().max(1) as u64;
+        let eps = report.events as f64 * 1e9 / wall_ns as f64;
+        let saving = baseline.as_ref().map(|b| report.savings_pct(b));
+        println!(
+            "{:<12} {:>8.1} s  {:>9.0} events/s  {:>10.1} kWh{}  \
+             (peak queue {}, {} migrations, {} wakeups)",
+            report.policy,
+            wall_ns as f64 / 1e9,
+            eps,
+            report.energy.as_kwh(),
+            saving
+                .map(|s| format!("  saving {s:.1}%"))
+                .unwrap_or_default(),
+            report.peak_queue,
+            report.migrations,
+            report.wakeups
+        );
+        let mut fields = vec![
+            ("policy".into(), Value::Str(report.policy.into())),
+            ("wall_ns".into(), Value::UInt(wall_ns)),
+            ("events".into(), Value::UInt(report.events)),
+            ("events_per_sec".into(), Value::Float(eps)),
+            (
+                "peak_event_queue_len".into(),
+                Value::UInt(report.peak_queue),
+            ),
+            ("energy_kwh".into(), Value::Float(report.energy.as_kwh())),
+            ("migrations".into(), Value::UInt(report.migrations)),
+            ("wakeups".into(), Value::UInt(report.wakeups)),
+        ];
+        if let Some(s) = saving {
+            fields.push(("savings_pct".into(), Value::Float(s)));
+        }
+        runs.push(Value::Object(fields));
+        if baseline.is_none() {
+            baseline = Some(report);
+        }
+    }
+
+    let grid = Value::Object(vec![
+        ("name".into(), Value::Str("paper".into())),
+        ("servers".into(), Value::UInt(servers as u64)),
+        ("days".into(), Value::UInt(days)),
+        ("seed".into(), Value::UInt(11)),
+        ("racks".into(), Value::UInt(racks as u64)),
+        ("shards".into(), Value::UInt(shards as u64)),
+        ("trace_gen_ns".into(), Value::UInt(trace_gen_ns)),
+        ("runs".into(), Value::Array(runs)),
+    ]);
+    let doc = Value::Object(vec![
+        ("schema".into(), Value::Str("zombieland-bench-v1".into())),
+        ("created_unix".into(), Value::UInt(stamp)),
+        ("jobs".into(), Value::UInt(jobs as u64)),
+        ("host_parallelism".into(), Value::UInt(host as u64)),
+        ("grids".into(), Value::Array(vec![grid])),
+    ]);
+    let mut body = doc.pretty();
+    body.push('\n');
+    match std::fs::write(out, body) {
         Ok(()) => {
             println!("wrote {out}");
             ExitCode::SUCCESS
@@ -765,6 +905,9 @@ struct GlobalOpts {
     metrics_out: Option<String>,
     /// `--scenario FILE`, loaded and validated but not yet installed.
     scenario: Option<zombieland_core::scenario::Scenario>,
+    /// `--shards N`: event-loop shard count, overriding `ZL_SHARDS` and
+    /// any scenario file (CLI > env > file, like the other knobs).
+    shards: Option<u32>,
     /// `--list-policies`: print the registry and exit.
     list_policies: bool,
     /// `--profile`: wall-time phase breakdown + `PROFILE_<stamp>.json`.
@@ -781,11 +924,19 @@ fn split_global_flags(args: Vec<String>) -> Result<(Vec<String>, GlobalOpts), St
     let mut trace_out = None;
     let mut metrics_out = None;
     let mut scenario = None;
+    let mut shards = None;
     let mut list_policies = false;
     let mut profile = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--shards" => {
+                let v = it.next().ok_or("flag \"--shards\" needs a value")?;
+                shards = Some(
+                    v.parse::<u32>()
+                        .map_err(|_| format!("--shards needs a positive integer, got {v:?}"))?,
+                );
+            }
             "--obs-level" => {
                 let v = it.next().ok_or("flag \"--obs-level\" needs a value")?;
                 level = Some(
@@ -820,6 +971,7 @@ fn split_global_flags(args: Vec<String>) -> Result<(Vec<String>, GlobalOpts), St
             trace_out,
             metrics_out,
             scenario,
+            shards,
             list_policies,
             profile,
         },
@@ -867,6 +1019,7 @@ fn dispatch(args: &[String]) -> ExitCode {
             0,
             &[
                 ("--quick", false),
+                ("--paper", false),
                 ("--servers", true),
                 ("--days", true),
                 ("--scale", true),
@@ -937,7 +1090,22 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    if let Some(s) = opts.scenario.clone() {
+    // `--shards` overrides whatever the scenario resolved (a `--scenario`
+    // file or, failing that, the env-layered defaults — so the flag beats
+    // `ZL_SHARDS` too). Installing the patched scenario makes the knob
+    // reach every `SimConfig::with_spec` without threading a parameter.
+    let mut scenario = opts.scenario.clone();
+    if let Some(n) = opts.shards {
+        let mut s =
+            scenario.unwrap_or_else(|| zombieland_core::scenario::Scenario::default().apply_env());
+        s.shards = Some(n);
+        if let Err(e) = s.ensure_valid() {
+            eprintln!("error: {e}");
+            return usage();
+        }
+        scenario = Some(s);
+    }
+    if let Some(s) = scenario {
         zombieland_core::scenario::install(s);
     }
     if opts.list_policies {

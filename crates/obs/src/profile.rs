@@ -51,10 +51,12 @@ pub enum Phase {
     ReplayRecv,
     /// Rendering tables and writing artifacts after the run.
     Render,
+    /// One parallel scan round across the simulator's rack shards.
+    ShardRound,
 }
 
 /// Every phase, in accumulator-index order.
-pub const PHASES: [Phase; 12] = [
+pub const PHASES: [Phase; 13] = [
     Phase::TraceGen,
     Phase::SimSetup,
     Phase::Arrivals,
@@ -67,6 +69,7 @@ pub const PHASES: [Phase; 12] = [
     Phase::ReplaySend,
     Phase::ReplayRecv,
     Phase::Render,
+    Phase::ShardRound,
 ];
 
 const PHASE_COUNT: usize = PHASES.len();
@@ -87,6 +90,7 @@ impl Phase {
             Phase::ReplaySend => "replay_send",
             Phase::ReplayRecv => "replay_recv",
             Phase::Render => "render",
+            Phase::ShardRound => "shard_round",
         }
     }
 }

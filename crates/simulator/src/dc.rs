@@ -1,11 +1,26 @@
 //! Datacenter state: hosts, VMs, the rack-local remote pool, and the
-//! index sets that keep the hot paths from scanning the full fleet.
+//! sharded index sets that keep the hot paths from scanning the full
+//! fleet.
 //!
 //! Everything here is *mechanism* — admission checks, the two-phase
 //! evacuation protocol, pool carving, invariant validation. Every
 //! policy *decision* routes through the [`crate::policy`] trait objects
 //! carried by [`crate::SimConfig::policy`], so this module never
 //! matches on a policy name.
+//!
+//! # Sharding and determinism (DESIGN §12)
+//!
+//! Host state lives in a struct-of-arrays [`Hosts`] table, and the
+//! index sets are partitioned into per-rack-group [`Shard`]s (rack `r`
+//! → shard `r % shards`). The event loop itself stays serial — every
+//! float mutation happens on the coordinator in the exact order the
+//! unsharded loop used, which is what keeps reports byte-identical at
+//! any shard count. What decomposes is the read-only *decision scan*
+//! ([`ScanReq`]): each shard answers with its best candidate under a
+//! total-order merge key, and the coordinator takes the tuple minimum —
+//! constructed to equal the serial full-scan answer exactly. Above
+//! [`crate::crew::CREW_MIN_FLEET`] hosts (and given a thread budget),
+//! the per-shard scans run on a worker [`Crew`] between rounds.
 
 use core::cmp::Ordering;
 use std::collections::BTreeSet;
@@ -14,6 +29,7 @@ use zombieland_cloud::oasis::OasisConfig;
 use zombieland_simcore::{Joules, SimTime, Watts};
 use zombieland_trace::google::ClusterTrace;
 
+use crate::crew::{merge_hit, Crew, ScanHit, ScanReq, CREW_MIN_FLEET};
 use crate::policy::{HostLoad, WakePreference};
 use crate::report::SimReport;
 use crate::SimConfig;
@@ -33,16 +49,50 @@ pub(crate) fn state_index(s: HState) -> usize {
     }
 }
 
-#[derive(Clone, Debug)]
-pub(crate) struct Host {
-    pub(crate) state: HState,
-    pub(crate) rack: u32,
-    pub(crate) cpu_booked: f64,
-    pub(crate) cpu_used: f64,
-    pub(crate) mem_local: f64,
-    /// Remote-pool memory allocated *from* this host (only when zombie).
-    pub(crate) remote_allocated: f64,
-    pub(crate) vms: Vec<usize>,
+/// Host state in struct-of-arrays layout: the hot fields (state, booked,
+/// used, power-relevant numbers) are dense parallel `Vec`s, so placement
+/// and consolidation scans touch only the arrays they read instead of
+/// dragging whole `Host` structs through the cache.
+#[derive(Debug, Default)]
+pub(crate) struct Hosts {
+    pub(crate) state: Vec<HState>,
+    pub(crate) rack: Vec<u32>,
+    pub(crate) cpu_booked: Vec<f64>,
+    pub(crate) cpu_used: Vec<f64>,
+    pub(crate) mem_local: Vec<f64>,
+    /// Remote-pool memory allocated *from* each host (only when zombie).
+    pub(crate) remote_allocated: Vec<f64>,
+    /// Resident VM (task) ids per host.
+    pub(crate) vms: Vec<Vec<usize>>,
+}
+
+impl Hosts {
+    pub(crate) fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// A mutable view of one host's policy-visible fields, for
+    /// [`Dc::update_host`] closures. `rack` is immutable for a host's
+    /// lifetime and `remote_allocated` is pool bookkeeping (mutated
+    /// directly by the pool carving paths), so neither is exposed here.
+    fn view_mut(&mut self, i: usize) -> HostMut<'_> {
+        HostMut {
+            state: &mut self.state[i],
+            cpu_booked: &mut self.cpu_booked[i],
+            cpu_used: &mut self.cpu_used[i],
+            mem_local: &mut self.mem_local[i],
+            vms: &mut self.vms[i],
+        }
+    }
+}
+
+/// Mutable view of one host (see [`Hosts::view_mut`]).
+pub(crate) struct HostMut<'a> {
+    pub(crate) state: &'a mut HState,
+    pub(crate) cpu_booked: &'a mut f64,
+    pub(crate) cpu_used: &'a mut f64,
+    pub(crate) mem_local: &'a mut f64,
+    pub(crate) vms: &'a mut Vec<usize>,
 }
 
 #[derive(Clone, Debug)]
@@ -70,9 +120,55 @@ struct PendingMove {
     taken: f64,
 }
 
+/// Monotone `u64` image of `f64` under `total_cmp` order:
+/// `total_key(a) < total_key(b)` iff `a.total_cmp(&b) == Less`.
+fn total_key(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Key for [`Shard::by_booked`]: ascending key order walks hosts
+/// most-booked first with ties toward the lower index — the stacking
+/// preference order the serial `active_by_booked` list used.
+fn booked_key(v: f64) -> u64 {
+    !total_key(v)
+}
+
+/// Merge key for minimum-value scans (wake picks, the overcommit
+/// fallback). The serial scans compared with plain `<`, under which
+/// `-0.0` and `+0.0` tie and the first (lowest-index) host wins;
+/// canonicalizing the zero sign makes the `(key, index)` tuple minimum
+/// reproduce that tie-break exactly. (These fields never actually go
+/// negative-zero — subtraction of finite equals yields `+0.0` and every
+/// clamp is `.max(0.0)` — so this is belt-and-braces.)
+fn merge_key(v: f64) -> u64 {
+    total_key(if v == 0.0 { 0.0 } else { v })
+}
+
+/// One shard's index sets: the hosts of racks `r ≡ shard (mod shards)`,
+/// maintained by [`Dc::update_host`]. Iteration order within a shard is
+/// ascending (host index, or booked key), so a per-shard scan merged by
+/// key tuple equals the serial full scan.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Shard {
+    /// Active hosts, ascending index.
+    active: BTreeSet<usize>,
+    /// Active hosts keyed by `(booked_key(cpu_booked), index)` — the
+    /// stacking preference order. The key is built from the host's
+    /// exact stored bits at index time; `update_host` repositions
+    /// entries whenever the value changes.
+    by_booked: BTreeSet<(u64, usize)>,
+    /// Sleeping and zombie hosts (the wake candidates), ascending index.
+    nonactive: BTreeSet<usize>,
+}
+
 pub(crate) struct Dc {
     pub(crate) cfg: SimConfig,
-    pub(crate) hosts: Vec<Host>,
+    pub(crate) hosts: Hosts,
     pub(crate) cooldown: Vec<u32>,
     pub(crate) vms: Vec<Option<VmState>>,
     pub(crate) parked_mem: f64,
@@ -82,23 +178,19 @@ pub(crate) struct Dc {
     pub(crate) last: SimTime,
     pub(crate) report: SimReport,
     pub(crate) oasis: OasisConfig,
-    /// Index sets by host state, maintained by [`Dc::update_host`] so the
-    /// hot paths (placement, wake, pool carving) never scan the full
-    /// fleet. Iteration order is ascending host index — the same order
-    /// the old full scans visited — so every float sum and every
-    /// tie-break is bit-for-bit identical to the O(hosts) versions.
-    pub(crate) active: BTreeSet<usize>,
-    /// Active hosts keyed by `(cpu_booked, index)`, most-booked first
-    /// with ties toward the lower index — exactly the stacking
-    /// preference order, so placement scans stop at the *first* fitting
-    /// entry instead of ranking the whole fleet. The key is the stored
-    /// bits of `cpu_booked` at index time; [`Dc::update_host`]
-    /// repositions entries whenever the value changes.
-    pub(crate) active_by_booked: Vec<(f64, usize)>,
-    /// Sleeping and zombie hosts (the wake candidates).
-    pub(crate) nonactive: BTreeSet<usize>,
+    /// Per-shard index sets (see [`Shard`]); `shards.len()` is the
+    /// effective shard count, `cfg.shards` clamped to the rack count.
+    pub(crate) shards: Vec<Shard>,
     /// Zombie hosts per rack (the rack-local remote pool's lenders).
+    /// Pool carving is serial coordinator work, so this index stays
+    /// global per rack rather than per shard.
     pub(crate) zombies_by_rack: Vec<BTreeSet<usize>>,
+    /// Tasks holding remote-pool memory, per rack of their host.
+    /// Invariant: task ∈ set[r] iff its VM exists, holds `remote >
+    /// 1e-9`, and lives on a host of rack `r`. Turns the revocation
+    /// fallback ([`Dc::shed_vm_remote`]) from an all-tasks sweep into a
+    /// walk over actual holders — in the same ascending-task order.
+    remote_vms_by_rack: Vec<BTreeSet<usize>>,
     /// Persistent sort buffer for the consolidation order (reused every
     /// tick instead of a fresh allocation).
     order_buf: Vec<usize>,
@@ -108,10 +200,16 @@ pub(crate) struct Dc {
     /// Per-rack free-pool snapshot taken at the start of each placement
     /// scan, so `fits` stops re-summing the pool per candidate host.
     pool_buf: Vec<f64>,
+    /// Persistent buffer for the remote-holder walk in
+    /// [`Dc::shed_vm_remote`].
+    shed_buf: Vec<usize>,
+    /// Worker threads for per-shard scans; `None` below the crew gate
+    /// (small fleet, single shard, or no thread budget).
+    crew: Option<Crew>,
     /// Whether [`Dc::validate`] runs after each consolidation round:
     /// debug builds by default, or the scenario's `validate` switch
     /// (`ZL_VALIDATE=1`) in release.
-    validate_on: bool,
+    pub(crate) validate_on: bool,
 }
 
 /// Whether the O(hosts × vms) invariant sweep runs: always in debug
@@ -129,22 +227,38 @@ impl Dc {
     /// Builds the all-active initial fleet for `trace` under `cfg`.
     ///
     /// `cfg` must have passed [`SimConfig::validate`]; in particular
-    /// `racks >= 1`, so the rack assignment below never divides by zero
-    /// (the old code clamped with `racks.max(1)` at every use site).
+    /// `racks >= 1` and `shards >= 1`, so the rack/shard assignment
+    /// below never divides by zero.
     pub(crate) fn new(trace: &ClusterTrace, cfg: &SimConfig) -> Dc {
         let n = trace.config().servers as usize;
+        let nshards = (cfg.shards.min(cfg.racks).max(1)) as usize;
+        let mut shards = vec![Shard::default(); nshards];
+        let mut rack = Vec::with_capacity(n);
+        for i in 0..n {
+            let r = i as u32 % cfg.racks;
+            rack.push(r);
+            let shard = &mut shards[r as usize % nshards];
+            shard.active.insert(i);
+            shard.by_booked.insert((booked_key(0.0), i));
+        }
+        // The crew only pays off when a scan has real work per shard;
+        // below the gate (or without a thread budget) scans run inline.
+        // Either way the answers are identical — see `crate::crew`.
+        let crew = if nshards > 1 && n >= CREW_MIN_FLEET {
+            Crew::spawn(nshards, zombieland_simcore::thread_budget())
+        } else {
+            None
+        };
         let mut dc = Dc {
-            hosts: (0..n)
-                .map(|i| Host {
-                    state: HState::Active,
-                    rack: i as u32 % cfg.racks,
-                    cpu_booked: 0.0,
-                    cpu_used: 0.0,
-                    mem_local: 0.0,
-                    remote_allocated: 0.0,
-                    vms: Vec::new(),
-                })
-                .collect(),
+            hosts: Hosts {
+                state: vec![HState::Active; n],
+                rack,
+                cpu_booked: vec![0.0; n],
+                cpu_used: vec![0.0; n],
+                mem_local: vec![0.0; n],
+                remote_allocated: vec![0.0; n],
+                vms: vec![Vec::new(); n],
+            },
             cooldown: vec![0; n],
             vms: vec![None; trace.tasks().len()],
             parked_mem: 0.0,
@@ -160,16 +274,19 @@ impl Dc {
                 overcommitted: 0,
                 state_seconds: [0.0; 3],
                 peak_parked: 0.0,
+                events: 0,
+                peak_queue: 0,
                 timeline: Vec::new(),
             },
             oasis: OasisConfig::default(),
-            active: (0..n).collect(),
-            active_by_booked: (0..n).map(|i| (0.0, i)).collect(),
-            nonactive: BTreeSet::new(),
+            shards,
             zombies_by_rack: vec![BTreeSet::new(); cfg.racks as usize],
+            remote_vms_by_rack: vec![BTreeSet::new(); cfg.racks as usize],
             order_buf: Vec::new(),
             evac_buf: Vec::new(),
             pool_buf: Vec::new(),
+            shed_buf: Vec::new(),
+            crew,
             validate_on: validate_enabled(),
             cfg: cfg.clone(),
             state_counts: [n as u64, 0, 0],
@@ -182,16 +299,27 @@ impl Dc {
         dc
     }
 
-    /// Applies a mutation to host `h`, keeping the fleet power total
-    /// consistent.
-    pub(crate) fn update_host(&mut self, h: usize, f: impl FnOnce(&mut Host)) {
+    /// The effective shard count.
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning host `h` (rack-based, so a rack's hosts — and
+    /// its pool lenders — always share a shard).
+    fn shard_of(&self, h: usize) -> usize {
+        self.hosts.rack[h] as usize % self.shards.len()
+    }
+
+    /// Applies a mutation to host `h`, keeping the fleet power total,
+    /// the state counts and the shard index sets consistent.
+    pub(crate) fn update_host(&mut self, h: usize, f: impl FnOnce(HostMut)) {
         let before = self.host_power(h);
-        let state_before = self.hosts[h].state;
-        let booked_before = self.hosts[h].cpu_booked;
-        f(&mut self.hosts[h]);
+        let state_before = self.hosts.state[h];
+        let booked_before = self.hosts.cpu_booked[h];
+        f(self.hosts.view_mut(h));
         let after = self.host_power(h);
-        let state_after = self.hosts[h].state;
-        let booked_after = self.hosts[h].cpu_booked;
+        let state_after = self.hosts.state[h];
+        let booked_after = self.hosts.cpu_booked[h];
         if state_before != state_after {
             self.state_counts[state_index(state_before)] -= 1;
             self.state_counts[state_index(state_after)] += 1;
@@ -201,66 +329,47 @@ impl Dc {
         {
             // total_cmp (not `!=`) so a -0.0/+0.0 flip still repositions
             // and the stored key always matches the host's exact bits.
-            self.reposition_booked(h, booked_before, booked_after);
+            let s = self.shard_of(h);
+            let shard = &mut self.shards[s];
+            let removed = shard.by_booked.remove(&(booked_key(booked_before), h));
+            debug_assert!(removed, "active host indexed under its old booked key");
+            shard.by_booked.insert((booked_key(booked_after), h));
         }
         self.total_power =
             Watts::new((self.total_power.get() - before.get() + after.get()).max(0.0));
     }
 
-    /// The ordering of [`Dc::active_by_booked`]: most-booked first, ties
-    /// toward the lower host index (the stacking preference order).
-    fn booked_order(a: &(f64, usize), b: &(f64, usize)) -> Ordering {
-        b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
-    }
-
-    /// Re-slots `h` in the booked-ordered list after its `cpu_booked`
-    /// moved from `old` to `new`.
-    fn reposition_booked(&mut self, h: usize, old: f64, new: f64) {
-        let pos = self
-            .active_by_booked
-            .binary_search_by(|e| Self::booked_order(e, &(old, h)))
-            .expect("active host indexed under its old booked key");
-        self.active_by_booked.remove(pos);
-        let ins = self
-            .active_by_booked
-            .partition_point(|e| Self::booked_order(e, &(new, h)) == Ordering::Less);
-        self.active_by_booked.insert(ins, (new, h));
-    }
-
-    /// Moves `h` between the per-state index sets on a state change.
+    /// Moves `h` between its shard's index sets on a state change.
     fn index_host(&mut self, h: usize, from: HState, to: HState, booked_old: f64, booked_new: f64) {
-        let rack = self.hosts[h].rack as usize;
+        let rack = self.hosts.rack[h] as usize;
+        let s = self.shard_of(h);
+        let shard = &mut self.shards[s];
         match from {
             HState::Active => {
-                self.active.remove(&h);
-                let pos = self
-                    .active_by_booked
-                    .binary_search_by(|e| Self::booked_order(e, &(booked_old, h)))
-                    .expect("active host indexed under its old booked key");
-                self.active_by_booked.remove(pos);
+                shard.active.remove(&h);
+                let removed = shard.by_booked.remove(&(booked_key(booked_old), h));
+                debug_assert!(removed, "active host indexed under its old booked key");
             }
             HState::Zombie => {
-                self.nonactive.remove(&h);
+                shard.nonactive.remove(&h);
                 self.zombies_by_rack[rack].remove(&h);
             }
             HState::Sleeping => {
-                self.nonactive.remove(&h);
+                shard.nonactive.remove(&h);
             }
         }
+        let shard = &mut self.shards[s];
         match to {
             HState::Active => {
-                self.active.insert(h);
-                let ins = self
-                    .active_by_booked
-                    .partition_point(|e| Self::booked_order(e, &(booked_new, h)) == Ordering::Less);
-                self.active_by_booked.insert(ins, (booked_new, h));
+                shard.active.insert(h);
+                shard.by_booked.insert((booked_key(booked_new), h));
             }
             HState::Zombie => {
-                self.nonactive.insert(h);
+                shard.nonactive.insert(h);
                 self.zombies_by_rack[rack].insert(h);
             }
             HState::Sleeping => {
-                self.nonactive.insert(h);
+                shard.nonactive.insert(h);
             }
         }
     }
@@ -293,7 +402,7 @@ impl Dc {
     fn pool_free(&self, rack: u32) -> f64 {
         self.zombies_by_rack[rack as usize]
             .iter()
-            .map(|&i| (self.usable_mem() - self.hosts[i].remote_allocated).max(0.0))
+            .map(|&i| (self.usable_mem() - self.hosts.remote_allocated[i]).max(0.0))
             .sum()
     }
 
@@ -311,7 +420,7 @@ impl Dc {
             // matching the old full-scan `max_by`.
             let mut best: Option<(usize, f64)> = None;
             for &i in &self.zombies_by_rack[rack as usize] {
-                let free = (self.usable_mem() - self.hosts[i].remote_allocated).max(0.0);
+                let free = (self.usable_mem() - self.hosts.remote_allocated[i]).max(0.0);
                 if best.is_none_or(|(_, b)| free >= b) {
                     best = Some((i, free));
                 }
@@ -323,7 +432,7 @@ impl Dc {
                 break;
             }
             let take = free.min(amount);
-            self.hosts[idx].remote_allocated += take;
+            self.hosts.remote_allocated[idx] += take;
             taken += take;
             amount -= take;
         }
@@ -339,7 +448,7 @@ impl Dc {
             // matching the old full-scan `max_by`.
             let mut best: Option<(usize, f64)> = None;
             for &i in &self.zombies_by_rack[rack as usize] {
-                let ra = self.hosts[i].remote_allocated;
+                let ra = self.hosts.remote_allocated[i];
                 if ra > 1e-9 && best.is_none_or(|(_, b)| ra >= b) {
                     best = Some((i, ra));
                 }
@@ -347,19 +456,18 @@ impl Dc {
             let Some((idx, _)) = best else {
                 break;
             };
-            let back = self.hosts[idx].remote_allocated.min(amount);
-            self.hosts[idx].remote_allocated -= back;
+            let back = self.hosts.remote_allocated[idx].min(amount);
+            self.hosts.remote_allocated[idx] -= back;
             amount -= back;
         }
     }
 
     /// The [`HostLoad`] view of `host` the policy traits judge.
     fn host_load(&self, host: usize) -> HostLoad {
-        let h = &self.hosts[host];
         HostLoad {
-            cpu_booked: h.cpu_booked,
-            cpu_used: h.cpu_used,
-            free_local: (self.usable_mem() - h.mem_local).max(0.0),
+            cpu_booked: self.hosts.cpu_booked[host],
+            cpu_used: self.hosts.cpu_used[host],
+            free_local: (self.usable_mem() - self.hosts.mem_local[host]).max(0.0),
         }
     }
 
@@ -368,7 +476,7 @@ impl Dc {
     /// remote pool of the host's rack (snapshot or fresh — the caller
     /// owns that choice; scans pass the per-scan snapshot).
     fn fits(&self, host: usize, cpu: f64, cpu_used: f64, mem: f64, pool: f64) -> Option<f64> {
-        if self.hosts[host].state != HState::Active {
+        if self.hosts.state[host] != HState::Active {
             return None;
         }
         self.cfg
@@ -377,20 +485,106 @@ impl Dc {
             .admit(&self.host_load(host), cpu, cpu_used, mem, pool)
     }
 
+    /// Answers one decision scan over shard `s`. Read-only — this is
+    /// the function crew workers run concurrently — and the merge keys
+    /// are built so the tuple minimum across shards equals the serial
+    /// full-scan answer:
+    ///
+    /// - `Admit`/`Migrate` walk `by_booked` in stacking order and stop
+    ///   at the shard's first fit; the key is the entry's stored booked
+    ///   key, so the cross-shard minimum is the globally first-fitting
+    ///   entry of the (conceptual) merged stacking order.
+    /// - `WakeZombie`/`LeastUsed` minimize a canonicalized float key
+    ///   ([`merge_key`]), reproducing the serial strict-`<` first-min.
+    /// - `Sleeping`/`IdleZombie` want the lowest host index; the key is
+    ///   a constant `0` so the tuple min is the index min.
+    pub(crate) fn scan_shard(&self, s: usize, req: &ScanReq) -> ScanHit {
+        let shard = &self.shards[s];
+        match *req {
+            ScanReq::Admit { cpu, cpu_used, mem } => {
+                for &(key, i) in &shard.by_booked {
+                    let pool = self.pool_buf[self.hosts.rack[i] as usize];
+                    if self.fits(i, cpu, cpu_used, mem, pool).is_some() {
+                        return Some((key, i));
+                    }
+                }
+                None
+            }
+            ScanReq::Migrate { ref vm, skip } => {
+                for &(key, i) in &shard.by_booked {
+                    if i == skip {
+                        continue;
+                    }
+                    let pool = self.pool_buf[self.hosts.rack[i] as usize];
+                    if self.consolidation_fits(i, vm, pool) {
+                        return Some((key, i));
+                    }
+                }
+                None
+            }
+            ScanReq::WakeZombie => {
+                let mut best: ScanHit = None;
+                for &i in &shard.nonactive {
+                    if self.hosts.state[i] != HState::Zombie {
+                        continue;
+                    }
+                    let cand = (merge_key(self.hosts.remote_allocated[i]), i);
+                    if best.is_none_or(|b| cand < b) {
+                        best = Some(cand);
+                    }
+                }
+                best
+            }
+            ScanReq::Sleeping => shard.nonactive.first().map(|&i| (0, i)),
+            ScanReq::LeastUsed => {
+                let mut best: ScanHit = None;
+                for &i in &shard.active {
+                    let cand = (merge_key(self.hosts.cpu_used[i]), i);
+                    if best.is_none_or(|b| cand < b) {
+                        best = Some(cand);
+                    }
+                }
+                best
+            }
+            ScanReq::IdleZombie => shard
+                .nonactive
+                .iter()
+                .find(|&&i| {
+                    self.hosts.state[i] == HState::Zombie && self.hosts.remote_allocated[i] <= 1e-9
+                })
+                .map(|&i| (0, i)),
+        }
+    }
+
+    /// Runs `req` over every shard — on the crew when one is up, inline
+    /// otherwise — and returns the winning host.
+    fn scan_merged(&self, req: ScanReq) -> Option<usize> {
+        let hit = match &self.crew {
+            Some(crew) => {
+                let _span =
+                    zombieland_obs::profile::span(zombieland_obs::profile::Phase::ShardRound);
+                crew.round(self, req)
+            }
+            None => {
+                let mut best = None;
+                for s in 0..self.shards.len() {
+                    best = merge_hit(best, self.scan_shard(s, &req));
+                }
+                best
+            }
+        };
+        hit.map(|(_, i)| i)
+    }
+
     /// Stacking choice: the fittable active host with the highest booked
     /// CPU (ties to the lowest index, as the old ascending full scan
-    /// resolved them). [`Dc::active_by_booked`] *is* that preference
-    /// order, so the first fitting entry is the answer — no ranking pass.
-    /// One pool snapshot serves the whole scan.
+    /// resolved them). Each shard's `by_booked` walk *is* that
+    /// preference order restricted to the shard, so the key-merged first
+    /// fits are the answer — no ranking pass. One pool snapshot serves
+    /// the whole scan.
     fn pick_host(&mut self, cpu: f64, cpu_used: f64, mem: f64) -> Option<usize> {
         self.snapshot_pools();
-        for &(_, i) in &self.active_by_booked {
-            let pool = self.pool_buf[self.hosts[i].rack as usize];
-            if self.fits(i, cpu, cpu_used, mem, pool).is_some() {
-                return Some(i);
-            }
-        }
-        None
+        self.scan_merged(ScanReq::Admit { cpu, cpu_used, mem })
     }
 
     /// Wakes a host per policy preference. Returns its index.
@@ -399,36 +593,23 @@ impl Dc {
         // accounting moves these nanoseconds out of the caller's phase.
         let _span = zombieland_obs::profile::span(zombieland_obs::profile::Phase::WakeUps);
         let pick = match self.cfg.policy.placement.wake_preference() {
-            WakePreference::IdleZombieFirst => {
-                // Least-lending zombie; strict `<` keeps the *first*
-                // minimum among ties, matching the old full-scan
-                // `min_by` over ascending host indices.
-                let mut best: Option<(usize, f64)> = None;
-                for &i in &self.nonactive {
-                    if self.hosts[i].state != HState::Zombie {
-                        continue;
-                    }
-                    let ra = self.hosts[i].remote_allocated;
-                    if best.is_none_or(|(_, b)| ra < b) {
-                        best = Some((i, ra));
-                    }
-                }
-                best.map(|(i, _)| i).or_else(|| self.find_sleeping())
-            }
-            WakePreference::FirstSleeping => self.find_sleeping(),
+            WakePreference::IdleZombieFirst => self
+                .scan_merged(ScanReq::WakeZombie)
+                .or_else(|| self.scan_merged(ScanReq::Sleeping)),
+            WakePreference::FirstSleeping => self.scan_merged(ScanReq::Sleeping),
         }?;
         // A waking zombie reclaims its memory: re-place its allocations
         // on its rack's *other* zombies (so reactivate first — a zombie
         // would happily re-absorb its own shares), and shed whatever the
         // pool cannot hold onto the owning VMs' local backups, exactly as
         // the rack-level US_reclaim fallback does.
-        let stranded = self.hosts[pick].remote_allocated;
-        let rack = self.hosts[pick].rack;
-        self.hosts[pick].remote_allocated = 0.0;
+        let stranded = self.hosts.remote_allocated[pick];
+        let rack = self.hosts.rack[pick];
+        self.hosts.remote_allocated[pick] = 0.0;
         self.cooldown[pick] = WAKE_COOLDOWN_TICKS;
-        let waking_from = self.hosts[pick].state;
+        let waking_from = self.hosts.state[pick];
         self.update_host(pick, |h| {
-            h.state = HState::Active;
+            *h.state = HState::Active;
         });
         self.charge_transition(waking_from, HState::Active);
         if stranded > 1e-9 {
@@ -443,30 +624,51 @@ impl Dc {
 
     /// Reduces VMs' remote shares in `rack` by `amount`: their cold pages
     /// are now served from the local backups (the revocation fallback).
+    ///
+    /// Walks the rack's remote-holder index — the same ascending task
+    /// order the old all-tasks sweep visited after its filters — via a
+    /// persistent buffer, since cutting a VM to zero edits the set.
     fn shed_vm_remote(&mut self, rack: u32, mut amount: f64) {
         if amount <= 1e-9 {
             return;
         }
-        for task in 0..self.vms.len() {
+        let mut holders = std::mem::take(&mut self.shed_buf);
+        holders.clear();
+        holders.extend(self.remote_vms_by_rack[rack as usize].iter().copied());
+        for &task in &holders {
             if amount <= 1e-9 {
                 break;
             }
             let Some(vm) = self.vms[task].as_mut() else {
                 continue;
             };
-            if vm.remote <= 1e-9 || self.hosts[vm.host].rack != rack {
+            if vm.remote <= 1e-9 {
                 continue;
             }
             let cut = vm.remote.min(amount);
             vm.remote -= cut;
             amount -= cut;
+            if vm.remote <= 1e-9 {
+                self.remote_vms_by_rack[rack as usize].remove(&task);
+            }
+        }
+        self.shed_buf = holders;
+    }
+
+    /// Drops `task` from the remote-holder index if it holds pool
+    /// memory; call *before* clearing or re-racking its `remote`.
+    fn unindex_remote(&mut self, task: usize, remote: f64, rack: u32) {
+        if remote > 1e-9 {
+            self.remote_vms_by_rack[rack as usize].remove(&task);
         }
     }
 
-    fn find_sleeping(&self) -> Option<usize> {
-        // `nonactive` holds exactly the Sleeping|Zombie hosts, ordered by
-        // index, so the first member is what the old `position` scan found.
-        self.nonactive.first().copied()
+    /// Adds `task` to the remote-holder index if it now holds pool
+    /// memory.
+    fn index_remote(&mut self, task: usize, remote: f64, rack: u32) {
+        if remote > 1e-9 {
+            self.remote_vms_by_rack[rack as usize].insert(task);
+        }
     }
 
     pub(crate) fn arrive(&mut self, trace: &ClusterTrace, task: usize) {
@@ -490,42 +692,34 @@ impl Dc {
                 }
                 match found {
                     Some(h) => h,
-                    None => {
-                        // Least-used active host; strict `<` keeps the
-                        // first minimum among ties like the old `min_by`
-                        // over ascending indices.
-                        let mut least: Option<(usize, f64)> = None;
-                        for &i in &self.active {
-                            let used = self.hosts[i].cpu_used;
-                            if least.is_none_or(|(_, b)| used < b) {
-                                least = Some((i, used));
-                            }
+                    None => match self.scan_merged(ScanReq::LeastUsed) {
+                        Some(h) => {
+                            self.report.overcommitted += 1;
+                            zombieland_obs::sink::counter_add("sim.overcommitted", 1);
+                            h
                         }
-                        let Some(h) = least.map(|(i, _)| i) else {
+                        None => {
                             self.report.dropped += 1;
                             zombieland_obs::sink::counter_add("sim.dropped", 1);
                             zombieland_obs::trace_event!(
                                 self.last, "simulator", "drop", "task" => task);
                             return;
-                        };
-                        self.report.overcommitted += 1;
-                        zombieland_obs::sink::counter_add("sim.overcommitted", 1);
-                        h
-                    }
+                        }
+                    },
                 }
             }
         };
-        let pool = self.pool_free(self.hosts[host].rack);
+        let pool = self.pool_free(self.hosts.rack[host]);
         let local = match self.fits(host, cpu, t.cpu_used, mem, pool) {
             Some(l) => l,
             None => {
                 // Overcommit fallback: take whatever local memory is left.
-                let free = (self.usable_mem() - self.hosts[host].mem_local).max(0.0);
+                let free = (self.usable_mem() - self.hosts.mem_local[host]).max(0.0);
                 mem.min(free)
             }
         };
         let remote = (mem - local).max(0.0);
-        let rack = self.hosts[host].rack;
+        let rack = self.hosts.rack[host];
         let taken = if remote > 1e-9 {
             self.take_remote(rack, remote)
         } else {
@@ -533,9 +727,9 @@ impl Dc {
         };
         let used = t.cpu_used;
         self.update_host(host, |h| {
-            h.cpu_booked += cpu;
-            h.cpu_used += used;
-            h.mem_local += local;
+            *h.cpu_booked += cpu;
+            *h.cpu_used += used;
+            *h.mem_local += local;
             h.vms.push(task);
         });
         self.vms[task] = Some(VmState {
@@ -544,6 +738,7 @@ impl Dc {
             remote: taken,
             parked: 0.0,
         });
+        self.index_remote(task, taken, rack);
         zombieland_obs::sink::counter_add("sim.arrivals", 1);
         zombieland_obs::trace_event!(self.last, "simulator", "arrive",
             "task" => task, "host" => host);
@@ -556,12 +751,13 @@ impl Dc {
         let t = &trace.tasks()[task];
         let (cpu, used, local) = (t.cpu_booked, t.cpu_used, vm.local_mem);
         self.update_host(vm.host, |h| {
-            h.cpu_booked = (h.cpu_booked - cpu).max(0.0);
-            h.cpu_used = (h.cpu_used - used).max(0.0);
-            h.mem_local = (h.mem_local - local).max(0.0);
+            *h.cpu_booked = (*h.cpu_booked - cpu).max(0.0);
+            *h.cpu_used = (*h.cpu_used - used).max(0.0);
+            *h.mem_local = (*h.mem_local - local).max(0.0);
             h.vms.retain(|&v| v != task);
         });
-        let rack = self.hosts[vm.host].rack;
+        let rack = self.hosts.rack[vm.host];
+        self.unindex_remote(task, vm.remote, rack);
         self.give_back_remote(rack, vm.remote);
         self.parked_mem = (self.parked_mem - vm.parked).max(0.0);
         zombieland_obs::sink::counter_add("sim.departures", 1);
@@ -570,84 +766,91 @@ impl Dc {
     }
 
     /// Invariant sweep: VM lists, booked sums, pool accounting and the
-    /// incremental index sets all agree. O(hosts × vms), so it runs only
+    /// sharded index sets all agree. O(hosts × vms), so it runs only
     /// when [`validate_enabled`] says so (debug builds by default, the
     /// scenario `validate` switch opts release builds in).
     fn validate(&self) {
         let mut host_vms = 0usize;
-        for (i, h) in self.hosts.iter().enumerate() {
-            host_vms += h.vms.len();
-            for &t in &h.vms {
+        for i in 0..self.hosts.len() {
+            let state = self.hosts.state[i];
+            let rack = self.hosts.rack[i];
+            host_vms += self.hosts.vms[i].len();
+            for &t in &self.hosts.vms[i] {
                 assert_eq!(
                     self.vms[t].as_ref().map(|v| v.host),
                     Some(i),
                     "vm {t} listed on host {i} but placed elsewhere"
                 );
             }
-            assert!(h.cpu_booked >= -1e-6 && h.mem_local >= -1e-6);
-            if h.state != HState::Zombie {
+            assert!(self.hosts.cpu_booked[i] >= -1e-6 && self.hosts.mem_local[i] >= -1e-6);
+            if state != HState::Zombie {
                 assert!(
-                    h.remote_allocated <= 1e-6,
+                    self.hosts.remote_allocated[i] <= 1e-6,
                     "non-zombie lends: host {i} {:?} holds {}",
-                    h.state,
-                    h.remote_allocated
+                    state,
+                    self.hosts.remote_allocated[i]
                 );
             }
-            // The index sets mirror host state exactly.
+            // The shard index sets mirror host state exactly.
+            let shard = &self.shards[self.shard_of(i)];
             assert_eq!(
-                self.active.contains(&i),
-                h.state == HState::Active,
-                "host {i}: active-set membership disagrees with {:?}",
-                h.state
+                shard.active.contains(&i),
+                state == HState::Active,
+                "host {i}: active-set membership disagrees with {state:?}"
             );
             assert_eq!(
-                self.nonactive.contains(&i),
-                h.state != HState::Active,
-                "host {i}: nonactive-set membership disagrees with {:?}",
-                h.state
+                shard
+                    .by_booked
+                    .contains(&(booked_key(self.hosts.cpu_booked[i]), i)),
+                state == HState::Active,
+                "host {i}: booked-key membership disagrees with {state:?} \
+                 (or the indexed key drifted from the live value)"
             );
             assert_eq!(
-                self.zombies_by_rack[h.rack as usize].contains(&i),
-                h.state == HState::Zombie,
-                "host {i}: rack {} zombie-set membership disagrees with {:?}",
-                h.rack,
-                h.state
+                shard.nonactive.contains(&i),
+                state != HState::Active,
+                "host {i}: nonactive-set membership disagrees with {state:?}"
+            );
+            assert_eq!(
+                self.zombies_by_rack[rack as usize].contains(&i),
+                state == HState::Zombie,
+                "host {i}: rack {rack} zombie-set membership disagrees with {state:?}"
             );
         }
+        let active_total: usize = self.shards.iter().map(|s| s.active.len()).sum();
+        let booked_total: usize = self.shards.iter().map(|s| s.by_booked.len()).sum();
         assert_eq!(
-            self.active_by_booked.len(),
-            self.active.len(),
-            "booked-ordered list covers exactly the active hosts"
+            booked_total, active_total,
+            "booked-ordered sets cover exactly the active hosts"
         );
-        for w in self.active_by_booked.windows(2) {
-            assert_eq!(
-                Self::booked_order(&w[0], &w[1]),
-                Ordering::Less,
-                "booked-ordered list stays strictly sorted"
-            );
-        }
-        for &(booked, i) in &self.active_by_booked {
-            assert_eq!(
-                booked.to_bits(),
-                self.hosts[i].cpu_booked.to_bits(),
-                "host {i}: indexed booked key matches the live value"
-            );
-        }
         let indexed: usize = self.zombies_by_rack.iter().map(|s| s.len()).sum();
         let zombies = self
             .hosts
+            .state
             .iter()
-            .filter(|h| h.state == HState::Zombie)
+            .filter(|&&s| s == HState::Zombie)
             .count();
         assert_eq!(indexed, zombies, "zombie index covers every zombie once");
         let live = self.vms.iter().filter(|v| v.is_some()).count();
         assert_eq!(host_vms, live, "every live VM is on exactly one host");
         let vm_remote: f64 = self.vms.iter().flatten().map(|v| v.remote).sum();
-        let host_remote: f64 = self.hosts.iter().map(|h| h.remote_allocated).sum();
+        let host_remote: f64 = self.hosts.remote_allocated.iter().sum();
         assert!(
             (vm_remote - host_remote).abs() < 1e-3,
             "pool accounting: vms {vm_remote} vs hosts {host_remote}"
         );
+        // The remote-holder index matches the VMs exactly.
+        for (task, vm) in self.vms.iter().enumerate() {
+            let expected = vm.as_ref().filter(|v| v.remote > 1e-9).map(|v| v.host);
+            for (r, set) in self.remote_vms_by_rack.iter().enumerate() {
+                let should = expected.is_some_and(|h| self.hosts.rack[h] as usize == r);
+                assert_eq!(
+                    set.contains(&task),
+                    should,
+                    "task {task}: rack {r} remote-holder membership disagrees"
+                );
+            }
+        }
     }
 
     /// One consolidation round.
@@ -661,25 +864,25 @@ impl Dc {
         for c in &mut self.cooldown {
             *c = c.saturating_sub(1);
         }
-        // Underloaded hosts, least loaded first. The candidate list comes
-        // from the active index set (ascending, as the old full scan
-        // iterated) and lives in a persistent buffer so consolidation
-        // ticks stop allocating.
+        // Underloaded hosts, least loaded first. Candidates are gathered
+        // shard by shard into a persistent buffer; the sort key
+        // `(cpu_used, index)` is a total order, so the gather order
+        // (and the unstable sort) cannot leak into the result.
         let underload = policy.underload_threshold();
         let mut order = std::mem::take(&mut self.order_buf);
         order.clear();
-        order.extend(
-            self.active
-                .iter()
-                .copied()
-                .filter(|&i| self.cooldown[i] == 0 && self.hosts[i].cpu_used < underload),
-        );
-        // The comparator is a total order (index tie-break), so the
-        // unstable sort is deterministic.
+        for shard in &self.shards {
+            order.extend(
+                shard
+                    .active
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.cooldown[i] == 0 && self.hosts.cpu_used[i] < underload),
+            );
+        }
         order.sort_unstable_by(|&a, &b| {
-            self.hosts[a]
-                .cpu_used
-                .total_cmp(&self.hosts[b].cpu_used)
+            self.hosts.cpu_used[a]
+                .total_cmp(&self.hosts.cpu_used[b])
                 .then(a.cmp(&b))
         });
 
@@ -702,15 +905,12 @@ impl Dc {
             while self.cfg.policy.consolidation.demotes_idle_zombies() {
                 // First (lowest-index) idle zombie, as the old full-fleet
                 // `position` scan found it.
-                let candidate = self.nonactive.iter().copied().find(|&i| {
-                    self.hosts[i].state == HState::Zombie && self.hosts[i].remote_allocated <= 1e-9
-                });
-                match candidate {
+                match self.scan_merged(ScanReq::IdleZombie) {
                     Some(i)
                         if self.pool_free_total() - self.usable_mem()
                             >= threshold + self.usable_mem() =>
                     {
-                        self.update_host(i, |h| h.state = HState::Sleeping);
+                        self.update_host(i, |h| *h.state = HState::Sleeping);
                     }
                     _ => break,
                 }
@@ -730,13 +930,13 @@ impl Dc {
         let policy = self.cfg.policy.consolidation;
         let zombie_mode = policy.evacuates_to_zombie();
         if zombie_mode {
-            self.update_host(host, |h| h.state = HState::Zombie);
+            self.update_host(host, |h| *h.state = HState::Zombie);
         }
         // Resident VM ids go through a persistent buffer instead of a
         // fresh clone per evacuation attempt.
         let mut resident = std::mem::take(&mut self.evac_buf);
         resident.clear();
-        resident.extend_from_slice(&self.hosts[host].vms);
+        resident.extend_from_slice(&self.hosts.vms[host]);
         let mut moves: Vec<PendingMove> = Vec::with_capacity(resident.len());
         let mut ok = true;
         for &task in &resident {
@@ -745,9 +945,9 @@ impl Dc {
                 .migration_footprint(t.mem_booked, self.vms[task].as_ref().map(|v| v.local_mem));
             // Highest-booked fittable target, ties to the lowest index —
             // the old `max_by(...).then(b.cmp(&a))` full scan. The
-            // booked-ordered walk stops at the first fitting entry; pools
-            // are re-snapshot per VM because each reserve_move shifts
-            // them.
+            // booked-ordered walks stop at each shard's first fitting
+            // entry; pools are re-snapshot per VM because each
+            // reserve_move shifts them.
             self.snapshot_pools();
             let migrant = crate::policy::MigrantVm {
                 cpu_booked: t.cpu_booked,
@@ -755,18 +955,10 @@ impl Dc {
                 mem,
                 wss: t.mem_used,
             };
-            let mut target = None;
-            for &(_, i) in &self.active_by_booked {
-                if i == host {
-                    continue;
-                }
-                let pool = self.pool_buf[self.hosts[i].rack as usize];
-                if self.consolidation_fits(i, &migrant, pool) {
-                    target = Some(i);
-                    break;
-                }
-            }
-            match target {
+            match self.scan_merged(ScanReq::Migrate {
+                vm: migrant,
+                skip: host,
+            }) {
                 Some(tgt) => moves.push(self.reserve_move(trace, task, tgt)),
                 None => {
                     ok = false;
@@ -787,10 +979,10 @@ impl Dc {
                 // drained its peers instead. Reactivate first, then
                 // migrate any residue to the peers; whatever cannot fit
                 // sheds to the owning VMs' local backups.
-                let stuck = self.hosts[host].remote_allocated;
-                let rack = self.hosts[host].rack;
-                self.hosts[host].remote_allocated = 0.0;
-                self.update_host(host, |h| h.state = HState::Active);
+                let stuck = self.hosts.remote_allocated[host];
+                let rack = self.hosts.rack[host];
+                self.hosts.remote_allocated[host] = 0.0;
+                self.update_host(host, |h| *h.state = HState::Active);
                 if stuck > 1e-9 {
                     let moved = self.take_remote(rack, stuck);
                     self.shed_vm_remote(rack, stuck - moved);
@@ -801,12 +993,12 @@ impl Dc {
         // Commit: detach every VM from the source.
         for m in &moves {
             let t = &trace.tasks()[m.task];
-            let (cpu, used, old_local) = (t.cpu_booked, t.cpu_used, m.old_local);
+            let (cpu, used, old_local, task) = (t.cpu_booked, t.cpu_used, m.old_local, m.task);
             self.update_host(host, |h| {
-                h.cpu_booked = (h.cpu_booked - cpu).max(0.0);
-                h.cpu_used = (h.cpu_used - used).max(0.0);
-                h.mem_local = (h.mem_local - old_local).max(0.0);
-                h.vms.retain(|&v| v != m.task);
+                *h.cpu_booked = (*h.cpu_booked - cpu).max(0.0);
+                *h.cpu_used = (*h.cpu_used - used).max(0.0);
+                *h.mem_local = (*h.mem_local - old_local).max(0.0);
+                h.vms.retain(|&v| v != task);
             });
             self.report.migrations += 1;
         }
@@ -817,7 +1009,7 @@ impl Dc {
         if !zombie_mode {
             self.update_host(host, |h| {
                 debug_assert!(h.vms.is_empty());
-                h.state = HState::Sleeping;
+                *h.state = HState::Sleeping;
             });
         }
         self.charge_transition(HState::Active, HState::Sleeping);
@@ -827,7 +1019,7 @@ impl Dc {
     /// source host is *not* touched yet; commit or rollback settles it.
     fn reserve_move(&mut self, trace: &ClusterTrace, task: usize, target: usize) -> PendingMove {
         let t = &trace.tasks()[task];
-        let free_local = (self.usable_mem() - self.hosts[target].mem_local).max(0.0);
+        let free_local = (self.usable_mem() - self.hosts.mem_local[target]).max(0.0);
         let vm = self.vms[task].as_mut().expect("placed");
         let (old_local, old_remote, source) = (vm.local_mem, vm.remote, vm.host);
         let mem = t.mem_booked - vm.parked;
@@ -836,15 +1028,16 @@ impl Dc {
         vm.host = target;
         let (cpu, used) = (t.cpu_booked, t.cpu_used);
         self.update_host(target, |h| {
-            h.cpu_booked += cpu;
-            h.cpu_used += used;
-            h.mem_local += new_local;
+            *h.cpu_booked += cpu;
+            *h.cpu_used += used;
+            *h.mem_local += new_local;
             h.vms.push(task);
         });
         // Remote shares are rack-local: return the source rack's shares
         // and take the whole new requirement from the target's rack.
-        let source_rack = self.hosts[source].rack;
-        let target_rack = self.hosts[target].rack;
+        let source_rack = self.hosts.rack[source];
+        let target_rack = self.hosts.rack[target];
+        self.unindex_remote(task, old_remote, source_rack);
         if old_remote > 1e-9 {
             self.give_back_remote(source_rack, old_remote);
         }
@@ -855,6 +1048,7 @@ impl Dc {
             0.0
         };
         self.vms[task].as_mut().expect("placed").remote = taken;
+        self.index_remote(task, taken, target_rack);
         PendingMove {
             task,
             source,
@@ -869,21 +1063,22 @@ impl Dc {
     /// Undoes a reservation.
     fn rollback_move(&mut self, trace: &ClusterTrace, m: PendingMove) {
         let t = &trace.tasks()[m.task];
-        let (cpu, used, new_local) = (t.cpu_booked, t.cpu_used, m.new_local);
+        let (cpu, used, new_local, task) = (t.cpu_booked, t.cpu_used, m.new_local, m.task);
         self.update_host(m.target, |h| {
-            h.cpu_booked = (h.cpu_booked - cpu).max(0.0);
-            h.cpu_used = (h.cpu_used - used).max(0.0);
-            h.mem_local = (h.mem_local - new_local).max(0.0);
-            h.vms.retain(|&v| v != m.task);
+            *h.cpu_booked = (*h.cpu_booked - cpu).max(0.0);
+            *h.cpu_used = (*h.cpu_used - used).max(0.0);
+            *h.mem_local = (*h.mem_local - new_local).max(0.0);
+            h.vms.retain(|&v| v != task);
         });
+        let target_rack = self.hosts.rack[m.target];
+        self.unindex_remote(m.task, m.taken, target_rack);
         if m.taken > 1e-9 {
-            let rack = self.hosts[m.target].rack;
-            self.give_back_remote(rack, m.taken);
+            self.give_back_remote(target_rack, m.taken);
         }
         // Best effort: re-take the old shares in the source rack (the
         // pool may have shifted; any shortfall surfaces as pool pressure
         // on the next placement check, never as lost accounting).
-        let source_rack = self.hosts[m.source].rack;
+        let source_rack = self.hosts.rack[m.source];
         let retaken = if m.old_remote > 1e-9 {
             self.take_remote(source_rack, m.old_remote)
         } else {
@@ -893,6 +1088,7 @@ impl Dc {
         vm.host = m.source;
         vm.local_mem = m.old_local;
         vm.remote = retaken;
+        self.index_remote(m.task, retaken, source_rack);
     }
 
     /// The migration feasibility check, judged by the policy. Vanilla
@@ -902,7 +1098,7 @@ impl Dc {
     /// detection guards the overcommit), which is where most of its
     /// extra consolidation comes from.
     fn consolidation_fits(&self, target: usize, vm: &crate::policy::MigrantVm, pool: f64) -> bool {
-        if self.hosts[target].state != HState::Active {
+        if self.hosts.state[target] != HState::Active {
             return false;
         }
         self.cfg.policy.consolidation.accepts_migration(
@@ -916,15 +1112,15 @@ impl Dc {
     /// Oasis: park the cold memory of idle VMs on underused hosts.
     fn oasis_park(&mut self, trace: &ClusterTrace) {
         for host in 0..self.hosts.len() {
-            if self.hosts[host].state != HState::Active
-                || self.hosts[host].cpu_used >= self.oasis.underload_threshold
+            if self.hosts.state[host] != HState::Active
+                || self.hosts.cpu_used[host] >= self.oasis.underload_threshold
             {
                 continue;
             }
             // Index-walk the VM list in place: parking never edits
             // `vms`, so no defensive clone is needed.
-            for vi in 0..self.hosts[host].vms.len() {
-                let task = self.hosts[host].vms[vi];
+            for vi in 0..self.hosts.vms[host].len() {
+                let task = self.hosts.vms[host][vi];
                 let t = &trace.tasks()[task];
                 if t.cpu_used >= self.oasis.idle_vm_threshold {
                     continue;
@@ -944,7 +1140,7 @@ impl Dc {
                 self.parked_mem += park;
                 self.report.peak_parked = self.report.peak_parked.max(self.parked_mem);
                 self.update_host(host, |h| {
-                    h.mem_local = (h.mem_local - park).max(0.0);
+                    *h.mem_local = (*h.mem_local - park).max(0.0);
                 });
             }
         }

@@ -31,12 +31,12 @@ impl Dc {
             "host_power({host}) out of range ({} hosts)",
             self.hosts.len()
         );
-        let Some(h) = self.hosts.get(host) else {
+        let Some(&state) = self.hosts.state.get(host) else {
             return Watts::ZERO;
         };
-        let draw = match h.state {
+        let draw = match state {
             HState::Active => HostDraw::Active {
-                utilization: h.cpu_used,
+                utilization: self.hosts.cpu_used[host],
             },
             HState::Zombie => HostDraw::Zombie,
             HState::Sleeping => HostDraw::Suspended,

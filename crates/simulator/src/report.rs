@@ -28,6 +28,13 @@ pub struct SimReport {
     pub state_seconds: [f64; 3],
     /// Peak memory parked on Oasis memory servers (server-equivalents).
     pub peak_parked: f64,
+    /// Trace events replayed (arrivals + departures).
+    pub events: u64,
+    /// Peak number of events resident in the replay buffer at once,
+    /// counting the in-flight consolidation tick. Bounded by the
+    /// streaming chunk size, not the trace length — the guard that the
+    /// 29-day event list never fully materializes.
+    pub peak_queue: u64,
     /// Periodic fleet snapshots (empty unless
     /// [`crate::SimConfig::sample_interval`] is set).
     pub timeline: Vec<TimelineSample>,

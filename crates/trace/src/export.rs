@@ -165,7 +165,7 @@ mod tests {
             assert_eq!(a.mem_used, b.mem_used);
         }
         // And it drives the same events.
-        assert_eq!(trace.events().len(), back.events().len());
+        assert_eq!(trace.events_len(), back.events_len());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! [`ClusterTrace::generate`] produces such a trace deterministically from
 //! a seed; [`ClusterTrace::modified`] applies the paper's transform.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use zombieland_simcore::{DetRng, SimDuration, SimTime};
 
@@ -113,17 +113,82 @@ pub enum EventKind {
 /// `(time, kind, index into tasks())`.
 pub type TraceEvent = (SimTime, EventKind, usize);
 
+/// The chronological replay order of a trace, held as two sorted task
+/// permutations instead of a materialized event list.
+///
+/// A 29-day full-scale trace has ~50 M events; as `Vec<TraceEvent>`
+/// (24 bytes each) the old cache cost well over a gigabyte per trace.
+/// Storing only `u32` task indices — arrivals sorted by `(start, task)`,
+/// departures by `(end, task)` — is 8 bytes per task total, and the
+/// chronological merge (departures first at equal instants) is
+/// reconstructed on the fly by [`EventStream`].
+#[derive(Debug)]
+pub struct EventOrder {
+    /// Task indices sorted by `(start, task)`.
+    by_start: Vec<u32>,
+    /// Task indices sorted by `(end, task)`.
+    by_end: Vec<u32>,
+}
+
 /// A complete synthetic trace.
 #[derive(Clone, Debug)]
 pub struct ClusterTrace {
     config: TraceConfig,
     tasks: Vec<TaskSpec>,
-    /// Chronologically sorted events, built lazily on the first
-    /// [`Self::events`] call and shared by every simulation over this
-    /// trace afterwards. `OnceLock` keeps `&ClusterTrace` shareable
-    /// across runner workers while the cache fills exactly once.
-    events_cache: OnceLock<Vec<TraceEvent>>,
+    /// Replay order, built lazily on the first [`Self::event_stream`]
+    /// call and shared by every simulation over this trace afterwards —
+    /// including clones and [`Self::modified`] derivatives, which keep
+    /// the same start/end times and so the same order: the `Arc` makes a
+    /// clone share the built cache instead of recomputing the sort.
+    order_cache: OnceLock<Arc<EventOrder>>,
 }
+
+/// Streaming iterator over a trace's events in replay order: ascending
+/// time, departures before arrivals at equal instants (capacity frees
+/// first), ties within a kind by task index. Equivalent to iterating the
+/// old fully-materialized event list sorted by
+/// `(time, kind != Depart, task)`, without ever building it.
+pub struct EventStream<'a> {
+    tasks: &'a [TaskSpec],
+    order: Arc<EventOrder>,
+    /// Cursor into `order.by_start`.
+    arrive: usize,
+    /// Cursor into `order.by_end`.
+    depart: usize,
+}
+
+impl Iterator for EventStream<'_> {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        let a = self.order.by_start.get(self.arrive).map(|&i| i as usize);
+        let d = self.order.by_end.get(self.depart).map(|&i| i as usize);
+        match (a, d) {
+            (None, None) => None,
+            // Departures win ties so capacity frees before same-instant
+            // placements — the `kind != Depart` term of the old sort key.
+            (Some(ai), Some(di)) if self.tasks[ai].start < self.tasks[di].end => {
+                self.arrive += 1;
+                Some((self.tasks[ai].start, EventKind::Arrive, ai))
+            }
+            (Some(_), Some(di)) | (None, Some(di)) => {
+                self.depart += 1;
+                Some((self.tasks[di].end, EventKind::Depart, di))
+            }
+            (Some(ai), None) => {
+                self.arrive += 1;
+                Some((self.tasks[ai].start, EventKind::Arrive, ai))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.tasks.len() * 2 - self.arrive - self.depart;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for EventStream<'_> {}
 
 /// Google-style quantized CPU request sizes (fractions of a server) and
 /// their sampling weights (small requests dominate).
@@ -186,7 +251,7 @@ impl ClusterTrace {
         ClusterTrace {
             config,
             tasks,
-            events_cache: OnceLock::new(),
+            order_cache: OnceLock::new(),
         }
     }
 
@@ -230,10 +295,15 @@ impl ClusterTrace {
                 ..*t
             })
             .collect();
+        // The transform keeps every start/end time, so the replay order
+        // is the parent's: build it (if not already built) and share the
+        // `Arc` instead of re-sorting per derived trace.
+        let order_cache = OnceLock::new();
+        let _ = order_cache.set(self.event_order());
         ClusterTrace {
             config,
             tasks,
-            events_cache: OnceLock::new(),
+            order_cache,
         }
     }
 
@@ -242,7 +312,7 @@ impl ClusterTrace {
         ClusterTrace {
             config,
             tasks,
-            events_cache: OnceLock::new(),
+            order_cache: OnceLock::new(),
         }
     }
 
@@ -256,23 +326,42 @@ impl ClusterTrace {
         &self.tasks
     }
 
-    /// Arrival/departure events sorted chronologically (departures before
-    /// arrivals at equal instants, so capacity frees first).
+    /// The trace's replay order (see [`EventOrder`]).
     ///
-    /// Built once per trace and cached: a multi-day trace has tens of
-    /// thousands of events, and grid experiments simulate the same trace
-    /// for every policy×profile cell — the allocation and sort must not
-    /// be repaid per cell (or per worker thread).
-    pub fn events(&self) -> &[TraceEvent] {
-        self.events_cache.get_or_init(|| {
-            let mut ev: Vec<TraceEvent> = Vec::with_capacity(self.tasks.len() * 2);
-            for (i, t) in self.tasks.iter().enumerate() {
-                ev.push((t.start, EventKind::Arrive, i));
-                ev.push((t.end, EventKind::Depart, i));
-            }
-            ev.sort_by_key(|&(t, kind, i)| (t, kind != EventKind::Depart, i));
-            ev
-        })
+    /// Built once per trace family and cached: grid experiments simulate
+    /// the same trace for every policy×profile cell, and clones /
+    /// [`Self::modified`] derivatives share the same `Arc` — the two
+    /// sorts are never repaid per cell, per worker thread, or per
+    /// derived trace.
+    pub fn event_order(&self) -> Arc<EventOrder> {
+        Arc::clone(self.order_cache.get_or_init(|| {
+            assert!(
+                u32::try_from(self.tasks.len()).is_ok(),
+                "u32 task indices cover any realistic trace"
+            );
+            let mut by_start: Vec<u32> = (0..self.tasks.len() as u32).collect();
+            let mut by_end = by_start.clone();
+            by_start.sort_unstable_by_key(|&i| (self.tasks[i as usize].start, i));
+            by_end.sort_unstable_by_key(|&i| (self.tasks[i as usize].end, i));
+            Arc::new(EventOrder { by_start, by_end })
+        }))
+    }
+
+    /// Total number of replay events (one arrival and one departure per
+    /// task).
+    pub fn events_len(&self) -> usize {
+        self.tasks.len() * 2
+    }
+
+    /// Streams the trace's events in replay order without materializing
+    /// them — see [`EventStream`] for the exact ordering contract.
+    pub fn event_stream(&self) -> EventStream<'_> {
+        EventStream {
+            tasks: &self.tasks,
+            order: self.event_order(),
+            arrive: 0,
+            depart: 0,
+        }
     }
 
     /// Average concurrent booked CPU, in servers.
@@ -373,25 +462,48 @@ mod tests {
     }
 
     #[test]
-    fn events_are_cached_per_trace() {
+    fn event_order_is_shared_across_clones_and_modified() {
         let t = ClusterTrace::generate(TraceConfig::small(9));
-        let first = t.events();
-        let second = t.events();
+        let first = t.event_order();
         assert!(
-            std::ptr::eq(first.as_ptr(), second.as_ptr()),
+            Arc::ptr_eq(&first, &t.event_order()),
             "repeated calls share one cached build"
         );
-        // Derived traces get caches of their own with identical content
-        // rules (same tasks → same events).
+        // Clones and the modified derivative keep the same start/end
+        // times, so they share the parent's cache instead of re-sorting.
         let clone = t.clone();
-        assert_eq!(clone.events(), first);
-        assert!(!std::ptr::eq(clone.events().as_ptr(), first.as_ptr()));
+        assert!(Arc::ptr_eq(&first, &clone.event_order()));
+        let modified = t.modified();
+        assert!(Arc::ptr_eq(&first, &modified.event_order()));
+        // A clone taken before the cache was built rebuilds its own
+        // order with identical content (same tasks → same permutations).
+        let fresh = ClusterTrace::generate(TraceConfig::small(9));
+        let early_clone = fresh.clone();
+        let built = fresh.event_order();
+        assert!(!Arc::ptr_eq(&built, &early_clone.event_order()));
+        assert_eq!(built.by_start, early_clone.event_order().by_start);
+        assert_eq!(built.by_end, early_clone.event_order().by_end);
+    }
+
+    #[test]
+    fn event_stream_matches_the_materialized_sort() {
+        let t = ClusterTrace::generate(TraceConfig::small(9));
+        // The pre-streaming reference: materialize and sort every event.
+        let mut ev: Vec<TraceEvent> = Vec::with_capacity(t.tasks().len() * 2);
+        for (i, task) in t.tasks().iter().enumerate() {
+            ev.push((task.start, EventKind::Arrive, i));
+            ev.push((task.end, EventKind::Depart, i));
+        }
+        ev.sort_by_key(|&(at, kind, i)| (at, kind != EventKind::Depart, i));
+        let streamed: Vec<TraceEvent> = t.event_stream().collect();
+        assert_eq!(streamed, ev);
+        assert_eq!(t.event_stream().len(), t.events_len());
     }
 
     #[test]
     fn events_sorted_and_balanced() {
         let t = ClusterTrace::generate(TraceConfig::small(9));
-        let ev = t.events();
+        let ev: Vec<TraceEvent> = t.event_stream().collect();
         assert_eq!(ev.len(), t.tasks().len() * 2);
         assert!(ev.windows(2).all(|w| w[0].0 <= w[1].0));
         // Every arrival has a departure.

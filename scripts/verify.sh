@@ -79,6 +79,42 @@ if ./target/release/zombieland-cli --scenario /nonexistent.toml \
     exit 1
 fi
 
+echo "==> sharding smoke (--shards 2 report bytes match the serial loop)"
+ZL_S1=$(mktemp /tmp/zl-shards1.XXXXXX.txt)
+ZL_S2=$(mktemp /tmp/zl-shards2.XXXXXX.txt)
+trap 'rm -f "$ZL_TRACE" "$ZL_BENCH" "$ZL_J1" "$ZL_J2" "$ZL_SCEN" "$ZL_ENV" \
+     "$ZL_S1" "$ZL_S2"' EXIT
+ZL_RACKS=6 ./target/release/zombieland-cli --shards 1 simulate \
+    --servers 120 --days 1 --policy zombiestack --jobs 1 > "$ZL_S1"
+ZL_RACKS=6 ./target/release/zombieland-cli --shards 2 simulate \
+    --servers 120 --days 1 --policy zombiestack --jobs 2 > "$ZL_S2"
+if ! cmp "$ZL_S1" "$ZL_S2"; then
+    echo "verify: FAIL — sharded event loop diverged from the serial loop" >&2
+    exit 1
+fi
+if ./target/release/zombieland-cli --shards 0 simulate --servers 24 --days 1 \
+    > /dev/null 2>&1; then
+    echo "verify: FAIL — --shards 0 must be an error" >&2
+    exit 1
+fi
+
+echo "==> streaming-memory guard (paper-preset bench bounds the resident event queue)"
+ZL_PAPER=$(mktemp /tmp/zl-paper.XXXXXX.json)
+trap 'rm -f "$ZL_TRACE" "$ZL_BENCH" "$ZL_J1" "$ZL_J2" "$ZL_SCEN" "$ZL_ENV" \
+     "$ZL_S1" "$ZL_S2" "$ZL_PAPER"' EXIT
+# ZL_VALIDATE=1 arms the in-loop assertion that no more than one chunk of
+# the trace is ever resident; the JSON check then pins the recorded peak
+# to chunk size + 1 (the in-flight consolidation tick).
+ZL_VALIDATE=1 ./target/release/zombieland-cli bench --paper --servers 120 \
+    --days 1 --jobs 2 --out "$ZL_PAPER" > /dev/null
+grep -q '"name": "paper"' "$ZL_PAPER"
+grep -q '"events_per_sec"' "$ZL_PAPER"
+if ! grep -o '"peak_event_queue_len": [0-9]*' "$ZL_PAPER" \
+    | awk '{ n++; if ($2 > 65537) bad = 1 } END { exit (bad || n < 2) }'; then
+    echo "verify: FAIL — event queue peak exceeds one streaming chunk" >&2
+    exit 1
+fi
+
 echo "==> policy registry smoke (--list-policies names every registered policy)"
 ZL_POL=$(./target/release/zombieland-cli --list-policies)
 for key in alwayson neat oasis zombiestack noconsolidate; do
@@ -98,7 +134,8 @@ ZL_DIR=$(mktemp -d /tmp/zl-daemon.XXXXXX)
 ZOMBIED_PID=""
 trap '[ -n "${ZOMBIED_PID:-}" ] && kill "$ZOMBIED_PID" 2>/dev/null || true; \
      rm -rf "$ZL_DIR"; \
-     rm -f "$ZL_TRACE" "$ZL_BENCH" "$ZL_J1" "$ZL_J2" "$ZL_SCEN" "$ZL_ENV"' EXIT
+     rm -f "$ZL_TRACE" "$ZL_BENCH" "$ZL_J1" "$ZL_J2" "$ZL_SCEN" "$ZL_ENV" \
+     "$ZL_S1" "$ZL_S2" "$ZL_PAPER"' EXIT
 ZL_EP="unix:$ZL_DIR/zombied.sock"
 ./target/release/zombied --listen "$ZL_EP" --servers 8 --seed 11 \
     > "$ZL_DIR/zombied.log" 2>&1 &
@@ -182,7 +219,8 @@ echo "==> profile smoke (--profile emits a phase table and a PROFILE json coveri
 ZL_PROF=$(mktemp -d /tmp/zl-profile.XXXXXX)
 trap '[ -n "${ZOMBIED_PID:-}" ] && kill "$ZOMBIED_PID" 2>/dev/null || true; \
      rm -rf "$ZL_DIR" "$ZL_PROF"; \
-     rm -f "$ZL_TRACE" "$ZL_BENCH" "$ZL_J1" "$ZL_J2" "$ZL_SCEN" "$ZL_ENV"' EXIT
+     rm -f "$ZL_TRACE" "$ZL_BENCH" "$ZL_J1" "$ZL_J2" "$ZL_SCEN" "$ZL_ENV" \
+     "$ZL_S1" "$ZL_S2" "$ZL_PAPER"' EXIT
 ZL_ROOT=$PWD
 (cd "$ZL_PROF" && "$ZL_ROOT/target/release/zombieland-cli" \
     experiment fig8 --scale 0.02 --profile > run.txt)
