@@ -73,6 +73,61 @@ fn bench_fault_path(c: &mut Criterion) {
     });
 }
 
+/// The batched fault path against its per-page reference, on the same
+/// workload and geometry: the spread between these two is exactly what
+/// run coalescing, chunked access pulls and deferred obs flushes buy
+/// (`RunStats` are pinned byte-identical by `batching_equivalence`).
+fn bench_batched_fault_path(c: &mut Criterion) {
+    let run = |batched: bool| {
+        let mut rack = Rack::new(RackConfig::default());
+        let ids = rack.server_ids();
+        rack.goto_zombie(ids[1]).unwrap();
+        let user = ids[0];
+        rack.alloc_ext(user, Bytes::mib(64)).unwrap();
+        let mut w = DataCaching::new(Pages::new(16_384), 7);
+        let cfg = EngineConfig::ram_ext(Bytes::mib(80), Bytes::mib(32));
+        let backing = Backing::Rack {
+            rack: &mut rack,
+            user,
+            pool: PoolKind::Ext,
+        };
+        if batched {
+            engine::run_ops(&mut w, &cfg, backing, 20_000).unwrap()
+        } else {
+            engine::run_ops_reference(&mut w, &cfg, backing, 20_000).unwrap()
+        }
+    };
+    c.bench_function("fault_path_batched_20k_ops", |b| {
+        b.iter(|| black_box(run(true)))
+    });
+    c.bench_function("fault_path_reference_20k_ops", |b| {
+        b.iter(|| black_box(run(false)))
+    });
+}
+
+/// One consolidation round in steady state, isolated from arrivals: the
+/// incremental path re-keys only dirty hosts and early-exits the
+/// used-ordered walk, so a mostly-idle round should cost O(changed),
+/// not O(active). A full simulate() call over a consolidation-heavy
+/// fleet keeps the measurement honest about the surrounding event loop.
+fn bench_incremental_consolidation(c: &mut Criterion) {
+    let trace = experiments::fig10_trace(120, 1, 11);
+    c.bench_function("consolidation_neat_120_servers_1d", |b| {
+        let cfg = SimConfig {
+            racks: 6,
+            ..SimConfig::new(PolicyKind::Neat, MachineProfile::hp())
+        };
+        b.iter(|| black_box(simulate(&trace, &cfg)))
+    });
+    c.bench_function("consolidation_zombiestack_120_servers_1d", |b| {
+        let cfg = SimConfig {
+            racks: 6,
+            ..SimConfig::new(PolicyKind::ZombieStack, MachineProfile::hp())
+        };
+        b.iter(|| black_box(simulate(&trace, &cfg)))
+    });
+}
+
 /// The placement path: a small ZombieStack fleet simulation, where the
 /// per-event cost is `pick_host`/`wake_one`/`consolidate` over the
 /// ordered host indexes rather than full-fleet scans.
@@ -92,6 +147,8 @@ criterion_group!(
     benches,
     bench_event_queue,
     bench_fault_path,
+    bench_batched_fault_path,
+    bench_incremental_consolidation,
     bench_placement_path
 );
 criterion_main!(benches);

@@ -43,5 +43,5 @@ pub mod scenario;
 pub mod server;
 
 pub use manager::PageHandle;
-pub use rack::{Rack, RackConfig, RackError};
+pub use rack::{DemandFetchBatch, Rack, RackConfig, RackError};
 pub use server::ServerId;

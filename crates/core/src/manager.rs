@@ -13,7 +13,7 @@ use core::fmt;
 use std::collections::{BTreeMap, BTreeSet};
 
 use zombieland_mem::buffer::{BufferId, RemoteSlot, SlotMap};
-use zombieland_simcore::{Bytes, Pages};
+use zombieland_simcore::{Bytes, FastMap, FastSet, Pages};
 
 use crate::db::BufferRecord;
 use crate::server::ServerId;
@@ -97,14 +97,20 @@ struct Granted {
     record: BufferRecord,
     pool: PoolKind,
     slots: SlotMap,
-    pages: BTreeSet<PageHandle>,
+    /// Live handles in this buffer. Unordered — every iteration site
+    /// sorts explicitly so revocation and loss outcomes stay
+    /// deterministic.
+    pages: FastSet<PageHandle>,
 }
 
 /// The per-server agent state.
 pub struct RemoteMemManager {
     server: ServerId,
     granted: BTreeMap<BufferId, Granted>,
-    pages: BTreeMap<PageHandle, PageLoc>,
+    /// Handle → location. On the page-fault path this is hit several
+    /// times per fault (locate, victim lookup, rewrite), so it uses the
+    /// deterministic fast-hash map; it is never iterated.
+    pages: FastMap<PageHandle, PageLoc>,
     next_handle: u64,
     backup_pages_written: u64,
     /// The asynchronous local-storage mirror's *contents*, kept only for
@@ -119,7 +125,7 @@ impl RemoteMemManager {
         RemoteMemManager {
             server,
             granted: BTreeMap::new(),
-            pages: BTreeMap::new(),
+            pages: FastMap::default(),
             next_handle: 0,
             backup_pages_written: 0,
             backup_store: BTreeMap::new(),
@@ -139,7 +145,7 @@ impl RemoteMemManager {
                 record,
                 pool,
                 slots: SlotMap::new(record.id),
-                pages: BTreeSet::new(),
+                pages: FastSet::default(),
             },
         );
     }
@@ -256,10 +262,12 @@ impl RemoteMemManager {
             .granted
             .remove(&buffer)
             .ok_or(ManagerError::UnknownBuffer(buffer))?;
-        let mut lost = Vec::with_capacity(g.pages.len());
-        for h in g.pages {
-            self.pages.insert(h, PageLoc::LocalBackup);
-            lost.push(h);
+        let mut lost: Vec<PageHandle> = g.pages.into_iter().collect();
+        // The set is unordered; callers observe this list, so pin the
+        // order the old ordered set produced.
+        lost.sort_unstable();
+        for h in &lost {
+            self.pages.insert(*h, PageLoc::LocalBackup);
         }
         Ok(lost)
     }

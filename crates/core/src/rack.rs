@@ -56,6 +56,32 @@ impl Default for RackConfig {
     }
 }
 
+/// Demand-fault reads staged by [`Rack::stage_demand_fetch`], awaiting
+/// one posted batch ([`Rack::issue_demand_batch`]). Issuing drains the
+/// reads in place, so a hot fault loop keeps a single batch object alive
+/// across runs instead of allocating per coalesced run.
+#[derive(Debug, Default)]
+pub struct DemandFetchBatch {
+    reads: Vec<(MrKey, Bytes, Bytes)>,
+}
+
+impl DemandFetchBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of reads currently staged.
+    pub fn len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Whether nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+}
+
 /// Errors from rack operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RackError {
@@ -895,6 +921,64 @@ impl Rack {
         }
         let batch = self.fabric.read_batch_timed(user_node, &reads)?;
         Ok(batch + self.config.backup_read_4k * backup_reads)
+    }
+
+    /// Stages one demand-fault fetch into `batch`, returning the page's
+    /// synchronous fetch cost — exactly what `fetch_page(user, handle,
+    /// false)` would charge — while deferring the fabric read itself so a
+    /// run of adjacent faults rides a single posted batch
+    /// ([`Rack::issue_demand_batch`]).
+    ///
+    /// The fallback semantics match `fetch_page` byte for byte: a page
+    /// whose serving host died is downgraded to its local backup *here*
+    /// (nothing is staged for it) and pays the backup device cost, and a
+    /// backup-resident page pays the device serially. Only reachable
+    /// remote pages enter the posted batch, so issuing it cannot fail on
+    /// availability.
+    pub fn stage_demand_fetch(
+        &mut self,
+        user: ServerId,
+        handle: PageHandle,
+        batch: &mut DemandFetchBatch,
+    ) -> Result<SimDuration, RackError> {
+        let mgr = &self.managers[self.server_index(user)?];
+        match mgr.locate(handle)? {
+            PageLoc::Remote(slot) => {
+                let mr = mgr.buffer_record(slot.buffer)?.mr;
+                if self.fabric.mr_reachable(mr)? {
+                    batch.reads.push((mr, slot.offset(), Bytes::new(PAGE_SIZE)));
+                    Ok(self.fabric.profile().read_time(Bytes::new(PAGE_SIZE)))
+                } else {
+                    // The serving host died: fall back to the mirror,
+                    // exactly as the per-page path does on Unreachable.
+                    self.managers[user.get() as usize].downgrade_to_backup(handle)?;
+                    Ok(self.config.backup_read_4k)
+                }
+            }
+            PageLoc::LocalBackup => Ok(self.config.backup_read_4k),
+        }
+    }
+
+    /// Posts every staged read of `batch` back-to-back on one queue pair
+    /// and drains the batch for reuse. Returns the transport-level batch
+    /// completion time (one base latency plus the serialized payload).
+    ///
+    /// Callers that model synchronous per-fault latency have already
+    /// charged each page's cost at stage time; for them the posted batch
+    /// is the wire mechanism, not an accounting event, and this return
+    /// value is informational.
+    pub fn issue_demand_batch(
+        &mut self,
+        user: ServerId,
+        batch: &mut DemandFetchBatch,
+    ) -> Result<SimDuration, RackError> {
+        if batch.reads.is_empty() {
+            return Ok(SimDuration::ZERO);
+        }
+        let user_node = self.entry(user)?.node;
+        let t = self.fabric.read_batch_timed(user_node, &batch.reads)?;
+        batch.reads.clear();
+        Ok(t)
     }
 
     /// Drops a remote page without reading it back.

@@ -25,11 +25,11 @@
 //! according to the RAM size they see at start time" becomes measurable.
 
 use zombieland_core::manager::{PageHandle, PoolKind};
-use zombieland_core::{Rack, RackError, ServerId};
+use zombieland_core::{DemandFetchBatch, Rack, RackError, ServerId};
 use zombieland_mem::buffer::{BufferId, RemoteSlot};
-use zombieland_mem::{FrameAllocator, Gfn, GfnSet, GuestPageTable, PageLocation};
+use zombieland_mem::{AccessOutcome, FrameAllocator, Gfn, GfnSet, GuestPageTable, PageLocation};
 use zombieland_simcore::{Bytes, Cycles, SimDuration};
-use zombieland_workloads::Workload;
+use zombieland_workloads::{Access, Workload};
 
 use crate::policy::{FaultList, Policy};
 use crate::swapdev::SwapBackend;
@@ -49,6 +49,12 @@ pub const GUEST_EFFICIENCY: f64 = 0.80;
 /// (device mode has no real remote slots; the token is never
 /// dereferenced).
 const DEVICE_BUFFER: BufferId = BufferId::new(u64::MAX);
+/// Accesses pulled from the workload per [`Workload::fill`] batch.
+const ACCESS_BATCH: usize = 4096;
+/// Longest run of adjacent remote faults coalesced into one posted
+/// fabric batch (bounds the staged-read buffer; runs longer than this
+/// simply split into consecutive batches).
+const DEMAND_RUN_CAP: usize = 64;
 
 /// Remote-memory mode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -237,6 +243,20 @@ struct Engine<'a> {
     clear_interval: u64,
     wss: WssEstimator,
     wss_round_open: bool,
+    /// Staged demand-fault reads awaiting one posted fabric batch
+    /// (drained by every coalesced run; reused across runs).
+    demand_batch: DemandFetchBatch,
+    /// Run-local (fault-latency ns → sample count) pairs, flushed to the
+    /// `hv.fault_ns` obs histogram once per access batch instead of once
+    /// per fault. Fault latencies take a handful of distinct values per
+    /// run (the fabric page cost is a pure function of the page size), so
+    /// the list stays tiny.
+    fault_ns_pending: Vec<(u64, u64)>,
+    /// Whether the obs metrics sink was on when the run started. The
+    /// level is thread-local and nothing inside a run changes it, so one
+    /// load up front replaces a per-fault check — `--obs-level off` costs
+    /// nothing on the fault path.
+    obs_metrics: bool,
 }
 
 /// Recycled per-run paging structures. One engine run at experiment
@@ -254,6 +274,7 @@ struct Scratch {
     handles: Vec<Option<PageHandle>>,
     clean_copies: Option<GfnSet>,
     on_device: Option<GfnSet>,
+    accesses: Vec<Access>,
 }
 
 thread_local! {
@@ -270,12 +291,39 @@ pub fn run(
     run_ops(workload, cfg, backing, ops)
 }
 
-/// Runs exactly `ops` accesses.
+/// Runs exactly `ops` accesses through the batched fault path: accesses
+/// are pulled in [`Workload::fill`] batches, per-op base cost is charged
+/// per chunk, adjacent remote faults ride one posted fabric batch, and
+/// obs histogram samples flush once per batch. Byte-identical results to
+/// [`run_ops_reference`] — pinned by the `batching_equivalence` suite.
 pub fn run_ops(
     workload: &mut dyn Workload,
     cfg: &EngineConfig,
     backing: Backing<'_>,
     ops: u64,
+) -> Result<RunStats, EngineError> {
+    run_ops_impl(workload, cfg, backing, ops, true)
+}
+
+/// Runs exactly `ops` accesses one page at a time — the per-page
+/// reference semantics the batched path is pinned against. Kept callable
+/// for equivalence tests and microbenches; [`run_ops`] is the production
+/// path.
+pub fn run_ops_reference(
+    workload: &mut dyn Workload,
+    cfg: &EngineConfig,
+    backing: Backing<'_>,
+    ops: u64,
+) -> Result<RunStats, EngineError> {
+    run_ops_impl(workload, cfg, backing, ops, false)
+}
+
+fn run_ops_impl(
+    workload: &mut dyn Workload,
+    cfg: &EngineConfig,
+    backing: Backing<'_>,
+    ops: u64,
+    batched: bool,
 ) -> Result<RunStats, EngineError> {
     let effective_local = match cfg.mode {
         Mode::RamExt => cfg.local,
@@ -327,6 +375,7 @@ pub fn run_ops(
         }
         None => GfnSet::new(pages),
     };
+    let mut access_buf = scratch.accesses;
     let mut engine = Engine {
         cfg: *cfg,
         backing,
@@ -343,13 +392,36 @@ pub fn run_ops(
         // Amortized O(1) per access: one global clear per local-size
         // worth of accesses (the paper's "periodically cleared").
         clear_interval: local_pages.count().max(1024),
+        demand_batch: DemandFetchBatch::new(),
+        fault_ns_pending: Vec::new(),
+        obs_metrics: zombieland_obs::sink::metrics_enabled(),
     };
     drop(setup);
     {
         let _span = zombieland_obs::profile::span(zombieland_obs::profile::Phase::FaultBatch);
-        for _ in 0..ops {
-            let access = workload.next_access();
-            engine.step(access.page, access.write, workload.base_op_cost())?;
+        if batched {
+            // base_op_cost is constant per workload instance (trait
+            // contract), so one sample covers the whole run.
+            let base = workload.base_op_cost();
+            access_buf.resize(
+                ACCESS_BATCH,
+                Access {
+                    page: 0,
+                    write: false,
+                },
+            );
+            let mut remaining = ops;
+            while remaining > 0 {
+                let n = remaining.min(ACCESS_BATCH as u64) as usize;
+                workload.fill(&mut access_buf[..n]);
+                engine.run_batch(&access_buf[..n], base)?;
+                remaining -= n as u64;
+            }
+        } else {
+            for _ in 0..ops {
+                let access = workload.next_access();
+                engine.step(access.page, access.write, workload.base_op_cost())?;
+            }
         }
     }
     engine.stats.ops = ops;
@@ -407,6 +479,7 @@ pub fn run_ops(
             handles,
             clean_copies: Some(clean_copies),
             on_device: Some(on_device),
+            accesses: access_buf,
         };
     });
     Ok(stats)
@@ -474,26 +547,242 @@ impl Engine<'_> {
         }
         self.accesses_since_clear += 1;
         if self.accesses_since_clear >= self.clear_interval {
-            self.accesses_since_clear = 0;
-            // The WSS sampler closes its round before anything clears
-            // accessed bits, then re-arms for the next interval.
-            if self.wss_round_open {
-                self.wss.end_round(&self.gpt);
-                let est = self.wss.estimate().count();
-                zombieland_obs::sink::gauge_set("hv.wss_pages", est);
-                zombieland_obs::trace_event!(
-                    zombieland_simcore::SimTime::ZERO + self.stats.exec_time,
-                    "hypervisor", "wss_round", "estimate_pages" => est);
+            self.clear_tick();
+        }
+        Ok(())
+    }
+
+    /// The periodic accessed-bit clear + WSS round boundary, fired every
+    /// `clear_interval` accesses.
+    fn clear_tick(&mut self) {
+        self.accesses_since_clear = 0;
+        // The WSS sampler closes its round before anything clears
+        // accessed bits, then re-arms for the next interval.
+        if self.wss_round_open {
+            self.wss.end_round(&self.gpt);
+            let est = self.wss.estimate().count();
+            zombieland_obs::sink::gauge_set("hv.wss_pages", est);
+            zombieland_obs::trace_event!(
+                zombieland_simcore::SimTime::ZERO + self.stats.exec_time,
+                "hypervisor", "wss_round", "estimate_pages" => est);
+        }
+        self.wss.begin_round(&mut self.gpt);
+        self.wss_round_open = true;
+        if matches!(self.cfg.policy, Policy::Clock | Policy::Mixed { .. }) {
+            self.gpt.clear_all_accessed();
+            // Background kthread work, charged to wall time.
+            self.stats.exec_time += SimDuration::from_nanos(2) * self.gpt.size().count();
+        }
+    }
+
+    /// Consumes one batch of accesses with chunked accounting: the per-op
+    /// base cost is pre-added per chunk, chunks never straddle the
+    /// periodic accessed-bit clear (so every mid-run observer fires at
+    /// exactly the per-access state), and accumulated `hv.fault_ns`
+    /// samples flush once at batch end. Byte-identical to issuing every
+    /// access through [`Engine::step`]: integer-nanosecond adds commute,
+    /// and nothing between an access and its chunk boundary reads
+    /// `exec_time`.
+    fn run_batch(&mut self, accesses: &[Access], base: SimDuration) -> Result<(), EngineError> {
+        let mut i = 0;
+        while i < accesses.len() {
+            let until_clear = (self.clear_interval - self.accesses_since_clear) as usize;
+            let n = (accesses.len() - i).min(until_clear);
+            self.stats.exec_time += base * n as u64;
+            self.run_chunk(&accesses[i..i + n])?;
+            self.accesses_since_clear += n as u64;
+            if self.accesses_since_clear >= self.clear_interval {
+                self.clear_tick();
             }
-            self.wss.begin_round(&mut self.gpt);
-            self.wss_round_open = true;
-            if matches!(self.cfg.policy, Policy::Clock | Policy::Mixed { .. }) {
-                self.gpt.clear_all_accessed();
-                // Background kthread work, charged to wall time.
-                self.stats.exec_time += SimDuration::from_nanos(2) * self.gpt.size().count();
+            i += n;
+        }
+        self.flush_fault_hist();
+        Ok(())
+    }
+
+    /// Classifies and executes every access of one clear-bounded chunk.
+    fn run_chunk(&mut self, chunk: &[Access]) -> Result<(), EngineError> {
+        // Remote-fault runs ride one posted fabric batch only where the
+        // per-page path would not interleave readahead (which already
+        // posts its own batches) and the backing has a fabric.
+        let coalesce = self.cfg.readahead == 0 && matches!(self.backing, Backing::Rack { .. });
+        let mut i = 0;
+        while i < chunk.len() {
+            let a = chunk[i];
+            let gfn = Gfn::new(a.page);
+            match self
+                .gpt
+                .access(gfn, a.write)
+                .expect("workload stays in bounds")
+            {
+                AccessOutcome::Local { newly_dirtied } => {
+                    if newly_dirtied {
+                        self.stats.pages_dirtied += 1;
+                        // A dirtied page invalidates its clean remote copy.
+                        self.clean_copies.remove(gfn);
+                        self.on_device.remove(gfn);
+                    }
+                    i += 1;
+                }
+                AccessOutcome::NotAllocated => {
+                    self.minor_fault(gfn, a.write)?;
+                    i += 1;
+                }
+                AccessOutcome::Remote(_) => {
+                    if coalesce {
+                        i += self.remote_fault_run(&chunk[i..])?;
+                    } else {
+                        self.remote_fault(gfn, a.write)?;
+                        i += 1;
+                    }
+                }
             }
         }
         Ok(())
+    }
+
+    /// First-touch minor fault: allocate (possibly evicting) and map.
+    fn minor_fault(&mut self, gfn: Gfn, write: bool) -> Result<(), EngineError> {
+        self.stats.minor_faults += 1;
+        self.stats.exec_time += MINOR_FAULT;
+        let frame = self.take_frame()?;
+        self.gpt.map_local(gfn, frame).expect("was unallocated");
+        self.gpt.touch(gfn, write).expect("just mapped");
+        if write {
+            self.stats.pages_dirtied += 1;
+        }
+        self.list.push(gfn);
+        Ok(())
+    }
+
+    /// One remote fault on the per-page path (device backing, or rack
+    /// backing with readahead). Identical accounting to [`Engine::step`]'s
+    /// remote arm, with the obs sample deferred to the batch flush.
+    fn remote_fault(&mut self, gfn: Gfn, write: bool) -> Result<(), EngineError> {
+        self.stats.remote_faults += 1;
+        self.stats.exec_time += FAULT_TRAP;
+        let frame = self.take_frame()?;
+        let io = self.fetch(gfn)?;
+        self.finish_remote_fault(gfn, frame, write, io);
+        if self.cfg.readahead > 0 {
+            let io = self.readahead(gfn)?;
+            self.stats.io_time += io;
+            self.stats.exec_time += io;
+        }
+        Ok(())
+    }
+
+    /// Handles a run of consecutive remote faults to distinct pages as
+    /// one pipelined posted batch, consuming and returning the run's
+    /// length. Every fault is charged and recorded exactly as the
+    /// per-page path would — trap, eviction, per-page fetch cost, fault
+    /// latency sample, PTE flip — in the same order; only the fabric
+    /// *transport* is deferred into a single posted batch at the end
+    /// ([`Rack::issue_demand_batch`]). Evictions interleave per fault, so
+    /// victim selection sees the same list and accessed bits the
+    /// reference would.
+    fn remote_fault_run(&mut self, chunk: &[Access]) -> Result<usize, EngineError> {
+        debug_assert!(self.demand_batch.is_empty());
+        // The maximal coalescable prefix: consecutive accesses to
+        // *distinct* pages that are remote right now. A repeated page
+        // ends the run — its second access would be a local hit after
+        // the first fault services it.
+        let mut len = 1;
+        while len < chunk.len() && len < DEMAND_RUN_CAP {
+            let next = chunk[len].page;
+            if chunk[..len].iter().any(|a| a.page == next) {
+                break;
+            }
+            if !matches!(self.gpt.locate(Gfn::new(next)), Ok(PageLocation::Remote(_))) {
+                break;
+            }
+            len += 1;
+        }
+        for &a in &chunk[..len] {
+            let gfn = Gfn::new(a.page);
+            self.stats.remote_faults += 1;
+            self.stats.exec_time += FAULT_TRAP;
+            let frame = self.take_frame()?;
+            let io = self.stage_fetch(gfn)?;
+            self.finish_remote_fault(gfn, frame, a.write, io);
+        }
+        let Backing::Rack { rack, user, .. } = &mut self.backing else {
+            unreachable!("coalescing is only enabled for rack backing");
+        };
+        // One posted batch moves the data. Each page's synchronous cost
+        // was already charged at stage time, so the transport-level
+        // completion time is not re-accounted.
+        rack.issue_demand_batch(*user, &mut self.demand_batch)?;
+        Ok(len)
+    }
+
+    /// The post-fetch half of a remote fault: accounting, PTE flip,
+    /// clean-copy bookkeeping, fault-list push.
+    fn finish_remote_fault(
+        &mut self,
+        gfn: Gfn,
+        frame: zombieland_mem::FrameId,
+        write: bool,
+        io: SimDuration,
+    ) {
+        self.stats.io_time += io;
+        self.stats.exec_time += io;
+        self.stats.fault_latency.record(FAULT_TRAP + io);
+        if self.obs_metrics {
+            self.note_fault_ns((FAULT_TRAP + io).as_nanos());
+        }
+        self.gpt.promote(gfn, frame).expect("was remote");
+        self.gpt.touch(gfn, write).expect("just promoted");
+        if write {
+            self.stats.pages_dirtied += 1;
+            self.clean_copies.remove(gfn);
+            self.on_device.remove(gfn);
+        } else {
+            // Keep the remote/device copy valid: a future clean demotion
+            // is then free.
+            match self.backing {
+                Backing::Rack { .. } => {
+                    self.clean_copies.insert(gfn);
+                }
+                Backing::Device { .. } => {
+                    self.on_device.insert(gfn);
+                }
+            }
+        }
+        self.list.push(gfn);
+    }
+
+    /// Stages one demand fetch into the pending posted batch, returning
+    /// the page's synchronous cost (what [`Engine::fetch`] would charge).
+    fn stage_fetch(&mut self, gfn: Gfn) -> Result<SimDuration, EngineError> {
+        let guest_io = match self.cfg.mode {
+            Mode::ExplicitSd(_) => GUEST_IO_PATH,
+            Mode::RamExt => SimDuration::ZERO,
+        };
+        let Backing::Rack { rack, user, .. } = &mut self.backing else {
+            unreachable!("coalescing is only enabled for rack backing");
+        };
+        let h = self.handles[gfn.get() as usize].expect("remote pages have handles");
+        Ok(rack.stage_demand_fetch(*user, h, &mut self.demand_batch)? + guest_io)
+    }
+
+    /// Accumulates one `hv.fault_ns` sample for the per-batch flush.
+    fn note_fault_ns(&mut self, ns: u64) {
+        for e in self.fault_ns_pending.iter_mut() {
+            if e.0 == ns {
+                e.1 += 1;
+                return;
+            }
+        }
+        self.fault_ns_pending.push((ns, 1));
+    }
+
+    /// Flushes accumulated fault-latency samples to the obs histogram —
+    /// bit-identical to having recorded each sample at its fault.
+    fn flush_fault_hist(&mut self) {
+        for (v, n) in self.fault_ns_pending.drain(..) {
+            zombieland_obs::sink::hist_record_n("hv.fault_ns", v, n);
+        }
     }
 
     /// Prefetches up to `readahead` pages adjacent to a faulting one,

@@ -1,0 +1,213 @@
+//! The batched fault path is a pure restructuring: for any access
+//! stream, [`engine::run_ops`] (batched pulls, coalesced demand
+//! fetches, deferred obs flushes) must produce a [`RunStats`] that is
+//! *byte-identical* to [`engine::run_ops_reference`] (one page at a
+//! time) — every counter, every simulated nanosecond, every fault
+//! latency bucket. Batching is a host-wall-clock optimisation only; any
+//! sim-time divergence is a bug, not a tolerance.
+
+use proptest::prelude::*;
+use zombieland_core::manager::PoolKind;
+use zombieland_core::{Rack, RackConfig};
+use zombieland_hypervisor::engine::{self, Backing, EngineConfig};
+use zombieland_hypervisor::Policy;
+use zombieland_simcore::{Bytes, DetRng, Pages, SimDuration};
+use zombieland_workloads::{Access, Workload};
+
+/// Seeded random accesses over a hot/cold split — the same fuzz shape
+/// the engine property suite uses, cloneable so both engine variants
+/// replay the identical stream.
+#[derive(Clone)]
+struct FuzzWorkload {
+    wss: Pages,
+    rng: DetRng,
+    hot: u64,
+    hot_bias: f64,
+    write_bias: f64,
+}
+
+impl Workload for FuzzWorkload {
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "fuzz"
+    }
+
+    fn wss(&self) -> Pages {
+        self.wss
+    }
+
+    fn base_op_cost(&self) -> SimDuration {
+        SimDuration::from_nanos(100)
+    }
+
+    fn next_access(&mut self) -> Access {
+        let page = if self.rng.chance(self.hot_bias) {
+            self.rng.below(self.hot)
+        } else {
+            self.rng.below(self.wss.count())
+        };
+        Access {
+            page,
+            write: self.rng.chance(self.write_bias),
+        }
+    }
+
+    fn suggested_ops(&self) -> u64 {
+        self.wss.count() * 4
+    }
+}
+
+/// All four replacement policies the engine ships.
+fn policies() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::Fifo),
+        Just(Policy::Clock),
+        Just(Policy::MIXED_DEFAULT),
+        Just(Policy::Random),
+    ]
+}
+
+/// Runs one engine variant on a fresh rack with identical construction.
+fn run_variant(batched: bool, w: &FuzzWorkload, cfg: &EngineConfig, ops: u64) -> engine::RunStats {
+    let mut rack = Rack::new(RackConfig::default());
+    let ids = rack.server_ids();
+    let (user, zombie) = (ids[0], ids[1]);
+    rack.goto_zombie(zombie).unwrap();
+    rack.alloc_ext(user, Bytes::mib(64)).unwrap();
+    let mut w = w.clone();
+    let backing = Backing::Rack {
+        rack: &mut rack,
+        user,
+        pool: PoolKind::Ext,
+    };
+    if batched {
+        engine::run_ops(&mut w, cfg, backing, ops).unwrap()
+    } else {
+        engine::run_ops_reference(&mut w, cfg, backing, ops).unwrap()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batched `RunStats` ≡ per-page reference, across the coalescing
+    /// window being live (readahead 0) and dead (readahead 8), every
+    /// policy, and write-heavy vs read-only streams.
+    #[test]
+    fn batched_stats_match_reference(
+        seed in 0u64..1_000,
+        local_frac in 0.05f64..0.9,
+        hot_bias in 0.0f64..1.0,
+        write_heavy in any::<bool>(),
+        readahead in prop_oneof![Just(0u32), Just(8u32)],
+        policy in policies(),
+    ) {
+        let wss = Pages::new(2_048);
+        let reserved = Bytes::mib(10);
+        let w = FuzzWorkload {
+            wss,
+            rng: DetRng::new(seed),
+            hot: (wss.count() / 8).max(1),
+            hot_bias,
+            write_bias: if write_heavy { 0.7 } else { 0.0 },
+        };
+        let cfg = EngineConfig {
+            policy,
+            seed,
+            readahead,
+            ..EngineConfig::ram_ext(reserved, reserved.mul_f64(local_frac))
+        };
+        let ops = wss.count() * 4;
+        let batched = run_variant(true, &w, &cfg, ops);
+        let reference = run_variant(false, &w, &cfg, ops);
+        // `RunStats` carries integers, sim-time nanos and the latency
+        // histogram; its Debug rendering covers every field, so equal
+        // strings ⇒ byte-equal stats (no float rounding to hide in —
+        // sim durations are integer nanoseconds).
+        prop_assert_eq!(
+            format!("{batched:?}"),
+            format!("{reference:?}"),
+            "batched fault path diverged from the per-page reference"
+        );
+    }
+}
+
+/// The run cap and chunk boundaries sit exactly where sequential
+/// streams stress them: a pure sequential sweep coalesces maximal runs
+/// (every page cold-faults once, then cycles remote) and must still
+/// match the reference exactly.
+#[test]
+fn sequential_sweep_matches_reference() {
+    #[derive(Clone)]
+    struct Seq {
+        wss: Pages,
+        next: u64,
+    }
+    impl Workload for Seq {
+        fn clone_box(&self) -> Box<dyn Workload> {
+            Box::new(self.clone())
+        }
+        fn name(&self) -> &'static str {
+            "seq"
+        }
+        fn wss(&self) -> Pages {
+            self.wss
+        }
+        fn base_op_cost(&self) -> SimDuration {
+            SimDuration::from_nanos(100)
+        }
+        fn next_access(&mut self) -> Access {
+            let page = self.next % self.wss.count();
+            self.next += 1;
+            Access {
+                page,
+                write: page.is_multiple_of(3),
+            }
+        }
+        fn suggested_ops(&self) -> u64 {
+            self.wss.count() * 3
+        }
+    }
+    for policy in [
+        Policy::Fifo,
+        Policy::Clock,
+        Policy::MIXED_DEFAULT,
+        Policy::Random,
+    ] {
+        let reserved = Bytes::mib(10);
+        let cfg = EngineConfig {
+            policy,
+            seed: 7,
+            ..EngineConfig::ram_ext(reserved, reserved.mul_f64(0.2))
+        };
+        let run = |batched: bool| {
+            let mut rack = Rack::new(RackConfig::default());
+            let ids = rack.server_ids();
+            rack.goto_zombie(ids[1]).unwrap();
+            rack.alloc_ext(ids[0], Bytes::mib(64)).unwrap();
+            let mut w = Seq {
+                wss: Pages::new(2_048),
+                next: 0,
+            };
+            let ops = w.suggested_ops();
+            let backing = Backing::Rack {
+                rack: &mut rack,
+                user: ids[0],
+                pool: PoolKind::Ext,
+            };
+            if batched {
+                engine::run_ops(&mut w, &cfg, backing, ops).unwrap()
+            } else {
+                engine::run_ops_reference(&mut w, &cfg, backing, ops).unwrap()
+            }
+        };
+        assert_eq!(
+            format!("{:?}", run(true)),
+            format!("{:?}", run(false)),
+            "{policy:?}: sequential sweep diverged"
+        );
+    }
+}

@@ -5,6 +5,12 @@
 //! frames. [...] In our solution, we provision both local and remote page
 //! frames to a VM." This module keeps that association and the
 //! accessed/dirty bits the replacement policies consume.
+//!
+//! The accessed/dirty bits live in word-packed bitsets beside the dense
+//! location array rather than inside each entry. The replacement
+//! policies' Clock walks and the periodic "clear every accessed bit"
+//! sweep then touch 1 bit per page instead of striding over 24-byte
+//! entries, and the sweep itself is a word-fill over `size/64` words.
 
 use core::fmt;
 
@@ -46,13 +52,23 @@ pub enum PageLocation {
     Remote(RemoteSlot),
 }
 
-/// One page-table entry: location plus the accessed/dirty bits that the
-/// Clock and Mixed policies read.
-#[derive(Clone, Copy, Debug)]
-struct Pte {
-    loc: PageLocation,
-    accessed: bool,
-    dirty: bool,
+/// The outcome of [`GuestPageTable::access`]: one classified guest
+/// access, with the hit path's bit updates already applied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessOutcome {
+    /// The page was already local; its accessed (and, for writes, dirty)
+    /// bit has been set. `newly_dirtied` is true when this write set the
+    /// dirty bit for the first time since the page became local — the
+    /// moment a clean remote/device copy stops being valid.
+    Local {
+        /// Whether this write flipped the page from clean to dirty.
+        newly_dirtied: bool,
+    },
+    /// First touch: the caller must allocate a frame and `map_local`.
+    NotAllocated,
+    /// Remote fault: the caller must fetch and `promote`. No bits were
+    /// modified.
+    Remote(RemoteSlot),
 }
 
 /// Errors from page-table operations.
@@ -89,23 +105,47 @@ impl std::error::Error for GptError {}
 /// ```
 #[derive(Debug)]
 pub struct GuestPageTable {
-    ptes: Vec<Pte>,
+    ptes: Vec<PageLocation>,
+    /// Word-packed accessed bits, one per guest page.
+    accessed: Vec<u64>,
+    /// Word-packed dirty bits, one per guest page.
+    dirty: Vec<u64>,
     local: u64,
     remote: u64,
+}
+
+#[inline]
+fn bit_split(gfn: Gfn) -> (usize, u32) {
+    ((gfn.0 / 64) as usize, (gfn.0 % 64) as u32)
+}
+
+#[inline]
+fn bit_get(words: &[u64], gfn: Gfn) -> bool {
+    let (w, b) = bit_split(gfn);
+    words[w] >> b & 1 != 0
+}
+
+#[inline]
+fn bit_set(words: &mut [u64], gfn: Gfn) {
+    let (w, b) = bit_split(gfn);
+    words[w] |= 1 << b;
+}
+
+#[inline]
+fn bit_clear(words: &mut [u64], gfn: Gfn) {
+    let (w, b) = bit_split(gfn);
+    words[w] &= !(1 << b);
 }
 
 impl GuestPageTable {
     /// Creates an all-unallocated table covering `size` guest pages.
     pub fn new(size: Pages) -> Self {
+        let n = size.count() as usize;
+        let words = size.count().div_ceil(64) as usize;
         GuestPageTable {
-            ptes: vec![
-                Pte {
-                    loc: PageLocation::NotAllocated,
-                    accessed: false,
-                    dirty: false,
-                };
-                size.count() as usize
-            ],
+            ptes: vec![PageLocation::NotAllocated; n],
+            accessed: vec![0; words],
+            dirty: vec![0; words],
             local: 0,
             remote: 0,
         }
@@ -116,15 +156,14 @@ impl GuestPageTable {
     /// this to recycle multi-megabyte tables between runs; a reset table
     /// is observably identical to a fresh one.
     pub fn reset(&mut self, size: Pages) {
+        let n = size.count() as usize;
+        let words = size.count().div_ceil(64) as usize;
         self.ptes.clear();
-        self.ptes.resize(
-            size.count() as usize,
-            Pte {
-                loc: PageLocation::NotAllocated,
-                accessed: false,
-                dirty: false,
-            },
-        );
+        self.ptes.resize(n, PageLocation::NotAllocated);
+        self.accessed.clear();
+        self.accessed.resize(words, 0);
+        self.dirty.clear();
+        self.dirty.resize(words, 0);
         self.local = 0;
         self.remote = 0;
     }
@@ -144,33 +183,63 @@ impl GuestPageTable {
         Pages::new(self.remote)
     }
 
-    fn pte(&self, gfn: Gfn) -> Result<&Pte, GptError> {
-        self.ptes
-            .get(gfn.0 as usize)
-            .ok_or(GptError::OutOfRange(gfn))
-    }
-
-    fn pte_mut(&mut self, gfn: Gfn) -> Result<&mut Pte, GptError> {
-        self.ptes
-            .get_mut(gfn.0 as usize)
-            .ok_or(GptError::OutOfRange(gfn))
+    fn check(&self, gfn: Gfn) -> Result<(), GptError> {
+        if (gfn.0 as usize) < self.ptes.len() {
+            Ok(())
+        } else {
+            Err(GptError::OutOfRange(gfn))
+        }
     }
 
     /// Where `gfn` currently lives.
     pub fn locate(&self, gfn: Gfn) -> Result<PageLocation, GptError> {
-        Ok(self.pte(gfn)?.loc)
+        self.ptes
+            .get(gfn.0 as usize)
+            .copied()
+            .ok_or(GptError::OutOfRange(gfn))
+    }
+
+    /// Classifies one guest access and, on a local hit, applies the
+    /// accessed/dirty bit updates in the same page-table lookup — the
+    /// fused fast path of the fault handler. Equivalent to `locate` +
+    /// `dirty` + `touch` but with a single bounds check.
+    ///
+    /// Faulting outcomes (`NotAllocated`, `Remote`) modify nothing; the
+    /// caller drives the fault path and finishes with `map_local` /
+    /// `promote` + `touch` as usual.
+    pub fn access(&mut self, gfn: Gfn, write: bool) -> Result<AccessOutcome, GptError> {
+        let loc = *self
+            .ptes
+            .get(gfn.0 as usize)
+            .ok_or(GptError::OutOfRange(gfn))?;
+        Ok(match loc {
+            PageLocation::Local(_) => {
+                bit_set(&mut self.accessed, gfn);
+                let newly_dirtied = if write {
+                    let was = bit_get(&self.dirty, gfn);
+                    bit_set(&mut self.dirty, gfn);
+                    !was
+                } else {
+                    false
+                };
+                AccessOutcome::Local { newly_dirtied }
+            }
+            PageLocation::NotAllocated => AccessOutcome::NotAllocated,
+            PageLocation::Remote(slot) => AccessOutcome::Remote(slot),
+        })
     }
 
     /// Installs a fresh local mapping for a page that was `NotAllocated`
     /// (first touch) — the traditional KVM demand-allocation path.
     pub fn map_local(&mut self, gfn: Gfn, frame: FrameId) -> Result<(), GptError> {
-        let pte = self.pte_mut(gfn)?;
-        if !matches!(pte.loc, PageLocation::NotAllocated) {
+        self.check(gfn)?;
+        let pte = &mut self.ptes[gfn.0 as usize];
+        if !matches!(*pte, PageLocation::NotAllocated) {
             return Err(GptError::WrongState(gfn));
         }
-        pte.loc = PageLocation::Local(frame);
-        pte.accessed = true;
-        pte.dirty = false;
+        *pte = PageLocation::Local(frame);
+        bit_set(&mut self.accessed, gfn);
+        bit_clear(&mut self.dirty, gfn);
         self.local += 1;
         Ok(())
     }
@@ -179,13 +248,14 @@ impl GuestPageTable {
     /// records where the content went. Returns the machine frame that was
     /// freed.
     pub fn demote(&mut self, gfn: Gfn, slot: RemoteSlot) -> Result<FrameId, GptError> {
-        let pte = self.pte_mut(gfn)?;
-        let PageLocation::Local(frame) = pte.loc else {
+        self.check(gfn)?;
+        let pte = &mut self.ptes[gfn.0 as usize];
+        let PageLocation::Local(frame) = *pte else {
             return Err(GptError::WrongState(gfn));
         };
-        pte.loc = PageLocation::Remote(slot);
-        pte.accessed = false;
-        pte.dirty = false;
+        *pte = PageLocation::Remote(slot);
+        bit_clear(&mut self.accessed, gfn);
+        bit_clear(&mut self.dirty, gfn);
         self.local -= 1;
         self.remote += 1;
         Ok(frame)
@@ -194,12 +264,13 @@ impl GuestPageTable {
     /// Promotes a remote page back into a local frame (remote fault path).
     /// Returns the slot that can now be released.
     pub fn promote(&mut self, gfn: Gfn, frame: FrameId) -> Result<RemoteSlot, GptError> {
-        let pte = self.pte_mut(gfn)?;
-        let PageLocation::Remote(slot) = pte.loc else {
+        self.check(gfn)?;
+        let pte = &mut self.ptes[gfn.0 as usize];
+        let PageLocation::Remote(slot) = *pte else {
             return Err(GptError::WrongState(gfn));
         };
-        pte.loc = PageLocation::Local(frame);
-        pte.accessed = true;
+        *pte = PageLocation::Local(frame);
+        bit_set(&mut self.accessed, gfn);
         self.local += 1;
         self.remote -= 1;
         Ok(slot)
@@ -208,45 +279,48 @@ impl GuestPageTable {
     /// Marks an access to a local page, setting the accessed (and
     /// optionally dirty) bit.
     pub fn touch(&mut self, gfn: Gfn, write: bool) -> Result<(), GptError> {
-        let pte = self.pte_mut(gfn)?;
-        if !matches!(pte.loc, PageLocation::Local(_)) {
+        self.check(gfn)?;
+        if !matches!(self.ptes[gfn.0 as usize], PageLocation::Local(_)) {
             return Err(GptError::WrongState(gfn));
         }
-        pte.accessed = true;
+        bit_set(&mut self.accessed, gfn);
         if write {
-            pte.dirty = true;
+            bit_set(&mut self.dirty, gfn);
         }
         Ok(())
     }
 
     /// Reads the accessed bit.
     pub fn accessed(&self, gfn: Gfn) -> Result<bool, GptError> {
-        Ok(self.pte(gfn)?.accessed)
+        self.check(gfn)?;
+        Ok(bit_get(&self.accessed, gfn))
     }
 
     /// Reads the dirty bit.
     pub fn dirty(&self, gfn: Gfn) -> Result<bool, GptError> {
-        Ok(self.pte(gfn)?.dirty)
+        self.check(gfn)?;
+        Ok(bit_get(&self.dirty, gfn))
     }
 
     /// Clears the accessed bit of one entry (Clock hand sweep).
     pub fn clear_accessed(&mut self, gfn: Gfn) -> Result<(), GptError> {
-        self.pte_mut(gfn)?.accessed = false;
+        self.check(gfn)?;
+        bit_clear(&mut self.accessed, gfn);
         Ok(())
     }
 
     /// Clears every accessed bit — the periodic reset the Clock policy
-    /// relies on ("the accessed bit of all pages is periodically cleared").
+    /// relies on ("the accessed bit of all pages is periodically
+    /// cleared"). One word-fill over the packed bitset, not a walk over
+    /// the entries.
     pub fn clear_all_accessed(&mut self) {
-        for pte in &mut self.ptes {
-            pte.accessed = false;
-        }
+        self.accessed.fill(0);
     }
 
     /// Iterates over guest pages currently held in local frames.
     pub fn iter_local(&self) -> impl Iterator<Item = (Gfn, FrameId)> + '_ {
         self.ptes.iter().enumerate().filter_map(|(i, pte)| {
-            if let PageLocation::Local(f) = pte.loc {
+            if let PageLocation::Local(f) = *pte {
                 Some((Gfn(i as u64), f))
             } else {
                 None
@@ -257,7 +331,7 @@ impl GuestPageTable {
     /// Iterates over guest pages currently demoted to remote slots.
     pub fn iter_remote(&self) -> impl Iterator<Item = (Gfn, RemoteSlot)> + '_ {
         self.ptes.iter().enumerate().filter_map(|(i, pte)| {
-            if let PageLocation::Remote(s) = pte.loc {
+            if let PageLocation::Remote(s) = *pte {
                 Some((Gfn(i as u64), s))
             } else {
                 None
@@ -327,6 +401,7 @@ mod tests {
             gpt.map_local(g, FrameId::new(0)),
             Err(GptError::OutOfRange(g))
         );
+        assert_eq!(gpt.access(g, true), Err(GptError::OutOfRange(g)));
     }
 
     #[test]
@@ -343,6 +418,79 @@ mod tests {
         assert!(gpt.dirty(g).unwrap());
         gpt.clear_accessed(g).unwrap();
         assert!(!gpt.accessed(g).unwrap());
+    }
+
+    #[test]
+    fn access_fuses_locate_and_touch() {
+        let mut gpt = GuestPageTable::new(Pages::new(3));
+        let g = Gfn::new(0);
+        assert_eq!(gpt.access(g, false), Ok(AccessOutcome::NotAllocated));
+        gpt.map_local(g, FrameId::new(0)).unwrap();
+        gpt.clear_all_accessed();
+        // Read hit: accessed set, never newly dirtied.
+        assert_eq!(
+            gpt.access(g, false),
+            Ok(AccessOutcome::Local {
+                newly_dirtied: false
+            })
+        );
+        assert!(gpt.accessed(g).unwrap());
+        assert!(!gpt.dirty(g).unwrap());
+        // First write dirties; the second does not re-report it.
+        assert_eq!(
+            gpt.access(g, true),
+            Ok(AccessOutcome::Local {
+                newly_dirtied: true
+            })
+        );
+        assert_eq!(
+            gpt.access(g, true),
+            Ok(AccessOutcome::Local {
+                newly_dirtied: false
+            })
+        );
+        assert!(gpt.dirty(g).unwrap());
+        // Remote pages are reported without any bit changes.
+        let freed = gpt.demote(g, slot(3)).unwrap();
+        let _ = freed;
+        assert_eq!(gpt.access(g, true), Ok(AccessOutcome::Remote(slot(3))));
+        assert!(!gpt.accessed(g).unwrap());
+        assert!(!gpt.dirty(g).unwrap());
+    }
+
+    /// `access` must stay step-for-step equivalent to the unfused
+    /// `locate`/`dirty`/`touch` sequence the engine used to issue.
+    #[test]
+    fn access_matches_unfused_sequence() {
+        let ops: &[(u64, bool)] = &[
+            (0, false),
+            (0, true),
+            (1, true),
+            (0, true),
+            (2, false),
+            (1, false),
+            (2, true),
+        ];
+        let mut fused = GuestPageTable::new(Pages::new(3));
+        let mut unfused = GuestPageTable::new(Pages::new(3));
+        for g in 0..3 {
+            fused.map_local(Gfn::new(g), FrameId::new(g)).unwrap();
+            unfused.map_local(Gfn::new(g), FrameId::new(g)).unwrap();
+        }
+        fused.clear_all_accessed();
+        unfused.clear_all_accessed();
+        for &(g, write) in ops {
+            let gfn = Gfn::new(g);
+            let fused_newly = match fused.access(gfn, write).unwrap() {
+                AccessOutcome::Local { newly_dirtied } => newly_dirtied,
+                other => panic!("expected local hit, got {other:?}"),
+            };
+            let unfused_newly = write && !unfused.dirty(gfn).unwrap();
+            unfused.touch(gfn, write).unwrap();
+            assert_eq!(fused_newly, unfused_newly, "gfn {g} write {write}");
+            assert_eq!(fused.accessed(gfn), unfused.accessed(gfn));
+            assert_eq!(fused.dirty(gfn), unfused.dirty(gfn));
+        }
     }
 
     #[test]

@@ -22,4 +22,4 @@ pub mod gpt;
 pub use buffer::{BufferId, RemoteSlot, BUFF_SIZE};
 pub use frame::{FrameAllocator, FrameId};
 pub use gfnset::GfnSet;
-pub use gpt::{Gfn, GuestPageTable, PageLocation};
+pub use gpt::{AccessOutcome, Gfn, GuestPageTable, PageLocation};

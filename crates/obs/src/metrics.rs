@@ -88,6 +88,21 @@ impl Histogram {
         self.sum = self.sum.wrapping_add(v);
     }
 
+    /// Records `n` samples of value `v` in O(1). Bit-identical to calling
+    /// `record(v)` `n` times: one bucket gains `n`, the count gains `n`,
+    /// and the wrapping sum gains `v * n` (multiplication modulo 2^64 is
+    /// exactly n repeated wrapping adds). Batching layers use this to
+    /// flush accumulated identical samples once per batch instead of once
+    /// per event.
+    fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)] += n;
+        self.count += n;
+        self.sum = self.sum.wrapping_add(v.wrapping_mul(n));
+    }
+
     /// The `q`-quantile resolved to its bucket's upper edge (`None` when
     /// empty).
     pub fn quantile(&self, q: f64) -> Option<u64> {
@@ -156,6 +171,16 @@ impl MetricRegistry {
     /// Records a histogram sample.
     pub fn hist_record(&mut self, name: &'static str, v: u64) {
         self.histograms.entry(name).or_default().record(v);
+    }
+
+    /// Records `n` identical histogram samples in one registry lookup —
+    /// bit-identical to `n` `hist_record` calls. `n == 0` is a no-op and
+    /// does not create the histogram entry.
+    pub fn hist_record_n(&mut self, name: &'static str, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.histograms.entry(name).or_default().record_n(v, n);
     }
 
     /// Reads a counter (0 when never touched).
@@ -346,6 +371,20 @@ mod tests {
             "export bytes must match too"
         );
         assert_eq!(forward.counter("ops"), 6);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_records() {
+        let mut folded = MetricRegistry::new();
+        let mut unrolled = MetricRegistry::new();
+        for &(v, n) in &[(0u64, 3u64), (1_000, 97), (u64::MAX, 5), (7, 0)] {
+            folded.hist_record_n("lat", v, n);
+            for _ in 0..n {
+                unrolled.hist_record("lat", v);
+            }
+        }
+        assert_eq!(folded, unrolled);
+        assert_eq!(folded.to_json().pretty(), unrolled.to_json().pretty());
     }
 
     #[test]

@@ -234,6 +234,22 @@ pub fn hist_record(name: &'static str, v: u64) {
     });
 }
 
+/// Records `n` identical histogram samples on the current collector —
+/// bit-identical to calling [`hist_record`] `n` times, at the cost of a
+/// single level check and registry lookup. Hot paths accumulate
+/// (value, count) pairs locally and flush them here once per batch.
+#[inline]
+pub fn hist_record_n(name: &'static str, v: u64, n: u64) {
+    if n == 0 || !metrics_enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(run) = c.borrow_mut().as_mut() {
+            run.metrics.hist_record_n(name, v, n);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

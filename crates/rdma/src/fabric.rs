@@ -1,9 +1,8 @@
 //! The fabric: nodes, registered regions and verb execution.
 
 use core::fmt;
-use std::collections::HashMap;
 
-use zombieland_simcore::{Bytes, SimDuration};
+use zombieland_simcore::{Bytes, FastMap, SimDuration};
 
 use crate::mr::{MemoryRegion, MrAccess, MrKey};
 use crate::node::{Availability, NodeId, TrafficStats};
@@ -164,7 +163,9 @@ struct NodeState {
 /// ```
 pub struct Fabric {
     nodes: Vec<NodeState>,
-    regions: HashMap<MrKey, MemoryRegion>,
+    // Hit on every verb (several times per page fault); deterministic
+    // fast hash, never iterated.
+    regions: FastMap<MrKey, MemoryRegion>,
     next_mr: u64,
     profile: LinkProfile,
 }
@@ -185,7 +186,7 @@ impl Fabric {
     pub fn with_profile(profile: LinkProfile) -> Self {
         Fabric {
             nodes: Vec::new(),
-            regions: HashMap::new(),
+            regions: FastMap::default(),
             next_mr: 0,
             profile,
         }
@@ -297,6 +298,16 @@ impl Fabric {
             .get(&key)
             .ok_or(FabricError::UnknownMr(key))?
             .node())
+    }
+
+    /// Whether one-sided verbs can currently reach the region — its
+    /// owner's memory is served (`Full` or zombie `MemoryOnly`). A pure
+    /// probe: no accounting, no observability. Batching layers use it to
+    /// decide upfront whether a staged read can ride a posted batch or
+    /// must take the per-page fallback path.
+    pub fn mr_reachable(&self, key: MrKey) -> Result<bool, FabricError> {
+        let region = self.regions.get(&key).ok_or(FabricError::UnknownMr(key))?;
+        Ok(self.state(region.node())?.availability.serves_memory())
     }
 
     fn checked_target(

@@ -1,0 +1,115 @@
+//! Deterministic fast hashing for hot-path integer-keyed maps.
+//!
+//! `std`'s default `RandomState` does two things wrong for the
+//! simulator: SipHash costs ~50 ns per small-key lookup (the page-fault
+//! path does several per fault), and its per-process random seed makes
+//! map iteration order vary between runs. [`FxHasher64`] is the
+//! multiply-rotate hash rustc uses for its own interning tables — a few
+//! cycles per word, and fully deterministic, so any accidental
+//! order-dependence shows up in tests instead of flaking.
+//!
+//! These maps are for *non-iterated* hot-path tables (lookup, insert,
+//! remove). Where iteration order is observable, either keep a `BTreeMap`
+//! or sort explicitly at the iteration site.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The `FxHash` multiplier (a 64-bit golden-ratio-derived odd constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A deterministic multiply-rotate hasher for small keys.
+#[derive(Default)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl FxHasher64 {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// A `HashMap` with the deterministic fast hasher.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher64>>;
+
+/// A `HashSet` with the deterministic fast hasher.
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FxHasher64>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher64::default();
+        let mut b = FxHasher64::default();
+        a.write_u64(0xDEAD_BEEF);
+        b.write_u64(0xDEAD_BEEF);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        // Not a collision-resistance claim — just a sanity check that
+        // nearby integer keys spread.
+        let h = |v: u64| {
+            let mut x = FxHasher64::default();
+            x.write_u64(v);
+            x.finish()
+        };
+        let hashes: FastSet<u64> = (0..10_000).map(h).collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn map_basic_ops() {
+        let mut m: FastMap<u64, u32> = FastMap::default();
+        for i in 0..1_000u64 {
+            m.insert(i, (i * 2) as u32);
+        }
+        for i in 0..1_000u64 {
+            assert_eq!(m.get(&i), Some(&((i * 2) as u32)));
+        }
+        assert_eq!(m.remove(&500), Some(1_000));
+        assert_eq!(m.len(), 999);
+    }
+}

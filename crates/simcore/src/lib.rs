@@ -10,6 +10,7 @@
 //! bit-for-bit.
 
 pub mod event;
+pub mod fasthash;
 pub mod report;
 pub mod rng;
 pub mod runner;
@@ -18,6 +19,7 @@ pub mod time;
 pub mod units;
 
 pub use event::EventQueue;
+pub use fasthash::{FastMap, FastSet};
 pub use rng::{derive_seed, DetRng, Zipf};
 pub use runner::{available_jobs, run_batch, run_indexed, thread_budget, with_thread_budget};
 pub use time::{SimDuration, SimTime};

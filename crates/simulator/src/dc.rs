@@ -169,7 +169,13 @@ pub(crate) struct Shard {
 pub(crate) struct Dc {
     pub(crate) cfg: SimConfig,
     pub(crate) hosts: Hosts,
-    pub(crate) cooldown: Vec<u32>,
+    /// Consolidation-round counter; a freshly woken host is exempt until
+    /// `round >= cooldown_expiry[h]`. Replaces the old per-round
+    /// decrement sweep over every host with one counter increment.
+    pub(crate) round: u64,
+    /// First consolidation round at which each host is eligible again
+    /// (see [`Dc::round`]; `0` = no cooldown).
+    pub(crate) cooldown_expiry: Vec<u64>,
     pub(crate) vms: Vec<Option<VmState>>,
     pub(crate) parked_mem: f64,
     pub(crate) total_power: Watts,
@@ -191,6 +197,23 @@ pub(crate) struct Dc {
     /// fallback ([`Dc::shed_vm_remote`]) from an all-tasks sweep into a
     /// walk over actual holders — in the same ascending-task order.
     remote_vms_by_rack: Vec<BTreeSet<usize>>,
+    /// Active hosts keyed by `(merge_key(cpu_used), index)` — the
+    /// consolidation candidate order. Ascending walk with early exit at
+    /// the underload threshold replaces the old full active-set gather +
+    /// sort per round. Membership follows state changes eagerly
+    /// ([`Dc::index_host`]); *key* updates for load changes are deferred
+    /// to the dirty-host drain at the top of each round, so the busy
+    /// arrive/depart path pays one flag write instead of two B-tree
+    /// edits.
+    by_used: BTreeSet<(u64, usize)>,
+    /// The key each host is currently indexed under in [`Dc::by_used`]
+    /// (exact stored bits; only meaningful while the host is active).
+    used_key: Vec<u64>,
+    /// Hosts whose `cpu_used` changed since the last drain (deduplicated
+    /// by [`Dc::used_dirty_flag`]).
+    used_dirty: Vec<usize>,
+    /// Membership flags for [`Dc::used_dirty`].
+    used_dirty_flag: Vec<bool>,
     /// Persistent sort buffer for the consolidation order (reused every
     /// tick instead of a fresh allocation).
     order_buf: Vec<usize>,
@@ -234,12 +257,14 @@ impl Dc {
         let nshards = (cfg.shards.min(cfg.racks).max(1)) as usize;
         let mut shards = vec![Shard::default(); nshards];
         let mut rack = Vec::with_capacity(n);
+        let mut by_used = BTreeSet::new();
         for i in 0..n {
             let r = i as u32 % cfg.racks;
             rack.push(r);
             let shard = &mut shards[r as usize % nshards];
             shard.active.insert(i);
             shard.by_booked.insert((booked_key(0.0), i));
+            by_used.insert((merge_key(0.0), i));
         }
         // The crew only pays off when a scan has real work per shard;
         // below the gate (or without a thread budget) scans run inline.
@@ -259,7 +284,8 @@ impl Dc {
                 remote_allocated: vec![0.0; n],
                 vms: vec![Vec::new(); n],
             },
-            cooldown: vec![0; n],
+            round: 0,
+            cooldown_expiry: vec![0; n],
             vms: vec![None; trace.tasks().len()],
             parked_mem: 0.0,
             total_power: Watts::ZERO,
@@ -282,6 +308,10 @@ impl Dc {
             shards,
             zombies_by_rack: vec![BTreeSet::new(); cfg.racks as usize],
             remote_vms_by_rack: vec![BTreeSet::new(); cfg.racks as usize],
+            by_used,
+            used_key: vec![merge_key(0.0); n],
+            used_dirty: Vec::new(),
+            used_dirty_flag: vec![false; n],
             order_buf: Vec::new(),
             evac_buf: Vec::new(),
             pool_buf: Vec::new(),
@@ -316,6 +346,7 @@ impl Dc {
         let before = self.host_power(h);
         let state_before = self.hosts.state[h];
         let booked_before = self.hosts.cpu_booked[h];
+        let used_before = self.hosts.cpu_used[h];
         f(self.hosts.view_mut(h));
         let after = self.host_power(h);
         let state_after = self.hosts.state[h];
@@ -324,16 +355,24 @@ impl Dc {
             self.state_counts[state_index(state_before)] -= 1;
             self.state_counts[state_index(state_after)] += 1;
             self.index_host(h, state_before, state_after, booked_before, booked_after);
-        } else if state_after == HState::Active
-            && booked_after.total_cmp(&booked_before) != Ordering::Equal
-        {
-            // total_cmp (not `!=`) so a -0.0/+0.0 flip still repositions
-            // and the stored key always matches the host's exact bits.
-            let s = self.shard_of(h);
-            let shard = &mut self.shards[s];
-            let removed = shard.by_booked.remove(&(booked_key(booked_before), h));
-            debug_assert!(removed, "active host indexed under its old booked key");
-            shard.by_booked.insert((booked_key(booked_after), h));
+        } else if state_after == HState::Active {
+            if booked_after.total_cmp(&booked_before) != Ordering::Equal {
+                // total_cmp (not `!=`) so a -0.0/+0.0 flip still repositions
+                // and the stored key always matches the host's exact bits.
+                let s = self.shard_of(h);
+                let shard = &mut self.shards[s];
+                let removed = shard.by_booked.remove(&(booked_key(booked_before), h));
+                debug_assert!(removed, "active host indexed under its old booked key");
+                shard.by_booked.insert((booked_key(booked_after), h));
+            }
+            if self.hosts.cpu_used[h].total_cmp(&used_before) != Ordering::Equal
+                && !self.used_dirty_flag[h]
+            {
+                // Lazy: the ordered `by_used` key is repositioned at the
+                // next consolidation round, not on every arrive/depart.
+                self.used_dirty_flag[h] = true;
+                self.used_dirty.push(h);
+            }
         }
         self.total_power =
             Watts::new((self.total_power.get() - before.get() + after.get()).max(0.0));
@@ -349,6 +388,10 @@ impl Dc {
                 shard.active.remove(&h);
                 let removed = shard.by_booked.remove(&(booked_key(booked_old), h));
                 debug_assert!(removed, "active host indexed under its old booked key");
+                // Membership is eager even though key *values* are lazy:
+                // the stored key is whatever `used_key` last recorded.
+                let removed = self.by_used.remove(&(self.used_key[h], h));
+                debug_assert!(removed, "active host indexed under its stored used key");
             }
             HState::Zombie => {
                 shard.nonactive.remove(&h);
@@ -363,6 +406,11 @@ impl Dc {
             HState::Active => {
                 shard.active.insert(h);
                 shard.by_booked.insert((booked_key(booked_new), h));
+                // Re-sync the used key eagerly on (re)activation so the
+                // entry is live even if no further load change follows.
+                let key = merge_key(self.hosts.cpu_used[h]);
+                self.by_used.insert((key, h));
+                self.used_key[h] = key;
             }
             HState::Zombie => {
                 shard.nonactive.insert(h);
@@ -606,7 +654,7 @@ impl Dc {
         let stranded = self.hosts.remote_allocated[pick];
         let rack = self.hosts.rack[pick];
         self.hosts.remote_allocated[pick] = 0.0;
-        self.cooldown[pick] = WAKE_COOLDOWN_TICKS;
+        self.cooldown_expiry[pick] = self.round + WAKE_COOLDOWN_TICKS as u64;
         let waking_from = self.hosts.state[pick];
         self.update_host(pick, |h| {
             *h.state = HState::Active;
@@ -807,6 +855,18 @@ impl Dc {
                  (or the indexed key drifted from the live value)"
             );
             assert_eq!(
+                self.by_used.contains(&(self.used_key[i], i)),
+                state == HState::Active,
+                "host {i}: used-key membership disagrees with {state:?}"
+            );
+            if state == HState::Active && !self.used_dirty_flag[i] {
+                assert_eq!(
+                    self.used_key[i],
+                    merge_key(self.hosts.cpu_used[i]),
+                    "host {i}: clean used key drifted from the live load"
+                );
+            }
+            assert_eq!(
                 shard.nonactive.contains(&i),
                 state != HState::Active,
                 "host {i}: nonactive-set membership disagrees with {state:?}"
@@ -822,6 +882,11 @@ impl Dc {
         assert_eq!(
             booked_total, active_total,
             "booked-ordered sets cover exactly the active hosts"
+        );
+        assert_eq!(
+            self.by_used.len(),
+            active_total,
+            "used-ordered set covers exactly the active hosts"
         );
         let indexed: usize = self.zombies_by_rack.iter().map(|s| s.len()).sum();
         let zombies = self
@@ -861,30 +926,46 @@ impl Dc {
             self.oasis_park(trace);
         }
 
-        for c in &mut self.cooldown {
-            *c = c.saturating_sub(1);
+        self.round += 1;
+        // Re-key only the hosts whose load changed since the last round.
+        // Every other `by_used` entry still carries the key it was last
+        // filed under, so the drain is O(changed), not O(active).
+        let mut dirty = std::mem::take(&mut self.used_dirty);
+        for h in dirty.drain(..) {
+            self.used_dirty_flag[h] = false;
+            if self.hosts.state[h] != HState::Active {
+                // Deactivation already dropped it from the index; a later
+                // reactivation re-files it under the live key.
+                continue;
+            }
+            let key = merge_key(self.hosts.cpu_used[h]);
+            if key != self.used_key[h] {
+                let removed = self.by_used.remove(&(self.used_key[h], h));
+                debug_assert!(removed, "active host indexed under its stored used key");
+                self.by_used.insert((key, h));
+                self.used_key[h] = key;
+            }
         }
-        // Underloaded hosts, least loaded first. Candidates are gathered
-        // shard by shard into a persistent buffer; the sort key
-        // `(cpu_used, index)` is a total order, so the gather order
-        // (and the unstable sort) cannot leak into the result.
+        self.used_dirty = dirty;
+
+        // Underloaded hosts, least loaded first: an ascending walk of the
+        // freshly re-keyed `by_used` with an early exit at the threshold,
+        // replacing the old full active-set gather + sort. `merge_key`
+        // orders exactly as f64 `<` for the non-NaN, zero-canonical loads
+        // the simulator produces, and ties break on index — the same
+        // total order the old `total_cmp().then(cmp)` sort produced.
+        // Candidates are snapshot into the buffer before evacuating
+        // because try_evacuate itself edits `by_used`.
         let underload = policy.underload_threshold();
+        let limit = merge_key(underload);
         let mut order = std::mem::take(&mut self.order_buf);
         order.clear();
-        for shard in &self.shards {
-            order.extend(
-                shard
-                    .active
-                    .iter()
-                    .copied()
-                    .filter(|&i| self.cooldown[i] == 0 && self.hosts.cpu_used[i] < underload),
-            );
-        }
-        order.sort_unstable_by(|&a, &b| {
-            self.hosts.cpu_used[a]
-                .total_cmp(&self.hosts.cpu_used[b])
-                .then(a.cmp(&b))
-        });
+        order.extend(
+            self.by_used
+                .range(..(limit, 0))
+                .map(|&(_, i)| i)
+                .filter(|&i| self.round >= self.cooldown_expiry[i]),
+        );
 
         for &host in &order {
             self.try_evacuate(trace, host);

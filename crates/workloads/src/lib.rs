@@ -45,10 +45,29 @@ pub trait Workload {
     /// CPU work per access, charged whether or not the page faults.
     /// Micro-benchmarks do almost nothing per touched page; macro
     /// applications parse requests, score documents, evaluate operators.
+    ///
+    /// Must be constant for the lifetime of a workload instance: the
+    /// batched engine samples it once per run and charges it per access,
+    /// which is only equivalent to per-access sampling when the value
+    /// never changes.
     fn base_op_cost(&self) -> SimDuration;
 
     /// The next access.
     fn next_access(&mut self) -> Access;
+
+    /// Fills `buf` with the next `buf.len()` accesses — exactly the
+    /// stream repeated [`Workload::next_access`] calls would produce.
+    ///
+    /// The default implementation is that loop; because default methods
+    /// are monomorphized per implementor, the inner calls dispatch
+    /// statically, so a batch costs one virtual call instead of one per
+    /// access. Implementors overriding this must keep the stream
+    /// byte-identical to `next_access`.
+    fn fill(&mut self, buf: &mut [Access]) {
+        for slot in buf {
+            *slot = self.next_access();
+        }
+    }
 
     /// Suggested number of accesses for one measured run.
     fn suggested_ops(&self) -> u64;
@@ -417,6 +436,27 @@ mod tests {
             assert_eq!(cloned.suggested_ops(), fresh.suggested_ops());
             for _ in 0..2_000 {
                 assert_eq!(cloned.next_access(), fresh.next_access(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_matches_repeated_next_access() {
+        // The batched engine consumes the stream through `fill`; it must
+        // be byte-identical to the per-op path, including across uneven
+        // batch boundaries.
+        for name in WORKLOAD_NAMES {
+            let mut by_fill = by_name(name, Pages::new(512), 7).unwrap();
+            let mut by_next = by_name(name, Pages::new(512), 7).unwrap();
+            let mut buf = [Access {
+                page: 0,
+                write: false,
+            }; 257];
+            for batch in [1usize, 257, 64, 3, 256] {
+                by_fill.fill(&mut buf[..batch]);
+                for (i, got) in buf[..batch].iter().enumerate() {
+                    assert_eq!(*got, by_next.next_access(), "{name} op {i} of {batch}");
+                }
             }
         }
     }

@@ -50,6 +50,20 @@ if grep -q '"regression": true' "$ZL_BENCH"; then
     exit 1
 fi
 
+echo "==> scaling regression gate (jobs>1 must not run slower than jobs=1 on parallel hosts)"
+# ROADMAP item 4: once the host can actually run workers concurrently,
+# fanning out must never lose to the serial loop. Single-core containers
+# (host_parallelism 1) cannot express a meaningful speedup, so the gate
+# is a no-op there rather than a flaky failure.
+ZL_HP=$(grep -m1 -o '"host_parallelism": [0-9]*' "$ZL_BENCH" | awk '{ print $2 }')
+if [ "${ZL_HP:-1}" -gt 1 ]; then
+    if ! grep -o '"speedup_vs_jobs1": [0-9.]*' "$ZL_BENCH" \
+        | awk '{ if ($2 + 0 < 1.0) bad = 1 } END { exit bad }'; then
+        echo "verify: FAIL — a jobs>1 grid ran slower than jobs=1 on a parallel host" >&2
+        exit 1
+    fi
+fi
+
 echo "==> scaling smoke (table1 output is byte-identical at jobs=1 and jobs=2)"
 ZL_J1=$(mktemp /tmp/zl-jobs1.XXXXXX.txt)
 ZL_J2=$(mktemp /tmp/zl-jobs2.XXXXXX.txt)

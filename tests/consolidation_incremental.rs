@@ -1,0 +1,88 @@
+//! The incremental consolidation layer (DESIGN §13): `consolidate()`
+//! re-keys only hosts whose load changed since the last round and walks
+//! a used-ordered index with an early exit, instead of gathering and
+//! sorting every active host. That is a scan restructuring, not a
+//! policy change — for any shard count and thread budget the merged
+//! `SimReport` must stay byte-identical, and (in debug builds) the
+//! in-loop `validate()` sweep asserts the dirty-set invariants after
+//! every consolidation round of every run below.
+
+use zombieland::energy::MachineProfile;
+use zombieland::simcore::with_thread_budget;
+use zombieland::simulator::{simulate, PolicyKind, SimConfig, SimReport};
+use zombieland_bench::experiments;
+
+/// Consolidating policies only — AlwaysOn never runs the scan under
+/// test. ZombieStack additionally exercises the mid-round `by_used`
+/// edits (evacuated hosts leave the index while the candidate snapshot
+/// is being consumed).
+const POLICIES: [PolicyKind; 3] = [PolicyKind::Neat, PolicyKind::Oasis, PolicyKind::ZombieStack];
+
+fn run(
+    trace: &zombieland::trace::ClusterTrace,
+    policy: PolicyKind,
+    racks: u32,
+    shards: u32,
+    jobs: usize,
+) -> SimReport {
+    let cfg = SimConfig {
+        racks,
+        shards,
+        ..SimConfig::new(policy, MachineProfile::hp())
+    };
+    with_thread_budget(jobs, || simulate(trace, &cfg))
+}
+
+fn assert_bytes_equal(a: &SimReport, b: &SimReport, what: &str) {
+    assert_eq!(a, b, "{what}: report diverged");
+    assert_eq!(
+        a.energy.get().to_bits(),
+        b.energy.get().to_bits(),
+        "{what}: energy bits diverged"
+    );
+    for i in 0..3 {
+        assert_eq!(
+            a.state_seconds[i].to_bits(),
+            b.state_seconds[i].to_bits(),
+            "{what}: state_seconds[{i}] bits diverged"
+        );
+    }
+}
+
+/// Dirty-set consolidation is invariant over shards {1, 8} × jobs
+/// {1, 2}: every combination reproduces the serial report bit for bit.
+#[test]
+fn dirty_set_consolidation_is_shard_and_job_invariant() {
+    let trace = experiments::fig10_trace(160, 1, 11);
+    for policy in POLICIES {
+        let serial = run(&trace, policy, 8, 1, 1);
+        for shards in [1u32, 8] {
+            for jobs in [1usize, 2] {
+                let got = run(&trace, policy, 8, shards, jobs);
+                assert_bytes_equal(
+                    &serial,
+                    &got,
+                    &format!("{policy:?} shards={shards} jobs={jobs}"),
+                );
+            }
+        }
+    }
+}
+
+/// A fleet that churns through wake/evacuate cycles (odd rack split,
+/// longer horizon) keeps the lazy used-keys coherent: cooldown expiry,
+/// reactivation re-filing and mid-round dirtying all hit here, with
+/// debug `validate()` checking `by_used` after every round.
+#[test]
+fn churny_fleet_stays_coherent_across_shards() {
+    let trace = experiments::fig10_trace(130, 2, 23);
+    for policy in [PolicyKind::Neat, PolicyKind::ZombieStack] {
+        let serial = run(&trace, policy, 7, 1, 1);
+        let sharded = run(&trace, policy, 7, 8, 2);
+        assert_bytes_equal(
+            &serial,
+            &sharded,
+            &format!("{policy:?} churny 7-rack fleet"),
+        );
+    }
+}
