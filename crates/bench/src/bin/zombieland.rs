@@ -83,8 +83,10 @@ fn usage() -> ExitCode {
          [--seed S] [--window W] [--servers N] [--out FILE]\n  \
          zombieland suspend <mem|disk|zom>\n  \
          zombieland list\n  \
-         zombieland --list-policies\n\
-         global flags: --scenario FILE --shards N --obs-level off|summary|full \
+         zombieland --list-policies\n  \
+         zombieland --list-backends\n\
+         global flags: --scenario FILE --shards N --backend KEY \
+         --obs-level off|summary|full \
          --trace-out FILE --metrics-out FILE --profile"
     );
     ExitCode::from(2)
@@ -977,8 +979,13 @@ struct GlobalOpts {
     /// `--shards N`: event-loop shard count, overriding `ZL_SHARDS` and
     /// any scenario file (CLI > env > file, like the other knobs).
     shards: Option<u32>,
+    /// `--backend KEY`: remote-memory backend, overriding `ZL_BACKEND`
+    /// and any scenario file (same precedence as `--shards`).
+    backend: Option<String>,
     /// `--list-policies`: print the registry and exit.
     list_policies: bool,
+    /// `--list-backends`: print the backend registry and exit.
+    list_backends: bool,
     /// `--profile`: wall-time phase breakdown + `PROFILE_<stamp>.json`.
     profile: bool,
 }
@@ -994,7 +1001,9 @@ fn split_global_flags(args: Vec<String>) -> Result<(Vec<String>, GlobalOpts), St
     let mut metrics_out = None;
     let mut scenario = None;
     let mut shards = None;
+    let mut backend = None;
     let mut list_policies = false;
+    let mut list_backends = false;
     let mut profile = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -1006,6 +1015,7 @@ fn split_global_flags(args: Vec<String>) -> Result<(Vec<String>, GlobalOpts), St
                         .map_err(|_| format!("--shards needs a positive integer, got {v:?}"))?,
                 );
             }
+            "--backend" => backend = Some(it.next().ok_or("flag \"--backend\" needs a value")?),
             "--obs-level" => {
                 let v = it.next().ok_or("flag \"--obs-level\" needs a value")?;
                 level = Some(
@@ -1024,6 +1034,7 @@ fn split_global_flags(args: Vec<String>) -> Result<(Vec<String>, GlobalOpts), St
                 scenario = Some(zombieland_core::scenario::Scenario::load(&path)?);
             }
             "--list-policies" => list_policies = true,
+            "--list-backends" => list_backends = true,
             "--profile" => profile = true,
             _ => rest.push(a),
         }
@@ -1041,7 +1052,9 @@ fn split_global_flags(args: Vec<String>) -> Result<(Vec<String>, GlobalOpts), St
             metrics_out,
             scenario,
             shards,
+            backend,
             list_policies,
+            list_backends,
             profile,
         },
     ))
@@ -1051,6 +1064,15 @@ fn split_global_flags(args: Vec<String>) -> Result<(Vec<String>, GlobalOpts), St
 fn list_policies() -> ExitCode {
     println!("registered policies (--policy KEY; case-insensitive):");
     for spec in policy::REGISTRY {
+        println!("  {:<14} {:<13} {}", spec.key, spec.label, spec.summary);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prints the backend registry (`--list-backends`).
+fn list_backends() -> ExitCode {
+    println!("registered backends (--backend KEY; case-insensitive):");
+    for spec in zombieland_core::backend::REGISTRY {
         println!("  {:<14} {:<13} {}", spec.key, spec.label, spec.summary);
     }
     ExitCode::SUCCESS
@@ -1159,15 +1181,21 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    // `--shards` overrides whatever the scenario resolved (a `--scenario`
-    // file or, failing that, the env-layered defaults — so the flag beats
-    // `ZL_SHARDS` too). Installing the patched scenario makes the knob
-    // reach every `SimConfig::with_spec` without threading a parameter.
+    // `--shards` / `--backend` override whatever the scenario resolved (a
+    // `--scenario` file or, failing that, the env-layered defaults — so
+    // the flags beat `ZL_SHARDS` / `ZL_BACKEND` too). Installing the
+    // patched scenario makes each knob reach every
+    // `SimConfig::with_spec` without threading a parameter.
     let mut scenario = opts.scenario.clone();
-    if let Some(n) = opts.shards {
+    if opts.shards.is_some() || opts.backend.is_some() {
         let mut s =
             scenario.unwrap_or_else(|| zombieland_core::scenario::Scenario::default().apply_env());
-        s.shards = Some(n);
+        if let Some(n) = opts.shards {
+            s.shards = Some(n);
+        }
+        if let Some(b) = &opts.backend {
+            s.backend = b.clone();
+        }
         if let Err(e) = s.ensure_valid() {
             eprintln!("error: {e}");
             return usage();
@@ -1179,6 +1207,9 @@ fn main() -> ExitCode {
     }
     if opts.list_policies {
         return list_policies();
+    }
+    if opts.list_backends {
+        return list_backends();
     }
     let profile_started = opts.profile.then(|| {
         profile::set_enabled(true);

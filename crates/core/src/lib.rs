@@ -29,10 +29,14 @@
 //! - [`rack`] — [`rack::Rack`], the facade wiring fabric + platforms +
 //!   controller + managers together; the hypervisor and cloud layers
 //!   program against it.
+//! - [`backend`] — pluggable remote-memory fabric backends
+//!   ([`backend::FabricBackend`]): the paper's RDMA-to-zombie path and a
+//!   CXL-style pooled tier, selected per scenario via `--backend`.
 //! - [`scenario`] — the typed experiment configuration layer (`ZL_*`
 //!   environment, `--scenario` files, documented precedence); the one
 //!   module in the workspace that reads `ZL_*` variables.
 
+pub mod backend;
 pub mod codec;
 pub mod db;
 pub mod ha;
@@ -42,6 +46,7 @@ pub mod rack;
 pub mod scenario;
 pub mod server;
 
+pub use backend::{BackendSpec, FabricBackend};
 pub use manager::PageHandle;
 pub use rack::{DemandFetchBatch, Rack, RackConfig, RackError};
 pub use server::ServerId;

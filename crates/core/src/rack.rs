@@ -40,6 +40,9 @@ pub struct RackConfig {
     pub backup_write_4k: SimDuration,
     /// Fabric timing profile (default: the testbed's FDR InfiniBand).
     pub link: LinkProfile,
+    /// Remote-memory backend pricing the page data path (default: the
+    /// paper's RDMA-to-zombie design, a strict pass-through over `link`).
+    pub backend: &'static crate::backend::BackendSpec,
 }
 
 impl Default for RackConfig {
@@ -52,6 +55,7 @@ impl Default for RackConfig {
             backup_read_4k: SimDuration::from_micros(90),
             backup_write_4k: SimDuration::from_micros(30),
             link: LinkProfile::default(),
+            backend: &crate::backend::RDMA_ZOMBIE,
         }
     }
 }
@@ -366,6 +370,14 @@ impl Rack {
         &self.fabric
     }
 
+    /// The active backend's pricing object. Every data-path operation
+    /// quotes the RDMA fabric model, then reprices through this; the
+    /// default `RdmaZombie` backend returns the quote untouched, so the
+    /// default path's timing is bit-for-bit what the fabric charges.
+    fn backend(&self) -> &'static dyn crate::backend::FabricBackend {
+        self.config.backend.backend
+    }
+
     /// The fabric nodes hosting the primary and secondary controllers.
     pub fn controller_nodes(&self) -> (NodeId, NodeId) {
         (self.primary_node, self.secondary_node)
@@ -592,6 +604,7 @@ impl Rack {
                             Bytes::new(PAGE_SIZE),
                         )?,
                     };
+                    let write = self.backend().write_time(write, Bytes::new(PAGE_SIZE));
                     out.relocation_time += self.config.backup_read_4k + write;
                 }
                 out.relocated_pages += revocation.relocated.len() as u64;
@@ -760,7 +773,10 @@ impl Rack {
         let cost = self
             .fabric
             .write_timed(user_node, mr, slot.offset(), Bytes::new(PAGE_SIZE))?;
-        Ok((handle, cost))
+        Ok((
+            handle,
+            self.backend().write_time(cost, Bytes::new(PAGE_SIZE)),
+        ))
     }
 
     /// Places one page *with its contents*: the bytes travel over the
@@ -779,6 +795,9 @@ impl Rack {
         let mr = mgr.buffer_record(slot.buffer)?.mr;
         mgr.store_backup(handle, data)?;
         let cost = self.fabric.write(user_node, mr, slot.offset(), data)?;
+        let cost = self
+            .backend()
+            .write_time(cost, Bytes::new(data.len() as u64));
         Ok((handle, cost))
     }
 
@@ -797,7 +816,7 @@ impl Rack {
                 let mr = mgr.buffer_record(slot.buffer)?.mr;
                 let mut buf = vec![0u8; PAGE_SIZE as usize];
                 let cost = self.fabric.read(user_node, mr, slot.offset(), &mut buf)?;
-                (buf, cost)
+                (buf, self.backend().read_time(cost, Bytes::new(PAGE_SIZE)))
             }
             PageLoc::LocalBackup => {
                 let data = mgr
@@ -824,9 +843,10 @@ impl Rack {
         match mgr.note_rewrite(handle)? {
             PageLoc::Remote(slot) => {
                 let mr = mgr.buffer_record(slot.buffer)?.mr;
-                Ok(self
-                    .fabric
-                    .write_timed(user_node, mr, slot.offset(), Bytes::new(PAGE_SIZE))?)
+                let cost =
+                    self.fabric
+                        .write_timed(user_node, mr, slot.offset(), Bytes::new(PAGE_SIZE))?;
+                Ok(self.backend().write_time(cost, Bytes::new(PAGE_SIZE)))
             }
             PageLoc::LocalBackup => Ok(self.config.backup_write_4k),
         }
@@ -854,7 +874,7 @@ impl Rack {
                     .fabric
                     .read_timed(user_node, mr, slot.offset(), Bytes::new(PAGE_SIZE))
                 {
-                    Ok(cost) => cost,
+                    Ok(cost) => self.backend().read_time(cost, Bytes::new(PAGE_SIZE)),
                     Err(FabricError::Unreachable { .. }) => {
                         // The serving host died: fall back to the mirror.
                         self.managers[user.get() as usize].downgrade_to_backup(handle)?;
@@ -920,6 +940,8 @@ impl Rack {
             }
         }
         let batch = self.fabric.read_batch_timed(user_node, &reads)?;
+        let payload = Bytes::new(PAGE_SIZE * reads.len() as u64);
+        let batch = self.backend().batch_read_time(batch, reads.len(), payload);
         Ok(batch + self.config.backup_read_4k * backup_reads)
     }
 
@@ -947,7 +969,8 @@ impl Rack {
                 let mr = mgr.buffer_record(slot.buffer)?.mr;
                 if self.fabric.mr_reachable(mr)? {
                     batch.reads.push((mr, slot.offset(), Bytes::new(PAGE_SIZE)));
-                    Ok(self.fabric.profile().read_time(Bytes::new(PAGE_SIZE)))
+                    let quoted = self.fabric.profile().read_time(Bytes::new(PAGE_SIZE));
+                    Ok(self.backend().read_time(quoted, Bytes::new(PAGE_SIZE)))
                 } else {
                     // The serving host died: fall back to the mirror,
                     // exactly as the per-page path does on Unreachable.
@@ -977,6 +1000,10 @@ impl Rack {
         }
         let user_node = self.entry(user)?.node;
         let t = self.fabric.read_batch_timed(user_node, &batch.reads)?;
+        let payload = Bytes::new(PAGE_SIZE * batch.reads.len() as u64);
+        let t = self
+            .backend()
+            .batch_read_time(t, batch.reads.len(), payload);
         batch.reads.clear();
         Ok(t)
     }

@@ -10,7 +10,8 @@
 //! 1. **CLI flags** (`--scale`, `--jobs`, …) — applied by the CLI after
 //!    loading, never by this module.
 //! 2. **Environment** (`ZL_SCALE`, `ZL_DC_SERVERS`, `ZL_DC_DAYS`,
-//!    `ZL_RACKS`, `ZL_RUNS`, `ZL_JOBS`, `ZL_VALIDATE`) — applied by
+//!    `ZL_RACKS`, `ZL_RUNS`, `ZL_JOBS`, `ZL_VALIDATE`, `ZL_BACKEND`,
+//!    `ZL_CXL_CAP`, `ZL_GENERATIONS`) — applied by
 //!    [`Scenario::apply_env`]. Malformed or out-of-range values are
 //!    ignored (the historical `.ok().and_then(parse)` behavior), so a
 //!    stray `ZL_SCALE=abc` cannot abort a batch run.
@@ -51,6 +52,17 @@ pub struct Scenario {
     /// Release-mode invariant validation (`ZL_VALIDATE`); `None` = the
     /// build default (on for debug, off for release).
     pub validate: Option<bool>,
+    /// Remote-memory backend key (`ZL_BACKEND`; see
+    /// [`crate::backend::REGISTRY`]). Resolved through
+    /// [`crate::backend::lookup`] by [`Scenario::ensure_valid`].
+    pub backend: String,
+    /// Per-rack capacity of the CXL pooled tier, in server-equivalents
+    /// of memory (`ZL_CXL_CAP`); only read under `backend = cxl`.
+    pub cxl_cap: f64,
+    /// Per-rack server-generation mix, as model years from the
+    /// generations table (`ZL_GENERATIONS`, comma-separated). Empty =
+    /// uniform fleet of the profile's reference generation.
+    pub generations: Vec<u16>,
 }
 
 impl Default for Scenario {
@@ -64,6 +76,9 @@ impl Default for Scenario {
             runs: 1,
             jobs: None,
             validate: None,
+            backend: "rdma".to_string(),
+            cxl_cap: crate::backend::DEFAULT_CXL_CAPACITY,
+            generations: Vec::new(),
         }
     }
 }
@@ -120,6 +135,17 @@ impl Scenario {
                         }
                     })
                 }
+                "backend" => {
+                    // Allow the TOML-ish quoted form (`backend = "cxl"`).
+                    s.backend = value.trim_matches('"').to_string();
+                }
+                "cxl_cap" => s.cxl_cap = num(ln, key, value)?,
+                "generations" => {
+                    s.generations = value
+                        .split(',')
+                        .map(|y| num::<u16>(ln, key, y.trim()))
+                        .collect::<Result<_, _>>()?;
+                }
                 _ => return Err(format!("line {}: unknown key {key:?}", ln + 1)),
             }
             seen.push(key.to_string());
@@ -160,6 +186,19 @@ impl Scenario {
             Some(v) if v == "0" => self.validate = Some(false),
             _ => {}
         }
+        if let Some(v) = env_parse::<String>("ZL_BACKEND").filter(|b| !b.is_empty()) {
+            self.backend = v;
+        }
+        if let Some(v) = env_parse::<f64>("ZL_CXL_CAP").filter(|c| c.is_finite() && *c > 0.0) {
+            self.cxl_cap = v;
+        }
+        if let Ok(v) = std::env::var("ZL_GENERATIONS") {
+            let years: Option<Vec<u16>> =
+                v.split(',').map(|y| y.trim().parse::<u16>().ok()).collect();
+            if let Some(years) = years.filter(|ys| !ys.is_empty()) {
+                self.generations = years;
+            }
+        }
         self
     }
 
@@ -192,6 +231,35 @@ impl Scenario {
         }
         if self.jobs == Some(0) {
             return Err("jobs must be >= 1".into());
+        }
+        if crate::backend::lookup(&self.backend).is_none() {
+            let hint = match crate::backend::suggest(&self.backend) {
+                Some(key) => format!(" (did you mean {key:?}?)"),
+                None => String::new(),
+            };
+            return Err(format!(
+                "unknown backend {:?}{hint}; run `zombieland --list-backends` for the registry",
+                self.backend
+            ));
+        }
+        if !self.cxl_cap.is_finite() || self.cxl_cap <= 0.0 {
+            return Err(format!(
+                "cxl_cap must be positive (server-equivalents of pooled memory \
+                 per rack), got {}",
+                self.cxl_cap
+            ));
+        }
+        if let Some(year) = self
+            .generations
+            .iter()
+            .find(|y| !GENERATION_YEARS.contains(y))
+        {
+            return Err(format!(
+                "unknown server generation {year}; the generations table spans \
+                 {}..={}",
+                GENERATION_YEARS.start(),
+                GENERATION_YEARS.end()
+            ));
         }
         Ok(())
     }
@@ -230,6 +298,12 @@ impl Scenario {
 
 /// Upper bound on an explicit `shards` value ([`Scenario::ensure_valid`]).
 pub const MAX_SHARDS: u32 = 4096;
+
+/// Model years the trace crate's generations table covers. This crate
+/// cannot see `zombieland-trace`, so the range is restated here; a
+/// simulator test (`generation_years_match_the_table`) pins the two
+/// together.
+pub const GENERATION_YEARS: std::ops::RangeInclusive<u16> = 2005..=2013;
 
 static INSTALLED: OnceLock<Scenario> = OnceLock::new();
 
@@ -271,6 +345,9 @@ mod tests {
         assert_eq!(s.runs, 1);
         assert_eq!(s.jobs, None);
         assert_eq!(s.validate, None);
+        assert_eq!(s.backend, "rdma");
+        assert_eq!(s.cxl_cap, crate::backend::DEFAULT_CXL_CAPACITY);
+        assert!(s.generations.is_empty());
         assert!(s.ensure_valid().is_ok());
     }
 
@@ -286,7 +363,10 @@ mod tests {
              shards = 2\n\
              runs = 2\n\
              jobs = 3\n\
-             validate = true\n",
+             validate = true\n\
+             backend = \"cxl\"\n\
+             cxl_cap = 2.5\n\
+             generations = 2008, 2011,2013\n",
         )
         .unwrap();
         assert_eq!(s.scale, 0.02);
@@ -297,6 +377,12 @@ mod tests {
         assert_eq!(s.runs, 2);
         assert_eq!(s.jobs, Some(3));
         assert_eq!(s.validate, Some(true));
+        assert_eq!(s.backend, "cxl");
+        assert_eq!(s.cxl_cap, 2.5);
+        assert_eq!(s.generations, vec![2008, 2011, 2013]);
+        assert!(s.ensure_valid().is_ok());
+        // The unquoted form works too.
+        assert_eq!(Scenario::parse("backend = rdma").unwrap().backend, "rdma");
     }
 
     #[test]
@@ -335,6 +421,9 @@ mod tests {
             "shards = 99999",
             "runs = 0",
             "jobs = 0",
+            "cxl_cap = 0",
+            "cxl_cap = -1",
+            "generations = 1999",
         ] {
             let s = Scenario::parse(text).unwrap();
             assert!(s.ensure_valid().is_err(), "{text}");
@@ -346,6 +435,19 @@ mod tests {
         assert!(s.ensure_valid().is_err());
         s.scale = f64::NAN;
         assert!(s.ensure_valid().is_err());
+    }
+
+    #[test]
+    fn unknown_backends_error_with_a_hint() {
+        let s = Scenario::parse("backend = cx1").unwrap();
+        let err = s.ensure_valid().unwrap_err();
+        assert!(err.contains("unknown backend"), "{err}");
+        assert!(err.contains("did you mean \"cxl\"?"), "{err}");
+        assert!(err.contains("--list-backends"), "{err}");
+        // No hint when nothing in the registry is close.
+        let s = Scenario::parse("backend = infiniband").unwrap();
+        let err = s.ensure_valid().unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
     }
 
     #[test]
@@ -361,6 +463,9 @@ mod tests {
             "ZL_RUNS",
             "ZL_JOBS",
             "ZL_VALIDATE",
+            "ZL_BACKEND",
+            "ZL_CXL_CAP",
+            "ZL_GENERATIONS",
         ];
         let saved: Vec<_> = keys.iter().map(|k| std::env::var(k).ok()).collect();
 
@@ -372,6 +477,9 @@ mod tests {
         std::env::set_var("ZL_RUNS", "4");
         std::env::set_var("ZL_JOBS", "5");
         std::env::set_var("ZL_VALIDATE", "1");
+        std::env::set_var("ZL_BACKEND", "cxl");
+        std::env::set_var("ZL_CXL_CAP", "1.5");
+        std::env::set_var("ZL_GENERATIONS", "2005, 2013");
         let s = Scenario::parse("scale = 0.1\nservers = 10")
             .unwrap()
             .apply_env();
@@ -383,6 +491,9 @@ mod tests {
         assert_eq!(s.runs, 4);
         assert_eq!(s.jobs, Some(5));
         assert_eq!(s.validate, Some(true));
+        assert_eq!(s.backend, "cxl", "env beats the rdma default");
+        assert_eq!(s.cxl_cap, 1.5);
+        assert_eq!(s.generations, vec![2005, 2013]);
         assert_eq!(s.jobs(), 5);
 
         // Garbage and zeroes fall through to the layer below.
@@ -394,6 +505,9 @@ mod tests {
         std::env::set_var("ZL_RUNS", "not-a-number");
         std::env::set_var("ZL_JOBS", "0");
         std::env::set_var("ZL_VALIDATE", "yes");
+        std::env::set_var("ZL_BACKEND", "");
+        std::env::set_var("ZL_CXL_CAP", "nan");
+        std::env::set_var("ZL_GENERATIONS", "new,old");
         let s = Scenario::parse("scale = 0.1\nservers = 10")
             .unwrap()
             .apply_env();
@@ -405,6 +519,9 @@ mod tests {
         assert_eq!(s.runs, 1);
         assert_eq!(s.jobs, None);
         assert_eq!(s.validate, None);
+        assert_eq!(s.backend, "rdma");
+        assert_eq!(s.cxl_cap, crate::backend::DEFAULT_CXL_CAPACITY);
+        assert!(s.generations.is_empty());
 
         // ZL_VALIDATE=0 is an explicit "off", not an ignore.
         std::env::set_var("ZL_VALIDATE", "0");

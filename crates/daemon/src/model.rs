@@ -75,6 +75,11 @@ pub struct ClusterModel {
     fail_primary_after: Option<u64>,
     primary_crashed: bool,
     initial_zombies: u64,
+    /// Remote-memory backend the boot simulation priced the rack under
+    /// (the installed scenario's `backend` key; surfaced in STATS).
+    backend: &'static zombieland_core::backend::BackendSpec,
+    /// Bytes currently lent into the pooled tier across all hosts.
+    lent_bytes: Bytes,
 }
 
 impl ClusterModel {
@@ -93,6 +98,7 @@ impl ClusterModel {
             sample_interval: Some(SimDuration::from_hours(1)),
             ..SimConfig::new(PolicyKind::ZombieStack, MachineProfile::hp())
         };
+        let backend = sim_cfg.backend;
         let report = simulate(&trace, &sim_cfg);
         let zombies = report
             .timeline
@@ -119,6 +125,8 @@ impl ClusterModel {
             fail_primary_after: cfg.fail_primary_after,
             primary_crashed: false,
             initial_zombies: zombies,
+            backend,
+            lent_bytes: Bytes::ZERO,
         };
         // Seed the pool: the simulated zombie count, spread evenly over
         // the rack, each lending everything it has.
@@ -166,6 +174,14 @@ impl ClusterModel {
         );
         reg.gauge_set("zombied.pool.free_buffers", self.ha.db().free_buffers());
         reg.gauge_set("zombied.pool.zombies", self.ha.db().zombie_count());
+        reg.gauge_set("zombied.pool.lent_bytes", self.lent_bytes.get());
+        // One flag gauge per registered backend (the registry is static,
+        // and `gauge_set` needs `&'static str` names): exactly one is 1.
+        reg.gauge_set(
+            "zombied.backend.rdma",
+            u64::from(self.backend.key == "rdma"),
+        );
+        reg.gauge_set("zombied.backend.cxl", u64::from(self.backend.key == "cxl"));
         reg.gauge_set("zombied.managers", self.managers.len() as u64);
         reg.gauge_set("zombied.clock_ns", self.clock.as_nanos());
     }
@@ -196,6 +212,7 @@ impl ClusterModel {
             .apply(|db| db.lend(host, &mrs, zombie))
             .map_err(db_error_frame)?;
         self.unlent[idx] -= BUFF_SIZE * n;
+        self.lent_bytes += BUFF_SIZE * n;
         Ok(ids)
     }
 
@@ -282,6 +299,7 @@ impl ClusterModel {
                 }
                 let reclaimed = plan.returned_free.len() + plan.revoked.len();
                 self.unlent[idx] += BUFF_SIZE * reclaimed as u64;
+                self.lent_bytes -= BUFF_SIZE * reclaimed as u64;
                 Ok(ResponseBody::Reclaimed {
                     returned_free: plan.returned_free,
                     revoked: plan.revoked,
@@ -432,6 +450,30 @@ mod tests {
         // Decision latency is the op's modeled server time, always.
         let op = RackOp::GetLruZombie;
         assert_eq!(m.apply(&op).decision, op.server_time());
+    }
+
+    #[test]
+    fn stats_overlay_reports_backend_and_lent_bytes() {
+        let m = model();
+        let mut reg = zombieland_obs::MetricRegistry::default();
+        m.observe_into(&mut reg);
+        // The default scenario runs the paper's rdma backend.
+        assert_eq!(reg.gauge("zombied.backend.rdma").map(|g| g.max), Some(1));
+        assert_eq!(reg.gauge("zombied.backend.cxl").map(|g| g.max), Some(0));
+        let lent = reg.gauge("zombied.pool.lent_bytes").map(|g| g.max);
+        assert!(
+            lent.unwrap() > 0,
+            "boot lends the zombies' memory: {lent:?}"
+        );
+        // Reclaiming shrinks the lent-bytes gauge.
+        let mut m = model();
+        m.apply(&RackOp::Reclaim {
+            host: ServerId::new(0),
+            nb_buffers: 1,
+        });
+        let mut after = zombieland_obs::MetricRegistry::default();
+        m.observe_into(&mut after);
+        assert!(after.gauge("zombied.pool.lent_bytes").unwrap().max < lent.unwrap());
     }
 
     #[test]

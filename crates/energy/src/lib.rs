@@ -27,5 +27,7 @@ pub mod profile;
 pub mod rack;
 
 pub use meter::EnergyMeter;
-pub use model::{HostDraw, PowerModel, Table3Power, TABLE3};
+pub use model::{
+    generation_power, GenerationPower, HostDraw, PowerModel, Table3Power, GENERATION_POWER, TABLE3,
+};
 pub use profile::{MachineProfile, MeasuredConfig};

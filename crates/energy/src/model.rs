@@ -80,6 +80,93 @@ impl PowerModel for Table3Power {
     }
 }
 
+/// A generation-scaled power model for heterogeneous fleets.
+///
+/// The Table 3 measurements come from one machine generation; a real
+/// fleet mixes model years whose sockets differ in core count and DIMM
+/// population (the `trace` crate's generations table, after Lim et al.).
+/// This model keeps the paper's draw *curve* — the Fig. 1 utilization
+/// shape, the Eq. 1 zombie estimate, the measured S3 fraction — and
+/// scales its magnitude by the generation's component counts: roughly
+/// half a platform floor (PSU, fans, board), 30 % tracking the socket's
+/// core count and 20 % tracking its DIMM population, normalized so the
+/// 2013 generation (16 cores, 8 DIMMs) reproduces `Table3Power` × 1.0.
+///
+/// Like every [`PowerModel`], the scaling is a pure function of static
+/// table data, so heterogeneous runs stay bit-for-bit deterministic.
+#[derive(Clone, Copy, Debug)]
+pub struct GenerationPower {
+    /// The generation whose component counts set the scale.
+    generation: &'static zombieland_trace::generations::Generation,
+    /// Model name (`"genYYYY"`), for listings and debugging.
+    name: &'static str,
+}
+
+/// Core count of the reference (2013) generation.
+const REF_CORES: f64 = 16.0;
+/// DIMM count (channels × DIMMs-per-channel) of the reference generation.
+const REF_DIMMS: f64 = 8.0;
+
+impl GenerationPower {
+    /// Max-power scale of this generation relative to the 2013 reference.
+    pub fn scale(&self) -> f64 {
+        let g = self.generation;
+        let cores = g.cores_per_socket as f64 / REF_CORES;
+        let dimms = (g.channels * g.dimms_per_channel) as f64 / REF_DIMMS;
+        0.5 + 0.3 * cores + 0.2 * dimms
+    }
+
+    /// The generation whose component counts set the scale.
+    pub fn generation(&self) -> &'static zombieland_trace::generations::Generation {
+        self.generation
+    }
+}
+
+impl PowerModel for GenerationPower {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn host_power(&self, profile: &MachineProfile, draw: HostDraw) -> Watts {
+        TABLE3.host_power(profile, draw) * self.scale()
+    }
+
+    fn transition_power(&self, profile: &MachineProfile) -> Watts {
+        TABLE3.transition_power(profile) * self.scale()
+    }
+}
+
+macro_rules! generation_models {
+    ($($idx:literal => $name:literal),+ $(,)?) => {
+        /// One [`GenerationPower`] per row of the generations table, in
+        /// table (year) order.
+        pub static GENERATION_POWER: [GenerationPower; 9] = [
+            $(GenerationPower {
+                generation: &zombieland_trace::generations::GENERATIONS[$idx],
+                name: $name,
+            }),+
+        ];
+    };
+}
+
+generation_models! {
+    0 => "gen2005",
+    1 => "gen2006",
+    2 => "gen2007",
+    3 => "gen2008",
+    4 => "gen2009",
+    5 => "gen2010",
+    6 => "gen2011",
+    7 => "gen2012",
+    8 => "gen2013",
+}
+
+/// The [`GenerationPower`] model for a model year, if the generations
+/// table covers it.
+pub fn generation_power(year: u16) -> Option<&'static GenerationPower> {
+    GENERATION_POWER.iter().find(|m| m.generation.year == year)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +205,62 @@ mod tests {
         let zombie = m.host_power(&p, HostDraw::Zombie).get();
         let asleep = m.host_power(&p, HostDraw::Suspended).get();
         assert!(active > zombie && zombie > asleep && asleep > 0.0);
+    }
+
+    #[test]
+    fn generation_models_cover_the_table_and_index_by_year() {
+        assert_eq!(
+            GENERATION_POWER.len(),
+            zombieland_trace::generations::GENERATIONS.len()
+        );
+        for (m, g) in GENERATION_POWER
+            .iter()
+            .zip(&zombieland_trace::generations::GENERATIONS)
+        {
+            assert_eq!(m.generation.year, g.year, "{}", m.name());
+            assert_eq!(m.name(), format!("gen{}", g.year));
+        }
+        assert_eq!(generation_power(2013).unwrap().name(), "gen2013");
+        assert!(generation_power(2004).is_none());
+    }
+
+    #[test]
+    fn reference_generation_reproduces_table3_exactly() {
+        let gen2013 = generation_power(2013).unwrap();
+        assert_eq!(gen2013.scale(), 1.0);
+        let p = MachineProfile::hp();
+        for draw in [
+            HostDraw::Active { utilization: 0.4 },
+            HostDraw::Zombie,
+            HostDraw::Suspended,
+        ] {
+            assert_eq!(
+                gen2013.host_power(&p, draw).get(),
+                (TABLE3.host_power(&p, draw) * 1.0).get()
+            );
+        }
+    }
+
+    #[test]
+    fn older_generations_draw_less() {
+        let p = MachineProfile::hp();
+        let mut last = f64::INFINITY;
+        for m in GENERATION_POWER.iter() {
+            let s = m.scale();
+            assert!((0.5..=1.0 + 1e-12).contains(&s), "{} scale {s}", m.name());
+            let _ = last;
+            last = s;
+        }
+        // The fleet's oldest sockets (2 cores) draw well under the 2013
+        // reference at every draw state.
+        let old = generation_power(2005).unwrap();
+        for draw in [
+            HostDraw::Active { utilization: 1.0 },
+            HostDraw::Zombie,
+            HostDraw::Suspended,
+        ] {
+            assert!(old.host_power(&p, draw) < TABLE3.host_power(&p, draw));
+        }
+        assert!(old.transition_power(&p) < TABLE3.transition_power(&p));
     }
 }

@@ -26,7 +26,8 @@ use core::cmp::Ordering;
 use std::collections::BTreeSet;
 
 use zombieland_cloud::oasis::OasisConfig;
-use zombieland_simcore::{Joules, SimTime, Watts};
+use zombieland_energy::PowerModel;
+use zombieland_simcore::{derive_seed, Joules, SimTime, Watts};
 use zombieland_trace::google::ClusterTrace;
 
 use crate::crew::{merge_hit, Crew, ScanHit, ScanReq, CREW_MIN_FLEET};
@@ -64,6 +65,17 @@ pub(crate) struct Hosts {
     pub(crate) remote_allocated: Vec<f64>,
     /// Resident VM (task) ids per host.
     pub(crate) vms: Vec<Vec<usize>>,
+    /// Usable memory of each host in server-equivalents: the config's
+    /// `usable_mem` scaled by the host generation's socket capacity.
+    /// Uniform fleets store the config value bit-for-bit, so every
+    /// `cap[i]` read reproduces the old global-constant math exactly.
+    pub(crate) cap: Vec<f64>,
+    /// Model year of each host's generation (`0` = uniform fleet of the
+    /// profile's reference machine).
+    pub(crate) generation: Vec<u16>,
+    /// Power model pricing each host — per-generation in heterogeneous
+    /// fleets, the config model (one shared pointer) otherwise.
+    pub(crate) power: Vec<&'static dyn PowerModel>,
 }
 
 impl Hosts {
@@ -107,6 +119,14 @@ pub(crate) struct VmState {
 /// Ticks a freshly woken host is exempt from consolidation, damping
 /// wake/suspend churn.
 const WAKE_COOLDOWN_TICKS: u32 = 3;
+
+/// Seed base for the per-rack generation assignment (an arbitrary
+/// constant: changing it reshuffles every heterogeneous fleet).
+const GENERATION_SEED: u64 = 0x4745_4E53_2D30_3130; // "GENS-010"
+
+/// GiB per socket of the reference machine the memory unit (1.0 = one
+/// server's RAM) is calibrated to — the paper testbed's 16 GiB servers.
+const REFERENCE_GIB_PER_SOCKET: f64 = 16.0;
 
 /// Bookkeeping for one in-flight (two-phase) consolidation move.
 #[derive(Clone, Copy, Debug)]
@@ -197,6 +217,12 @@ pub(crate) struct Dc {
     /// fallback ([`Dc::shed_vm_remote`]) from an all-tasks sweep into a
     /// walk over actual holders — in the same ascending-task order.
     remote_vms_by_rack: Vec<BTreeSet<usize>>,
+    /// Pooled-tier memory allocated per rack when the backend does not
+    /// pool host memory (CXL-style shared tier); all zeros otherwise.
+    pub(crate) cxl_allocated: Vec<f64>,
+    /// Sum of [`Dc::cxl_allocated`], maintained incrementally for the
+    /// energy integration and the STATS overlay.
+    pub(crate) cxl_allocated_total: f64,
     /// Active hosts keyed by `(merge_key(cpu_used), index)` — the
     /// consolidation candidate order. Ascending walk with early exit at
     /// the underload threshold replaces the old full active-set gather +
@@ -258,9 +284,31 @@ impl Dc {
         let mut shards = vec![Shard::default(); nshards];
         let mut rack = Vec::with_capacity(n);
         let mut by_used = BTreeSet::new();
+        let mut cap = Vec::with_capacity(n);
+        let mut generation = Vec::with_capacity(n);
+        let mut power: Vec<&'static dyn PowerModel> = Vec::with_capacity(n);
         for i in 0..n {
             let r = i as u32 % cfg.racks;
             rack.push(r);
+            if cfg.generations.is_empty() {
+                cap.push(cfg.usable_mem);
+                generation.push(0);
+                power.push(cfg.power);
+            } else {
+                // Seeded per-rack assignment: a pure function of (rack,
+                // host), so the mix is identical at any shards × jobs.
+                let pick = derive_seed(GENERATION_SEED ^ r as u64, i as u64) as usize
+                    % cfg.generations.len();
+                let year = cfg.generations[pick];
+                let g = zombieland_trace::generations::by_year(year)
+                    .expect("SimConfig::validate checked the generation years");
+                cap.push(cfg.usable_mem * (g.gib_per_socket() as f64 / REFERENCE_GIB_PER_SOCKET));
+                generation.push(year);
+                power.push(
+                    zombieland_energy::generation_power(year)
+                        .expect("the energy crate models every table generation"),
+                );
+            }
             let shard = &mut shards[r as usize % nshards];
             shard.active.insert(i);
             shard.by_booked.insert((booked_key(0.0), i));
@@ -283,6 +331,9 @@ impl Dc {
                 mem_local: vec![0.0; n],
                 remote_allocated: vec![0.0; n],
                 vms: vec![Vec::new(); n],
+                cap,
+                generation,
+                power,
             },
             round: 0,
             cooldown_expiry: vec![0; n],
@@ -308,6 +359,8 @@ impl Dc {
             shards,
             zombies_by_rack: vec![BTreeSet::new(); cfg.racks as usize],
             remote_vms_by_rack: vec![BTreeSet::new(); cfg.racks as usize],
+            cxl_allocated: vec![0.0; cfg.racks as usize],
+            cxl_allocated_total: 0.0,
             by_used,
             used_key: vec![merge_key(0.0); n],
             used_dirty: Vec::new(),
@@ -322,11 +375,28 @@ impl Dc {
             state_counts: [n as u64, 0, 0],
         };
         // Initial fleet power: everything on and idle. An empty fleet
-        // has no host 0 to sample (and draws nothing).
+        // has no host 0 to sample (and draws nothing). The uniform-fleet
+        // branch keeps the historical one-sample-times-n float expression
+        // bit-for-bit; heterogeneous fleets sum per host.
         if n > 0 {
-            dc.total_power = dc.host_power(0) * n as f64;
+            if cfg.generations.is_empty() {
+                dc.total_power = dc.host_power(0) * n as f64;
+            } else {
+                let mut total = Watts::ZERO;
+                for i in 0..n {
+                    total += dc.host_power(i);
+                }
+                dc.total_power = total;
+            }
         }
         dc
+    }
+
+    /// Whether the backend pools suspended hosts' memory (the zombie
+    /// design). `false` routes pool carving to the shared CXL-style tier
+    /// ([`Dc::cxl_allocated`]) instead of zombie lenders.
+    fn pools_host_memory(&self) -> bool {
+        self.cfg.backend.backend.pools_host_memory()
     }
 
     /// The effective shard count.
@@ -443,14 +513,19 @@ impl Dc {
         self.cfg.usable_mem
     }
 
-    /// Free remote-pool memory in one rack (zombie hosts only — the pool
-    /// is rack-local as in the paper). Sums over the rack's zombie index
-    /// set in ascending host order, the same order (and therefore the
-    /// same float result) as the old full-fleet filter scan.
+    /// Free remote-pool memory in one rack. Under the zombie backend the
+    /// pool is the rack's zombie hosts (rack-local, as in the paper):
+    /// the sum runs over the zombie index set in ascending host order,
+    /// the same order (and therefore the same float result) as the old
+    /// full-fleet filter scan. Under a shared-tier backend it is the
+    /// rack's remaining CXL capacity.
     fn pool_free(&self, rack: u32) -> f64 {
+        if !self.pools_host_memory() {
+            return (self.cfg.cxl_capacity - self.cxl_allocated[rack as usize]).max(0.0);
+        }
         self.zombies_by_rack[rack as usize]
             .iter()
-            .map(|&i| (self.usable_mem() - self.hosts.remote_allocated[i]).max(0.0))
+            .map(|&i| (self.hosts.cap[i] - self.hosts.remote_allocated[i]).max(0.0))
             .sum()
     }
 
@@ -459,16 +534,27 @@ impl Dc {
         (0..self.cfg.racks).map(|r| self.pool_free(r)).sum()
     }
 
-    /// Carves `amount` of remote memory from one rack's zombie hosts
-    /// (most-free first). Returns how much was actually taken.
+    /// Carves `amount` of remote memory from one rack's pool: the shared
+    /// tier's free capacity under a CXL-style backend, the rack's zombie
+    /// hosts (most-free first) otherwise. Returns how much was taken.
     fn take_remote(&mut self, rack: u32, mut amount: f64) -> f64 {
+        if !self.pools_host_memory() {
+            let free = (self.cfg.cxl_capacity - self.cxl_allocated[rack as usize]).max(0.0);
+            let take = free.min(amount);
+            if take <= 1e-9 {
+                return 0.0;
+            }
+            self.cxl_allocated[rack as usize] += take;
+            self.cxl_allocated_total += take;
+            return take;
+        }
         let mut taken = 0.0;
         while amount > 1e-9 {
             // Most-free zombie; `>=` keeps the *last* maximum among ties,
             // matching the old full-scan `max_by`.
             let mut best: Option<(usize, f64)> = None;
             for &i in &self.zombies_by_rack[rack as usize] {
-                let free = (self.usable_mem() - self.hosts.remote_allocated[i]).max(0.0);
+                let free = (self.hosts.cap[i] - self.hosts.remote_allocated[i]).max(0.0);
                 if best.is_none_or(|(_, b)| free >= b) {
                     best = Some((i, free));
                 }
@@ -489,8 +575,14 @@ impl Dc {
 
     /// Returns `amount` of remote memory to one rack's pool (drained from
     /// the most-loaded zombies first, so lightly-used zombies empty out
-    /// and become demotable to S3).
+    /// and become demotable to S3; the shared tier just decrements).
     fn give_back_remote(&mut self, rack: u32, mut amount: f64) {
+        if !self.pools_host_memory() {
+            let back = self.cxl_allocated[rack as usize].min(amount).max(0.0);
+            self.cxl_allocated[rack as usize] -= back;
+            self.cxl_allocated_total = (self.cxl_allocated_total - back).max(0.0);
+            return;
+        }
         while amount > 1e-9 {
             // Most-loaded zombie; `>=` keeps the last maximum among ties,
             // matching the old full-scan `max_by`.
@@ -510,12 +602,14 @@ impl Dc {
         }
     }
 
-    /// The [`HostLoad`] view of `host` the policy traits judge.
+    /// The [`HostLoad`] view of `host` the policy traits judge. Policies
+    /// see the host's *own* capacity — per-generation in heterogeneous
+    /// fleets — not a global constant.
     fn host_load(&self, host: usize) -> HostLoad {
         HostLoad {
             cpu_booked: self.hosts.cpu_booked[host],
             cpu_used: self.hosts.cpu_used[host],
-            free_local: (self.usable_mem() - self.hosts.mem_local[host]).max(0.0),
+            free_local: (self.hosts.cap[host] - self.hosts.mem_local[host]).max(0.0),
         }
     }
 
@@ -659,7 +753,7 @@ impl Dc {
         self.update_host(pick, |h| {
             *h.state = HState::Active;
         });
-        self.charge_transition(waking_from, HState::Active);
+        self.charge_transition(pick, waking_from, HState::Active);
         if stranded > 1e-9 {
             let placed = self.take_remote(rack, stranded);
             self.shed_vm_remote(rack, stranded - placed);
@@ -762,7 +856,7 @@ impl Dc {
             Some(l) => l,
             None => {
                 // Overcommit fallback: take whatever local memory is left.
-                let free = (self.usable_mem() - self.hosts.mem_local[host]).max(0.0);
+                let free = (self.hosts.cap[host] - self.hosts.mem_local[host]).max(0.0);
                 mem.min(free)
             }
         };
@@ -898,12 +992,55 @@ impl Dc {
         assert_eq!(indexed, zombies, "zombie index covers every zombie once");
         let live = self.vms.iter().filter(|v| v.is_some()).count();
         assert_eq!(host_vms, live, "every live VM is on exactly one host");
+        // The capacity column matches the generation column exactly.
+        for i in 0..self.hosts.len() {
+            let expected = match zombieland_trace::generations::by_year(self.hosts.generation[i]) {
+                Some(g) => {
+                    self.cfg.usable_mem * (g.gib_per_socket() as f64 / REFERENCE_GIB_PER_SOCKET)
+                }
+                None => self.cfg.usable_mem,
+            };
+            assert_eq!(
+                self.hosts.cap[i].to_bits(),
+                expected.to_bits(),
+                "host {i}: capacity drifted from its generation ({})",
+                self.hosts.generation[i]
+            );
+        }
         let vm_remote: f64 = self.vms.iter().flatten().map(|v| v.remote).sum();
-        let host_remote: f64 = self.hosts.remote_allocated.iter().sum();
-        assert!(
-            (vm_remote - host_remote).abs() < 1e-3,
-            "pool accounting: vms {vm_remote} vs hosts {host_remote}"
-        );
+        if self.pools_host_memory() {
+            let host_remote: f64 = self.hosts.remote_allocated.iter().sum();
+            assert!(
+                (vm_remote - host_remote).abs() < 1e-3,
+                "pool accounting: vms {vm_remote} vs hosts {host_remote}"
+            );
+            assert!(
+                self.cxl_allocated_total <= 1e-9,
+                "zombie backend booked the shared tier: {}",
+                self.cxl_allocated_total
+            );
+        } else {
+            assert!(
+                (vm_remote - self.cxl_allocated_total).abs() < 1e-3,
+                "pool accounting: vms {vm_remote} vs shared tier {}",
+                self.cxl_allocated_total
+            );
+            let mut per_rack = 0.0;
+            for (r, &alloc) in self.cxl_allocated.iter().enumerate() {
+                assert!(
+                    (-1e-6..=self.cfg.cxl_capacity + 1e-6).contains(&alloc),
+                    "rack {r} shared-tier allocation {alloc} outside \
+                     [0, {}]",
+                    self.cfg.cxl_capacity
+                );
+                per_rack += alloc;
+            }
+            assert!(
+                (per_rack - self.cxl_allocated_total).abs() < 1e-3,
+                "shared-tier running total drifted: {per_rack} vs {}",
+                self.cxl_allocated_total
+            );
+        }
         // The remote-holder index matches the VMs exactly.
         for (task, vm) in self.vms.iter().enumerate() {
             let expected = vm.as_ref().filter(|v| v.remote > 1e-9).map(|v| v.host);
@@ -1009,7 +1146,10 @@ impl Dc {
     /// evacuations can create).
     fn try_evacuate(&mut self, trace: &ClusterTrace, host: usize) {
         let policy = self.cfg.policy.consolidation;
-        let zombie_mode = policy.evacuates_to_zombie();
+        // A shared-tier backend has no use for Sz lenders: an evacuated
+        // host suspends all the way to S3, and reclaiming pooled memory
+        // never wakes anyone — that is the CXL trade.
+        let zombie_mode = policy.evacuates_to_zombie() && self.pools_host_memory();
         if zombie_mode {
             self.update_host(host, |h| *h.state = HState::Zombie);
         }
@@ -1093,14 +1233,14 @@ impl Dc {
                 *h.state = HState::Sleeping;
             });
         }
-        self.charge_transition(HState::Active, HState::Sleeping);
+        self.charge_transition(host, HState::Active, HState::Sleeping);
     }
 
     /// Books a pending move on the target host (two-phase evacuate). The
     /// source host is *not* touched yet; commit or rollback settles it.
     fn reserve_move(&mut self, trace: &ClusterTrace, task: usize, target: usize) -> PendingMove {
         let t = &trace.tasks()[task];
-        let free_local = (self.usable_mem() - self.hosts.mem_local[target]).max(0.0);
+        let free_local = (self.hosts.cap[target] - self.hosts.mem_local[target]).max(0.0);
         let vm = self.vms[task].as_mut().expect("placed");
         let (old_local, old_remote, source) = (vm.local_mem, vm.remote, vm.host);
         let mem = t.mem_booked - vm.parked;

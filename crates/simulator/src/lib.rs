@@ -90,6 +90,19 @@ pub struct SimConfig {
     /// Record a fleet snapshot at this period into
     /// [`SimReport::timeline`] (`None` = no timeline).
     pub sample_interval: Option<SimDuration>,
+    /// Remote-memory backend (a [`zombieland_core::backend::REGISTRY`]
+    /// entry). The default `RdmaZombie` pools suspended hosts' memory;
+    /// `CxlPool` swaps in a capacity-capped always-on shared tier with
+    /// its own latency/power point.
+    pub backend: &'static zombieland_core::backend::BackendSpec,
+    /// Per-rack capacity of the pooled tier in server-equivalents of
+    /// memory; only read when the backend does not pool host memory.
+    pub cxl_capacity: f64,
+    /// Per-rack server-generation mix (model years from the trace
+    /// crate's generations table). Host `i` of rack `r` draws its
+    /// generation from this list by a seeded hash of `(r, i)`; empty =
+    /// a uniform fleet of the profile's reference generation.
+    pub generations: Vec<u16>,
 }
 
 impl SimConfig {
@@ -108,6 +121,8 @@ impl SimConfig {
     pub fn with_spec(policy: &'static PolicySpec, profile: MachineProfile) -> Self {
         let scenario = zombieland_core::scenario::current();
         let racks = scenario.racks.max(1);
+        let backend = zombieland_core::backend::lookup(&scenario.backend)
+            .unwrap_or(&zombieland_core::backend::RDMA_ZOMBIE);
         SimConfig {
             policy,
             profile,
@@ -120,6 +135,9 @@ impl SimConfig {
             racks,
             shards: scenario.shards_for(racks),
             sample_interval: None,
+            backend,
+            cxl_capacity: scenario.cxl_cap,
+            generations: scenario.generations.clone(),
         }
     }
 
@@ -145,6 +163,22 @@ impl SimConfig {
                 "cpu_fill_cap must be positive, got {}",
                 self.cpu_fill_cap
             ));
+        }
+        if !self.backend.backend.pools_host_memory()
+            && (!self.cxl_capacity.is_finite() || self.cxl_capacity <= 0.0)
+        {
+            return Err(format!(
+                "cxl_capacity must be positive under the {} backend, got {}",
+                self.backend.key, self.cxl_capacity
+            ));
+        }
+        for &year in &self.generations {
+            if zombieland_trace::generations::by_year(year).is_none() {
+                return Err(format!(
+                    "unknown server generation {year}; the generations table \
+                     spans 2005..=2013"
+                ));
+            }
         }
         Ok(())
     }

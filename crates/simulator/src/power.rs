@@ -41,7 +41,10 @@ impl Dc {
             HState::Zombie => HostDraw::Zombie,
             HState::Sleeping => HostDraw::Suspended,
         };
-        self.cfg.power.host_power(self.profile(), draw)
+        // Per-host model: the per-generation scaling in heterogeneous
+        // fleets; in uniform fleets every entry is the config model, so
+        // this is the same call the global-model code made.
+        self.hosts.power[host].host_power(self.profile(), draw)
     }
 
     /// Integrates energy up to `now` and advances the clock.
@@ -50,7 +53,23 @@ impl Dc {
         if dt > SimDuration::ZERO {
             let parked_power =
                 self.profile().max_power() * self.oasis.memory_server_power(self.parked_mem);
-            self.energy += (self.total_power + parked_power).over(dt);
+            // The zombie backend's pool is host memory, already priced in
+            // `total_power`; a shared tier adds its own per-rack draw. The
+            // first branch must stay the exact historical expression — it
+            // is what keeps pre-backend golden reports byte-identical.
+            let backend = self.cfg.backend.backend;
+            let fleet = if backend.pools_host_memory() {
+                self.total_power + parked_power
+            } else {
+                let mut frac = 0.0;
+                for &alloc in &self.cxl_allocated {
+                    frac += backend
+                        .pool_power_fraction(self.cfg.cxl_capacity, alloc)
+                        .unwrap_or(0.0);
+                }
+                self.total_power + parked_power + self.profile().max_power() * frac
+            };
+            self.energy += fleet.over(dt);
             let secs = dt.as_secs_f64();
             for (i, &count) in self.state_counts.iter().enumerate() {
                 self.report.state_seconds[i] += count as f64 * secs;
@@ -61,10 +80,11 @@ impl Dc {
         }
     }
 
-    /// Charges the energy of one power-state transition: the platform
-    /// runs its enter/exit sequence at near-full draw for the latency the
-    /// firmware model reports.
-    pub(crate) fn charge_transition(&mut self, from: HState, to: HState) {
+    /// Charges the energy of one power-state transition of `host`: the
+    /// platform runs its enter/exit sequence at near-full draw for the
+    /// latency the firmware model reports, priced by the host's own
+    /// power model (per-generation in heterogeneous fleets).
+    pub(crate) fn charge_transition(&mut self, host: usize, from: HState, to: HState) {
         if !self.cfg.transition_costs {
             return;
         }
@@ -78,9 +98,7 @@ impl Dc {
             zombieland_obs::sink::counter_add("sim.transitions", 1);
             zombieland_obs::sink::hist_record("sim.transition_ns", latency.as_nanos());
         }
-        self.energy += self
-            .cfg
-            .power
+        self.energy += self.hosts.power[host]
             .transition_power(self.profile())
             .over(latency);
     }

@@ -170,11 +170,120 @@ fn invalid_configs_are_rejected() {
         ..base.clone()
     };
     assert!(no_mem.validate().is_err());
+    let bad_gen = SimConfig {
+        generations: vec![2013, 1999],
+        ..base.clone()
+    };
+    assert!(bad_gen.validate().is_err());
+    let cxl_no_cap = SimConfig {
+        backend: &zombieland_core::backend::CXL_POOL,
+        cxl_capacity: 0.0,
+        ..base.clone()
+    };
+    assert!(cxl_no_cap.validate().is_err());
+    // The same zero capacity is fine under rdma (never read).
+    let rdma_no_cap = SimConfig {
+        cxl_capacity: 0.0,
+        ..base.clone()
+    };
+    assert!(rdma_no_cap.validate().is_ok());
     let nan_cap = SimConfig {
         cpu_fill_cap: f64::NAN,
         ..base
     };
     assert!(nan_cap.validate().is_err());
+}
+
+#[test]
+fn generation_years_match_the_table() {
+    // `zombieland-core` cannot depend on the trace crate, so its
+    // scenario validation restates the generations table's year span;
+    // this pins the two together.
+    let range = zombieland_core::scenario::GENERATION_YEARS;
+    let years: Vec<u16> = zombieland_trace::generations::GENERATIONS
+        .iter()
+        .map(|g| g.year)
+        .collect();
+    assert_eq!(years.first(), Some(range.start()));
+    assert_eq!(years.last(), Some(range.end()));
+    for year in range {
+        assert!(
+            zombieland_trace::generations::by_year(year).is_some(),
+            "scenario accepts {year} but the table has no row for it"
+        );
+        assert!(
+            zombieland_energy::generation_power(year).is_some(),
+            "no power model for generation {year}"
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_fleets_are_deterministic_across_shards() {
+    let trace = small_trace(1.2);
+    let hetero = |shards| {
+        simulate(
+            &trace,
+            &SimConfig {
+                racks: 8,
+                shards,
+                generations: vec![2005, 2009, 2013],
+                ..SimConfig::new(PolicyKind::ZombieStack, MachineProfile::hp())
+            },
+        )
+    };
+    let serial = hetero(1);
+    let sharded = hetero(8);
+    assert_eq!(serial, sharded, "hetero fleet must not depend on shards");
+    assert_eq!(serial.dropped, 0);
+    // A mixed fleet prices differently from the uniform reference.
+    let uniform = simulate(
+        &trace,
+        &SimConfig {
+            racks: 8,
+            shards: 1,
+            ..SimConfig::new(PolicyKind::ZombieStack, MachineProfile::hp())
+        },
+    );
+    assert_ne!(
+        serial.energy.get(),
+        uniform.energy.get(),
+        "generation mix moved no energy"
+    );
+    assert!(
+        serial.energy.get() < uniform.energy.get(),
+        "older generations draw less: {} vs {}",
+        serial.energy.get(),
+        uniform.energy.get()
+    );
+}
+
+#[test]
+fn cxl_backend_runs_without_zombies_or_host_lending() {
+    let trace = small_trace(1.5);
+    let cxl = simulate(
+        &trace,
+        &SimConfig {
+            backend: &zombieland_core::backend::CXL_POOL,
+            cxl_capacity: 4.0,
+            racks: 4,
+            ..SimConfig::new(PolicyKind::ZombieStack, MachineProfile::hp())
+        },
+    );
+    assert_eq!(cxl.dropped, 0);
+    assert_eq!(
+        cxl.state_seconds[1], 0.0,
+        "shared tier leaves no host in Sz"
+    );
+    assert!(cxl.state_seconds[2] > 0.0, "evacuated hosts sleep in S3");
+    let rdma = simulate(
+        &trace,
+        &SimConfig {
+            racks: 4,
+            ..SimConfig::new(PolicyKind::ZombieStack, MachineProfile::hp())
+        },
+    );
+    assert_ne!(cxl.energy.get(), rdma.energy.get());
 }
 
 #[test]

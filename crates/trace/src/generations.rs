@@ -29,6 +29,16 @@ impl Generation {
         (self.channels * self.dimms_per_channel * self.gib_per_dimm) as f64
             / self.cores_per_socket as f64
     }
+
+    /// Total memory capacity per socket, in GiB.
+    pub fn gib_per_socket(&self) -> u32 {
+        self.channels * self.dimms_per_channel * self.gib_per_dimm
+    }
+}
+
+/// The generation with the given model year, if the table covers it.
+pub fn by_year(year: u16) -> Option<&'static Generation> {
+    GENERATIONS.iter().find(|g| g.year == year)
 }
 
 /// The 2005–2013 generation table (DDR2 → DDR3 era).
@@ -143,6 +153,14 @@ mod tests {
         }
         let avg = drops.iter().sum::<f64>() / drops.len() as f64;
         assert!((0.15..0.45).contains(&avg), "avg 2-year drop {avg}");
+    }
+
+    #[test]
+    fn year_lookup_and_socket_capacity() {
+        assert_eq!(by_year(2005).unwrap().gib_per_socket(), 16);
+        assert_eq!(by_year(2013).unwrap().gib_per_socket(), 32);
+        assert!(by_year(2004).is_none());
+        assert!(by_year(2014).is_none());
     }
 
     #[test]
